@@ -1,0 +1,58 @@
+"""Ablation: class-based confidence (§5.3) vs Jacobsen estimators.
+
+The paper suggests joint classes can assign confidence *without*
+measuring per-branch accuracy.  This bench scores the static
+class-based estimator against the dynamic one-level and two-level
+estimators on the same predictor and trace.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ClassConfidenceEstimator,
+    OneLevelEstimator,
+    TwoLevelEstimator,
+    evaluate_confidence,
+)
+from repro.classify import ProfileTable
+from repro.predictors import make_gshare
+from repro.workloads.synthetic import SPEC95_INPUTS, input_trace
+
+
+@pytest.fixture(scope="module")
+def setup(warm_context):
+    go = next(i for i in SPEC95_INPUTS if i.benchmark == "go")
+    trace = input_trace(go, scale=0.25)
+    profile = ProfileTable.from_trace(trace)
+    joint_rates = warm_context.sweep.grid("pas").joint_miss_at_optimal()
+    return trace, profile, joint_rates
+
+
+def estimator_for(name, profile, joint_rates):
+    if name == "class-based":
+        return ClassConfidenceEstimator(profile, joint_rates, threshold=0.2)
+    if name == "jacobsen-1level":
+        return OneLevelEstimator(entries=1 << 12, threshold=8)
+    return TwoLevelEstimator(entries=1 << 12, history_bits=4, threshold=8)
+
+
+@pytest.mark.parametrize("name", ["class-based", "jacobsen-1level", "jacobsen-2level"])
+def test_confidence_quality(benchmark, setup, name):
+    trace, profile, joint_rates = setup
+    estimator = estimator_for(name, profile, joint_rates)
+    predictor = make_gshare(12, pht_index_bits=13)
+    benchmark.group = "confidence-estimators"
+    quality = benchmark.pedantic(
+        lambda: evaluate_confidence(estimator, predictor, trace),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n{name}: coverage={quality.coverage:.3f} PVN={quality.pvn:.3f} "
+        f"PVP={quality.pvp:.3f} miss-coverage={quality.miss_coverage:.3f}"
+    )
+    # Every estimator must concentrate mispredictions in its low-
+    # confidence set (PVN well above the base miss rate).
+    base_miss = quality.mispredicts / quality.total
+    assert quality.pvn > base_miss
+    assert quality.pvp > 1 - base_miss

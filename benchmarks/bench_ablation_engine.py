@@ -1,0 +1,35 @@
+"""Ablation: vectorized vs reference engine (throughput + exactness).
+
+DESIGN.md commits to an exactly-equivalent fast path; this bench
+measures the speedup and re-checks bit-exactness on a realistic trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import simulate_reference, simulate_vectorized
+from repro.predictors import paper_gas, paper_pas
+from repro.workloads.synthetic import SPEC95_INPUTS, input_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    go = next(i for i in SPEC95_INPUTS if i.benchmark == "go")
+    return input_trace(go, scale=0.25)
+
+
+@pytest.mark.parametrize("kind,history", [("gas", 8), ("pas", 8)])
+def test_engines_agree_exactly(trace, kind, history):
+    make = paper_gas if kind == "gas" else paper_pas
+    ref = simulate_reference(make(history), trace)
+    vec = simulate_vectorized(make(history), trace)
+    assert ref.total_mispredictions == vec.total_mispredictions
+    assert np.array_equal(ref.mispredictions, vec.mispredictions)
+
+
+@pytest.mark.parametrize("engine", ["vectorized", "reference"])
+def test_engine_throughput(benchmark, trace, engine):
+    simulate = simulate_vectorized if engine == "vectorized" else simulate_reference
+    benchmark.group = "engine-throughput"
+    result = benchmark(lambda: simulate(paper_gas(8), trace))
+    assert result.total_executions == len(trace)

@@ -1,0 +1,12 @@
+"""Regenerates Figure 1: dynamic branches per taken-rate class."""
+
+from conftest import run_and_print
+
+
+def test_fig1(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig1")
+    percent = result.data["percent_per_class"]
+    # Paper: bimodal distribution, ~26.6% class 0 and ~36.3% class 10.
+    assert percent[0] > 15
+    assert percent[10] > 25
+    assert max(percent[2:9]) < 15

@@ -1,0 +1,12 @@
+"""Regenerates Figure 2: dynamic branches per transition-rate class."""
+
+from conftest import run_and_print
+
+
+def test_fig2(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig2")
+    percent = result.data["percent_per_class"]
+    # Paper: ~60.8% in class 0, ~10.8% class 1, thin tail above.
+    assert percent[0] > 45
+    assert percent[1] > 4
+    assert sum(percent[7:]) < 10

@@ -1,0 +1,13 @@
+"""Regenerates Figure 3: miss rate by taken class at optimal history."""
+
+from conftest import run_and_print
+
+
+def test_fig3(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig3")
+    data = result.data
+    # Paper: classes 0/10 nearly free; miss rises toward the middle.
+    for key in ("pas_miss", "gas_miss"):
+        miss = data[key]
+        assert miss[0] < 0.08 and miss[10] < 0.08
+        assert max(miss[4:7]) > 0.15

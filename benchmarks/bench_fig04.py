@@ -1,0 +1,14 @@
+"""Regenerates Figure 4: miss rate by transition class at optimal history."""
+
+from conftest import run_and_print
+
+
+def test_fig4(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig4")
+    data = result.data
+    # Paper: classes 0/1 easy for both; PAs also recovers classes 9/10
+    # (the headline transition-rate result) while mid classes stay hard.
+    assert data["pas_miss"][0] < 0.08 and data["pas_miss"][1] < 0.15
+    assert data["pas_miss"][10] < 0.25
+    assert data["pas_miss"][5] > data["pas_miss"][10]
+    assert max(data["gas_miss"][4:7]) > 0.2

@@ -1,0 +1,14 @@
+"""Regenerates Figure 5: PAs miss colormap, taken class x history."""
+
+import numpy as np
+from conftest import run_and_print
+
+
+def test_fig5(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig5")
+    rates = np.asarray(result.data["miss_rates"])
+    # Paper: the middle classes form a dark column at every history
+    # length; the biased edges stay light throughout.
+    assert rates[:, 0].max() < 0.1
+    assert rates[:, 10].max() < 0.1
+    assert rates[:, 5].min() > 0.1

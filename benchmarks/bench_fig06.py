@@ -1,0 +1,14 @@
+"""Regenerates Figure 6: PAs miss colormap, transition class x history."""
+
+import numpy as np
+from conftest import run_and_print
+
+
+def test_fig6(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig6")
+    rates = np.asarray(result.data["miss_rates"])
+    # Paper's key panel: classes 9/10 are catastrophic at history 0 and
+    # near-perfect with even one or two bits of per-address history.
+    assert rates[0, 10] > 0.4
+    assert rates[1:4, 10].min() < 0.15
+    assert rates[0, 9] > 0.3

@@ -1,0 +1,18 @@
+"""Regenerates Figure 7: GAs miss colormap, taken class x history."""
+
+import numpy as np
+from conftest import run_and_print
+
+
+def test_fig7(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig7")
+    rates = np.asarray(result.data["miss_rates"])
+    # Paper: same structure as Figure 5, with more residual darkness in
+    # the middle columns than PAs shows.  At reduced trace scale, long
+    # global histories splatter near-static branches across the PHT
+    # (cold start), so the light-edge check covers the short-history
+    # rows the paper recommends for these classes.
+    short = rates[:6]
+    assert short[:, 0].max() < 0.1
+    assert short[:, 10].max() < 0.1
+    assert rates[:, 5].min() > 0.1

@@ -1,0 +1,15 @@
+"""Regenerates Figure 8: GAs miss colormap, transition class x history."""
+
+import numpy as np
+from conftest import run_and_print
+
+
+def test_fig8(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig8")
+    rates = np.asarray(result.data["miss_rates"])
+    # Paper: classes 0/1 light everywhere; high-transition classes
+    # recover much more slowly under global history than per-address.
+    short = rates[:6]  # see bench_fig07 on reduced-scale cold start
+    assert short[:, 0].max() < 0.1
+    assert short[:, 1].max() < 0.25
+    assert rates[0, 10] > 0.4

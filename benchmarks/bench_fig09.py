@@ -1,0 +1,13 @@
+"""Regenerates Figure 9: PAs miss vs history, taken classes 0/1/9/10."""
+
+from conftest import run_and_print
+
+
+def test_fig9(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig9")
+    series = result.data["series"]
+    # Paper: classes 0 and 10 flat near zero; 1 and 9 visibly higher.
+    assert max(series["tac 0"]) < 0.1
+    assert max(series["tac 10"]) < 0.1
+    assert max(series["tac 1"]) > max(series["tac 0"])
+    assert max(series["tac 9"]) > max(series["tac 10"])

@@ -1,0 +1,14 @@
+"""Regenerates Figure 10: PAs miss vs history, transition classes 0/1/9/10."""
+
+from conftest import run_and_print
+
+
+def test_fig10(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig10")
+    series = result.data["series"]
+    # Paper: classes 9/10 start catastrophic at history 0 and collapse
+    # to near-zero once any per-address history exists.
+    assert series["trc 10"][0] > 0.4
+    assert min(series["trc 10"][1:]) < 0.15
+    assert series["trc 9"][0] > 0.3
+    assert max(series["trc 0"]) < 0.1

@@ -1,0 +1,14 @@
+"""Regenerates Figure 11: GAs miss vs history, taken classes 0/1/9/10."""
+
+from conftest import run_and_print
+
+
+def test_fig11(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig11")
+    series = result.data["series"]
+    # Paper: like Figure 9 — the biased classes are easy under GAs with
+    # short histories (long histories splatter them across the PHT at
+    # reduced scale; the paper likewise assigns them short histories).
+    assert max(series["tac 0"][:6]) < 0.1
+    assert max(series["tac 10"][:6]) < 0.1
+    assert max(series["tac 1"]) > max(series["tac 0"][:6])

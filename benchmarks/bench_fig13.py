@@ -1,0 +1,11 @@
+"""Regenerates Figure 13: PAs joint-class miss colormap at optimal history."""
+
+from conftest import run_and_print
+
+
+def test_fig13(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig13")
+    # Paper: the 5/5 cell is by far the worst spot, near 50% miss.
+    hard = result.data["hard_cell_miss"]
+    assert hard is not None
+    assert hard > 0.3

@@ -1,0 +1,10 @@
+"""Regenerates Figure 14: GAs joint-class miss colormap at optimal history."""
+
+from conftest import run_and_print
+
+
+def test_fig14(benchmark, warm_context):
+    result = run_and_print(benchmark, warm_context, "fig14")
+    hard = result.data["hard_cell_miss"]
+    assert hard is not None
+    assert hard > 0.3

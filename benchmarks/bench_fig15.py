@@ -1,0 +1,26 @@
+"""Regenerates Figure 15: class 5/5 branch distance distribution."""
+
+from conftest import BENCH_INPUTS, run_and_print
+from repro.experiments import ExperimentContext
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def full_context():
+    # Figure 15 needs full-length traces (hard-branch statistics are
+    # sparse) but no history sweep, so it uses its own context.
+    return ExperimentContext(
+        inputs=BENCH_INPUTS, scale=1.0, history_lengths=(0,), cache_dir=None
+    )
+
+
+def test_fig15(benchmark, full_context):
+    result = run_and_print(benchmark, full_context, "fig15")
+    data = result.data
+    # Paper: hard branches seldom occur close together — except ijpeg,
+    # where distances 1-2 dominate.
+    assert data["ijpeg"]["fractions"][0] + data["ijpeg"]["fractions"][1] > 0.5
+    friendly = [b for b, d in data.items() if d["dual_path_friendly"]]
+    assert len(friendly) >= 5
+    assert "ijpeg" not in friendly

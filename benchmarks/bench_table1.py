@@ -1,0 +1,13 @@
+"""Regenerates Table 1: benchmarks, input sets, dynamic branch counts."""
+
+from conftest import run_and_print
+
+
+def test_table1(benchmark, context):
+    result = run_and_print(benchmark, context, "table1")
+    rows = result.data["rows"]
+    assert len(rows) == 34
+    # Paper counts preserved verbatim; reproduction counts are scaled.
+    vortex = next(r for r in rows if r["benchmark"] == "vortex")
+    assert vortex["paper_dynamic_branches"] == 9_897_766_691
+    assert all(r["repro_dynamic_branches"] > 0 for r in rows)

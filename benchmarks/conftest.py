@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures
+(and asserts its qualitative shape), timing the regeneration with
+pytest-benchmark.  The expensive history sweep is computed once per
+session and cached both in memory and on disk, so the timed body
+measures the per-experiment aggregation/rendering plus one warm sweep.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — trace-length multiplier (default 0.3; use 1.0
+  for the full-fidelity numbers recorded in EXPERIMENTS.md).
+* ``REPRO_BENCH_INPUTS`` — ``primary`` (default) or ``all`` (34 inputs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext, get_experiment
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_INPUTS = os.environ.get("REPRO_BENCH_INPUTS", "primary")
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """One shared experiment context for the whole benchmark session."""
+    return ExperimentContext(
+        inputs=BENCH_INPUTS,
+        scale=BENCH_SCALE,
+        cache_dir=".repro-cache",
+    )
+
+
+@pytest.fixture(scope="session")
+def warm_context(context: ExperimentContext) -> ExperimentContext:
+    """The context with its history sweep already computed."""
+    _ = context.sweep
+    return context
+
+
+def run_and_print(benchmark, context: ExperimentContext, experiment_id: str):
+    """Benchmark one experiment and emit its artefact to stdout."""
+    experiment = get_experiment(experiment_id)
+    result = benchmark(experiment.run, context)
+    print()
+    print(result.rendered)
+    if result.paper_note:
+        print(f"[paper] {result.paper_note}")
+    return result

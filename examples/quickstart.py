@@ -1,0 +1,64 @@
+"""Quickstart: traces, classification, and the paper's two predictors.
+
+Builds a tiny branch trace by hand, profiles it with both of the
+paper's metrics, and shows why the *transition rate* tells you things
+the *taken rate* cannot: two branches with identical 50% taken rates
+can be trivially predictable or fundamentally hard.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ProfileTable,
+    Trace,
+    class_label,
+    paper_gas,
+    paper_pas,
+    simulate,
+)
+
+# Three branches, all executed 2000 times:
+#   0x100 - a loop back-edge: taken 7 times, then not taken (taken ~87%)
+#   0x104 - strictly alternating taken/not-taken (taken 50%)
+#   0x108 - a data-dependent coin flip                (taken ~50%)
+rng = np.random.default_rng(42)
+pairs = []
+for i in range(2000):
+    pairs.append((0x100, 0 if i % 8 == 7 else 1))
+    pairs.append((0x104, i % 2))
+    pairs.append((0x108, int(rng.random() < 0.5)))
+trace = Trace.from_pairs(pairs, name="quickstart")
+
+print(f"trace: {len(trace)} dynamic branches, {trace.num_static_branches} static\n")
+
+# --- classification: the paper's two metrics -------------------------------
+profile = ProfileTable.from_trace(trace)
+print(f"{'pc':>6} {'taken rate':>11} {'trans rate':>11} {'taken cls':>10} {'trans cls':>10}")
+for pc in profile:
+    b = profile[pc]
+    print(
+        f"{pc:#6x} {b.taken_rate:>11.3f} {b.transition_rate:>11.3f} "
+        f"{class_label(b.taken_class):>10} {class_label(b.transition_class):>10}"
+    )
+print()
+print("Note: 0x104 and 0x108 are identical under taken rate (both ~50%),")
+print("but transition rate separates them: class 10 (alternating, trivially")
+print("predictable with 1 bit of history) vs class 5 (random, hopeless).\n")
+
+# --- simulation: the paper's 32KB PAs and GAs -------------------------------
+for history in (0, 2, 8):
+    pas = simulate(paper_pas(history), trace)
+    gas = simulate(paper_gas(history), trace)
+    print(f"history {history:2d}:  PAs miss {pas.miss_rate:.3f}   GAs miss {gas.miss_rate:.3f}")
+
+print()
+pas = simulate(paper_pas(2), trace)
+print("per-branch miss rates with PAs, 2 bits of history:")
+for pc in pas:
+    print(f"  {pc:#6x}: {pas[pc].miss_rate:.3f}")
+print()
+print("The alternating branch (0x104) became nearly free with history;")
+print("the random branch (0x108) stays at ~50% no matter what — exactly")
+print("the 5/5 'hard' class the paper isolates.")

@@ -1,0 +1,44 @@
+"""Trace real programs on the mini-ISA VM and classify their branches.
+
+The synthetic populations are calibrated to the paper's published
+distributions; this example takes the other route the library offers —
+run *actual algorithms* (a sort, a binary search, a run-length
+compressor, a sieve, a parser, a matrix multiply) on the bundled
+virtual machine, capture their genuine conditional-branch streams, and
+put them through the same classification and predictors.
+
+Run:  python examples/vm_workloads.py
+"""
+
+from repro import ProfileTable, paper_gas, paper_pas, simulate
+from repro.classify import class_label
+from repro.workloads.programs import KERNEL_NAMES, run_kernel
+
+print(f"{'kernel':15s} {'dyn branches':>12} {'static':>7} "
+      f"{'PAs-h8 miss':>12} {'GAs-h8 miss':>12}")
+traces = {}
+for name in KERNEL_NAMES:
+    result = run_kernel(name, size=120, seed=42)
+    traces[name] = result.trace
+    pas = simulate(paper_pas(8), result.trace)
+    gas = simulate(paper_gas(8), result.trace)
+    print(
+        f"{name:15s} {len(result.trace):>12,} {result.trace.num_static_branches:>7} "
+        f"{pas.miss_rate:>12.3f} {gas.miss_rate:>12.3f}"
+    )
+
+print()
+print("branch-by-branch classification of the binary search kernel")
+print("(data-dependent compares land mid-table; loop control stays biased):\n")
+profile = ProfileTable.from_trace(traces["binary_search"])
+print(f"{'pc':>8} {'execs':>7} {'taken':>7} {'trans':>7} {'taken cls':>10} {'trans cls':>10}")
+for pc in profile:
+    b = profile[pc]
+    print(
+        f"{pc:#8x} {b.executions:>7} {b.taken_rate:>7.2f} {b.transition_rate:>7.2f} "
+        f"{class_label(b.taken_class):>10} {class_label(b.transition_class):>10}"
+    )
+
+print()
+print("the same machinery the paper applies to SPECint95 applies unchanged")
+print("to any program you can express in the bundled assembly.")

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP 660
+editable installs cannot build. ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` with a modern
+toolchain) installs via this shim instead; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

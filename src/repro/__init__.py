@@ -1,0 +1,181 @@
+"""repro — reproduction of "Branch Transition Rate: A New Metric for
+Improved Branch Classification Analysis" (Haungs, Sallee & Farrens,
+HPCA 2000).
+
+The package layers, bottom to top:
+
+* :mod:`repro.trace` — branch outcome streams, serialization, per-branch
+  statistics (taken and transition counts).
+* :mod:`repro.isa` / :mod:`repro.vm` — a small register VM whose
+  programs emit authentic branch traces (the SimpleScalar stand-in).
+* :mod:`repro.workloads` — SPECint95-calibrated synthetic populations
+  and VM workload programs.
+* :mod:`repro.predictors` — the paper's budgeted PAs/GAs plus the
+  surveyed predictor families and the §5.4 class-guided hybrid.
+* :mod:`repro.engine` — step-accurate and vectorized simulation.
+* :mod:`repro.classify` — the 11-band taken/transition classification.
+* :mod:`repro.analysis` — history sweeps, misclassification accounting,
+  distance distributions, confidence, predication/dual-path advisors.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.report` — plain-text tables, colormaps, line plots.
+
+Quickstart::
+
+    from repro import Trace, ProfileTable, paper_pas, simulate
+
+    trace = Trace.from_pairs([(0x40, 1), (0x40, 0), (0x40, 1)])
+    profile = ProfileTable.from_trace(trace)
+    result = simulate(paper_pas(8), trace)
+    print(profile[0x40].transition_rate, result.miss_rate)
+"""
+
+from .errors import (
+    AssemblyError,
+    ClassificationError,
+    ConfigurationError,
+    ExperimentError,
+    PredictorError,
+    ReproError,
+    TraceError,
+    TraceFormatError,
+    VMError,
+)
+from .trace import (
+    BranchRecord,
+    BranchStats,
+    Trace,
+    TraceBuilder,
+    TraceStats,
+    load_trace,
+    merge_suite,
+    save_trace,
+    taken_rate,
+    transition_rate,
+)
+from .classify import (
+    NUM_CLASSES,
+    BranchProfile,
+    DynamicClassifier,
+    JointClass,
+    ProfileTable,
+    class_bounds,
+    class_label,
+    joint_class,
+    rate_class,
+)
+from .predictors import (
+    AgreePredictor,
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BiModePredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    ClassRoutedHybrid,
+    FilterPredictor,
+    LastOutcomePredictor,
+    OraclePredictor,
+    ProfileStaticPredictor,
+    TournamentPredictor,
+    TwoLevelPredictor,
+    YagsPredictor,
+    make_gas,
+    make_gselect,
+    make_gshare,
+    make_pas,
+    make_pshare,
+    paper_gas,
+    paper_pas,
+    paper_predictor,
+)
+from .engine import (
+    SimulationResult,
+    simulate,
+    simulate_reference,
+    simulate_vectorized,
+)
+from .analysis import (
+    SweepConfig,
+    SweepResult,
+    design_hybrid,
+    evaluate_confidence,
+    hard_branch_distances,
+    misclassification_report,
+    run_sweep,
+)
+from .experiments import ExperimentContext, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TraceError",
+    "TraceFormatError",
+    "AssemblyError",
+    "VMError",
+    "PredictorError",
+    "ConfigurationError",
+    "ClassificationError",
+    "ExperimentError",
+    # trace
+    "BranchRecord",
+    "Trace",
+    "TraceBuilder",
+    "BranchStats",
+    "TraceStats",
+    "taken_rate",
+    "transition_rate",
+    "save_trace",
+    "load_trace",
+    "merge_suite",
+    # classify
+    "NUM_CLASSES",
+    "rate_class",
+    "class_bounds",
+    "class_label",
+    "JointClass",
+    "joint_class",
+    "BranchProfile",
+    "ProfileTable",
+    "DynamicClassifier",
+    # predictors
+    "BranchPredictor",
+    "AlwaysTakenPredictor",
+    "AlwaysNotTakenPredictor",
+    "ProfileStaticPredictor",
+    "OraclePredictor",
+    "LastOutcomePredictor",
+    "BimodalPredictor",
+    "TwoLevelPredictor",
+    "make_gas",
+    "make_pas",
+    "make_gshare",
+    "make_gselect",
+    "make_pshare",
+    "paper_gas",
+    "paper_pas",
+    "paper_predictor",
+    "AgreePredictor",
+    "BiModePredictor",
+    "YagsPredictor",
+    "FilterPredictor",
+    "TournamentPredictor",
+    "ClassRoutedHybrid",
+    # engine
+    "simulate",
+    "simulate_reference",
+    "simulate_vectorized",
+    "SimulationResult",
+    # analysis
+    "run_sweep",
+    "SweepConfig",
+    "SweepResult",
+    "misclassification_report",
+    "hard_branch_distances",
+    "evaluate_confidence",
+    "design_hybrid",
+    # experiments
+    "ExperimentContext",
+    "run_experiment",
+]

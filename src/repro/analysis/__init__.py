@@ -1,0 +1,70 @@
+"""Analysis layer: the paper's experiments as reusable functions.
+
+History sweeps with per-class miss attribution (Figures 3–14), the
+§4.2 misclassification accounting, hard-branch distance distributions
+(Figure 15), confidence estimation (§5.3), predication/dual-path
+advisors (§5.2), and class-guided hybrid construction (§5.4).
+"""
+
+from .history_sweep import ClassMissGrid, SweepConfig, SweepResult, run_sweep
+from .misclassification import (
+    PAPER_GAS_TRANSITION_IDENTIFIED,
+    PAPER_PAS_TRANSITION_IDENTIFIED,
+    PAPER_TAKEN_IDENTIFIED,
+    TAKEN_EASY_CLASSES,
+    TRANSITION_EASY_CLASSES_GAS,
+    TRANSITION_EASY_CLASSES_PAS,
+    MisclassificationReport,
+    misclassification_report,
+)
+from .distance import MAX_TRACKED_DISTANCE, DistanceDistribution, hard_branch_distances
+from .confidence import (
+    ClassConfidenceEstimator,
+    ConfidenceEstimator,
+    ConfidenceQuality,
+    OneLevelEstimator,
+    TwoLevelEstimator,
+    evaluate_confidence,
+)
+from .advisors import (
+    DualPathAssessment,
+    PredicationCandidate,
+    assess_dual_path,
+    predication_candidates,
+)
+from .dualpath_sim import DualPathConfig, DualPathReport, simulate_dual_path
+from .hybrid_design import HybridPlan, design_hybrid, design_variable_history_hybrid
+
+__all__ = [
+    "SweepConfig",
+    "SweepResult",
+    "ClassMissGrid",
+    "run_sweep",
+    "MisclassificationReport",
+    "misclassification_report",
+    "PAPER_TAKEN_IDENTIFIED",
+    "PAPER_GAS_TRANSITION_IDENTIFIED",
+    "PAPER_PAS_TRANSITION_IDENTIFIED",
+    "TAKEN_EASY_CLASSES",
+    "TRANSITION_EASY_CLASSES_GAS",
+    "TRANSITION_EASY_CLASSES_PAS",
+    "DistanceDistribution",
+    "hard_branch_distances",
+    "MAX_TRACKED_DISTANCE",
+    "ConfidenceEstimator",
+    "ClassConfidenceEstimator",
+    "OneLevelEstimator",
+    "TwoLevelEstimator",
+    "ConfidenceQuality",
+    "evaluate_confidence",
+    "PredicationCandidate",
+    "predication_candidates",
+    "DualPathAssessment",
+    "assess_dual_path",
+    "HybridPlan",
+    "design_hybrid",
+    "design_variable_history_hybrid",
+    "DualPathConfig",
+    "DualPathReport",
+    "simulate_dual_path",
+]

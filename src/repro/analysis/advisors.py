@@ -1,0 +1,142 @@
+"""Predication and dual-path advisors (paper §5.2).
+
+The paper argues the joint classification directly identifies which
+branches deserve non-predictive treatment:
+
+* **Predication** (§5.2.2) — profitable for hard (near-5/5) branches,
+  where eliminating the branch removes ~50 %-miss-rate mispredictions
+  at the cost of executing both guarded paths; *harmful* for easy
+  branches (e.g. the 1/1 class), where it only lengthens execution.
+* **Dual-path execution** (§5.2.1) — feasible when flagged branches
+  rarely occur within a few dynamic branches of each other (Figure 15),
+  since simultaneous dual paths multiply hardware cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classify.profile import ProfileTable
+from ..errors import ConfigurationError
+from ..trace.stream import Trace
+from .distance import DistanceDistribution, hard_branch_distances
+
+__all__ = [
+    "PredicationCandidate",
+    "predication_candidates",
+    "DualPathAssessment",
+    "assess_dual_path",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PredicationCandidate:
+    """One branch's predication cost/benefit estimate.
+
+    ``benefit`` approximates mispredictions removed per 1000 dynamic
+    branches of the whole program; ``cost`` approximates extra
+    instructions introduced (both paths always execute) on the same
+    scale, assuming ``path_length`` instructions per guarded path.
+    """
+
+    pc: int
+    taken_class: int
+    transition_class: int
+    executions: int
+    expected_miss_rate: float
+    benefit: float
+    cost: float
+
+    @property
+    def profitable(self) -> bool:
+        """True when removed mispredictions outweigh inserted work
+        (using the conventional ~1 misprediction ≈ path_length ratio
+        folded into the benefit/cost scaling)."""
+        return self.benefit > self.cost
+
+
+def predication_candidates(
+    profile: ProfileTable,
+    joint_miss_rates: np.ndarray,
+    *,
+    miss_threshold: float = 0.3,
+    path_length: int = 4,
+    misprediction_penalty: int = 8,
+) -> list[PredicationCandidate]:
+    """Rank branches by predication profitability (best first).
+
+    Parameters
+    ----------
+    profile:
+        Joint classification of the program's branches.
+    joint_miss_rates:
+        (11, 11) expected miss rate per joint class (rows = transition).
+    miss_threshold:
+        Only classes at or above this expected miss rate are considered
+        (the paper's "near 50 % taken and transition rates" region).
+    path_length:
+        Instructions per predicated path (cost of predication).
+    misprediction_penalty:
+        Pipeline cycles saved per removed misprediction (benefit).
+    """
+    rates = np.asarray(joint_miss_rates, dtype=np.float64)
+    if rates.shape != (11, 11):
+        raise ConfigurationError("joint_miss_rates must be 11x11")
+    total = max(profile.total_dynamic, 1)
+
+    candidates = []
+    for pc in profile:
+        branch = profile[pc]
+        expected = float(rates[branch.transition_class, branch.taken_class])
+        if expected < miss_threshold:
+            continue
+        per_kilo = branch.executions / total * 1000
+        benefit = per_kilo * expected * misprediction_penalty
+        cost = per_kilo * path_length
+        candidates.append(
+            PredicationCandidate(
+                pc=pc,
+                taken_class=branch.taken_class,
+                transition_class=branch.transition_class,
+                executions=branch.executions,
+                expected_miss_rate=expected,
+                benefit=benefit,
+                cost=cost,
+            )
+        )
+    candidates.sort(key=lambda c: c.benefit - c.cost, reverse=True)
+    return candidates
+
+
+@dataclass(frozen=True, slots=True)
+class DualPathAssessment:
+    """Feasibility verdict for dual-path execution on one benchmark."""
+
+    benchmark: str
+    distances: DistanceDistribution
+    hard_dynamic_fraction: float
+
+    @property
+    def feasible(self) -> bool:
+        """Feasible when hard branches are rare and well separated."""
+        return self.distances.dual_path_friendly and self.hard_dynamic_fraction < 0.10
+
+
+def assess_dual_path(trace: Trace, *, profile: ProfileTable | None = None) -> DualPathAssessment:
+    """Assess dual-path feasibility for one benchmark trace."""
+    if profile is None:
+        profile = ProfileTable.from_trace(trace)
+    distances = hard_branch_distances(trace, profile=profile)
+    hard = profile.hard_pcs()
+    if len(hard) and profile.total_dynamic:
+        mask = np.isin(profile.pcs, hard)
+        hard_fraction = float(profile.executions[mask].sum() / profile.total_dynamic)
+    else:
+        hard_fraction = 0.0
+    return DualPathAssessment(
+        benchmark=distances.benchmark,
+        distances=distances,
+        hard_dynamic_fraction=hard_fraction,
+    )

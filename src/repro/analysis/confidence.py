@@ -1,0 +1,261 @@
+"""Branch-confidence estimation (paper §5.3).
+
+The paper observes that prediction accuracy correlates tightly with a
+branch's joint taken/transition class, so the class itself can serve as
+a confidence level — no per-branch accuracy measurement required.
+This module provides that class-based estimator plus the dynamic
+one-level and two-level estimators of Jacobsen, Rotenberg & Smith
+(MICRO 1996) the paper cites, and a common evaluation harness.
+
+A confidence estimator labels each dynamic prediction *high* or *low*
+confidence; the standard quality metrics follow Jacobsen et al.:
+
+* coverage — fraction of dynamic branches flagged low confidence,
+* PVN — P(misprediction | flagged low), the number dual-path and
+  SMT-style consumers care about,
+* PVP — P(correct | flagged high).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classify.profile import ProfileTable
+from ..errors import ConfigurationError
+from ..predictors.base import BranchPredictor
+from ..trace.stream import Trace
+
+__all__ = [
+    "ConfidenceEstimator",
+    "ClassConfidenceEstimator",
+    "OneLevelEstimator",
+    "TwoLevelEstimator",
+    "ConfidenceQuality",
+    "evaluate_confidence",
+]
+
+
+class ConfidenceEstimator(ABC):
+    """Assigns high/low confidence to each dynamic branch prediction."""
+
+    name: str = "confidence"
+
+    @abstractmethod
+    def high_confidence(self, pc: int) -> bool:
+        """True if the upcoming prediction for ``pc`` is trusted."""
+
+    @abstractmethod
+    def update(self, pc: int, correct: bool) -> None:
+        """Inform the estimator whether the prediction was correct."""
+
+    def reset(self) -> None:
+        """Reset dynamic state (no-op for static estimators)."""
+
+
+class ClassConfidenceEstimator(ConfidenceEstimator):
+    """Static, profile-driven confidence from joint classes (paper §5.3).
+
+    Parameters
+    ----------
+    profile:
+        Branch profile supplying each PC's joint class.
+    class_miss_rates:
+        (11, 11) expected miss rate per joint class (e.g. a
+        :meth:`~repro.analysis.history_sweep.ClassMissGrid.joint_miss_at_optimal`
+        matrix); rows are transition classes.
+    threshold:
+        Expected miss rate above which a branch is low confidence.
+    """
+
+    name = "class-confidence"
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        class_miss_rates: np.ndarray,
+        *,
+        threshold: float = 0.2,
+    ) -> None:
+        rates = np.asarray(class_miss_rates, dtype=np.float64)
+        if rates.shape != (11, 11):
+            raise ConfigurationError("class_miss_rates must be 11x11")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self._high: dict[int, bool] = {}
+        for pc in profile:
+            branch = profile[pc]
+            expected = rates[branch.transition_class, branch.taken_class]
+            self._high[pc] = expected <= threshold
+
+    def high_confidence(self, pc: int) -> bool:
+        return self._high.get(pc, True)
+
+    def update(self, pc: int, correct: bool) -> None:
+        pass  # static by design: no runtime accuracy measurement needed
+
+
+class OneLevelEstimator(ConfidenceEstimator):
+    """Jacobsen et al.'s one-level dynamic estimator.
+
+    A table of resetting counters indexed by PC: a correct prediction
+    increments, a misprediction clears.  Confidence is high once the
+    counter reaches ``threshold`` consecutive correct predictions.
+    """
+
+    name = "jacobsen-1level"
+
+    def __init__(self, entries: int = 1 << 12, *, threshold: int = 8, max_count: int = 15) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ConfigurationError("entries must be a positive power of two")
+        if not 1 <= threshold <= max_count:
+            raise ConfigurationError("threshold must be in [1, max_count]")
+        self._mask = entries - 1
+        self.threshold = threshold
+        self.max_count = max_count
+        self._counts = np.zeros(entries, dtype=np.int16)
+
+    def high_confidence(self, pc: int) -> bool:
+        return int(self._counts[pc & self._mask]) >= self.threshold
+
+    def update(self, pc: int, correct: bool) -> None:
+        slot = pc & self._mask
+        if correct:
+            if self._counts[slot] < self.max_count:
+                self._counts[slot] += 1
+        else:
+            self._counts[slot] = 0
+
+    def reset(self) -> None:
+        self._counts.fill(0)
+
+
+class TwoLevelEstimator(ConfidenceEstimator):
+    """Jacobsen et al.'s two-level dynamic estimator.
+
+    Level 1 records each branch's recent correct/incorrect history;
+    level 2 is a table of resetting counters indexed by that history
+    pattern (XORed with PC bits), capturing *pattern-dependent*
+    confidence the one-level scheme misses.
+    """
+
+    name = "jacobsen-2level"
+
+    def __init__(
+        self,
+        entries: int = 1 << 12,
+        *,
+        history_bits: int = 4,
+        threshold: int = 8,
+        max_count: int = 15,
+    ) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ConfigurationError("entries must be a positive power of two")
+        if history_bits < 1:
+            raise ConfigurationError("history_bits must be >= 1")
+        if not 1 <= threshold <= max_count:
+            raise ConfigurationError("threshold must be in [1, max_count]")
+        self._mask = entries - 1
+        self._hist_mask = (1 << history_bits) - 1
+        self.threshold = threshold
+        self.max_count = max_count
+        self._histories = np.zeros(entries, dtype=np.int32)
+        self._counts = np.zeros(entries, dtype=np.int16)
+
+    def _index(self, pc: int) -> int:
+        history = int(self._histories[pc & self._mask])
+        return (pc ^ history) & self._mask
+
+    def high_confidence(self, pc: int) -> bool:
+        return int(self._counts[self._index(pc)]) >= self.threshold
+
+    def update(self, pc: int, correct: bool) -> None:
+        index = self._index(pc)
+        if correct:
+            if self._counts[index] < self.max_count:
+                self._counts[index] += 1
+        else:
+            self._counts[index] = 0
+        slot = pc & self._mask
+        self._histories[slot] = (
+            (int(self._histories[slot]) << 1) | (1 if correct else 0)
+        ) & self._hist_mask
+
+    def reset(self) -> None:
+        self._histories.fill(0)
+        self._counts.fill(0)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceQuality:
+    """Jacobsen-style quality metrics for a confidence estimator."""
+
+    estimator_name: str
+    total: int
+    low_flagged: int
+    mispredicts: int
+    low_and_miss: int
+    high_and_correct: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dynamic branches flagged low confidence."""
+        return self.low_flagged / self.total if self.total else 0.0
+
+    @property
+    def pvn(self) -> float:
+        """P(misprediction | flagged low confidence)."""
+        return self.low_and_miss / self.low_flagged if self.low_flagged else 0.0
+
+    @property
+    def pvp(self) -> float:
+        """P(correct | flagged high confidence)."""
+        high = self.total - self.low_flagged
+        return self.high_and_correct / high if high else 0.0
+
+    @property
+    def miss_coverage(self) -> float:
+        """Fraction of all mispredictions that were flagged low."""
+        return self.low_and_miss / self.mispredicts if self.mispredicts else 0.0
+
+
+def evaluate_confidence(
+    estimator: ConfidenceEstimator,
+    predictor: BranchPredictor,
+    trace: Trace,
+) -> ConfidenceQuality:
+    """Drive predictor + estimator over a trace and score the estimator.
+
+    For every dynamic branch: query confidence, let the predictor
+    predict and train, then update the estimator with the prediction's
+    correctness (the usual speculative-pipeline information order).
+    """
+    predictor.reset()
+    estimator.reset()
+    total = low = misses = low_and_miss = high_and_correct = 0
+    for i in range(len(trace)):
+        pc = int(trace.pcs[i])
+        taken = bool(trace.outcomes[i])
+        confident = estimator.high_confidence(pc)
+        correct = predictor.access(pc, taken)
+        estimator.update(pc, correct)
+        total += 1
+        if not confident:
+            low += 1
+            if not correct:
+                low_and_miss += 1
+        elif correct:
+            high_and_correct += 1
+        if not correct:
+            misses += 1
+    return ConfidenceQuality(
+        estimator_name=estimator.name,
+        total=total,
+        low_flagged=low,
+        mispredicts=misses,
+        low_and_miss=low_and_miss,
+        high_and_correct=high_and_correct,
+    )

@@ -1,0 +1,94 @@
+"""Hard-branch spacing analysis (the paper's Figure 15).
+
+For dual-path execution to be feasible, the hard-to-predict (5/5)
+branches must not occur too close together in the dynamic stream.  The
+paper measures, at each occurrence of a 5/5 branch, the distance in
+dynamic branch executions back to the previous 5/5 occurrence, within
+an 8-branch window (distances of 8 or more share the "8+" bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classify.profile import ProfileTable
+from ..errors import ConfigurationError
+from ..trace.stream import Trace
+
+__all__ = ["DistanceDistribution", "hard_branch_distances", "MAX_TRACKED_DISTANCE"]
+
+#: Distances >= this value share the terminal "8+" bucket.
+MAX_TRACKED_DISTANCE = 8
+
+
+@dataclass(frozen=True, slots=True)
+class DistanceDistribution:
+    """Relative distribution of distances between hard-branch occurrences.
+
+    ``fractions[d - 1]`` is the fraction of occurrences at distance
+    ``d`` for d = 1..7; ``fractions[7]`` is the 8+ bucket.
+    """
+
+    benchmark: str
+    fractions: tuple[float, ...]
+    occurrences: int
+
+    def __post_init__(self) -> None:
+        if len(self.fractions) != MAX_TRACKED_DISTANCE:
+            raise ConfigurationError(
+                f"expected {MAX_TRACKED_DISTANCE} buckets, got {len(self.fractions)}"
+            )
+
+    @property
+    def close_fraction(self) -> float:
+        """Fraction of hard-branch occurrences within 7 branches of the
+        previous one — the dual-path hazard the paper highlights."""
+        return float(sum(self.fractions[:-1]))
+
+    @property
+    def dual_path_friendly(self) -> bool:
+        """True when most hard branches are at distance 8+ (the paper's
+        conclusion for every benchmark except ijpeg)."""
+        return self.fractions[-1] >= 0.5
+
+
+def hard_branch_distances(
+    trace: Trace,
+    *,
+    profile: ProfileTable | None = None,
+    hard_pcs: np.ndarray | None = None,
+) -> DistanceDistribution:
+    """Distance distribution of 5/5-class branch occurrences in a trace.
+
+    Parameters
+    ----------
+    trace:
+        One benchmark's dynamic branch stream.
+    profile:
+        Optional precomputed profile of the same trace.
+    hard_pcs:
+        Optional explicit set of "hard" PCs; defaults to the profile's
+        5/5 joint class.
+    """
+    if hard_pcs is None:
+        if profile is None:
+            profile = ProfileTable.from_trace(trace)
+        hard_pcs = profile.hard_pcs()
+    hard_pcs = np.asarray(hard_pcs, dtype=np.int64)
+
+    counts = np.zeros(MAX_TRACKED_DISTANCE, dtype=np.int64)
+    if len(hard_pcs) and len(trace):
+        positions = np.flatnonzero(np.isin(trace.pcs, hard_pcs))
+        if len(positions) > 1:
+            distances = np.diff(positions)
+            clipped = np.minimum(distances, MAX_TRACKED_DISTANCE)
+            counts = np.bincount(clipped, minlength=MAX_TRACKED_DISTANCE + 1)[1:]
+
+    total = counts.sum()
+    fractions = tuple((counts / total).tolist()) if total else (0.0,) * MAX_TRACKED_DISTANCE
+    benchmark = trace.name.split("/")[0] if trace.name else ""
+    return DistanceDistribution(
+        benchmark=benchmark, fractions=fractions, occurrences=int(total)
+    )

@@ -1,0 +1,149 @@
+"""Dual-path execution cost model (paper §5.2.1, quantified).
+
+The paper argues dual-path execution should be reserved for the
+branches the joint classification flags as hard, and that Figure 15's
+distance distribution decides whether that is affordable.  This module
+closes the loop with a simple machine model: drive a predictor and a
+confidence estimator over a trace, fork on low-confidence branches
+when a path slot is free, and account for pipeline cycles.
+
+Model (deliberately minimal, matching the paper's framing):
+
+* a correctly predicted branch costs 1 cycle;
+* a mispredicted branch costs ``1 + penalty`` cycles;
+* a *forked* branch always costs ``1 + fork_overhead`` cycles —
+  both paths execute, so there is no misprediction penalty;
+* at most ``max_paths`` forks may be live at once; a fork stays live
+  for ``resolve_distance`` subsequent branches (the depth the second
+  path must be carried before the branch resolves).
+
+Comparing total cycles with and without forking reproduces the
+paper's qualitative conclusion: class-targeted dual path pays off
+when hard branches are rare and well separated, and collapses when
+they arrive back to back (ijpeg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..predictors.base import BranchPredictor
+from ..trace.stream import Trace
+from .confidence import ConfidenceEstimator
+
+__all__ = ["DualPathConfig", "DualPathReport", "simulate_dual_path"]
+
+
+@dataclass(frozen=True, slots=True)
+class DualPathConfig:
+    """Machine parameters for the dual-path cost model."""
+
+    misprediction_penalty: int = 8
+    fork_overhead: int = 2
+    max_paths: int = 2
+    resolve_distance: int = 4
+
+    def __post_init__(self) -> None:
+        if self.misprediction_penalty < 1:
+            raise ConfigurationError("misprediction_penalty must be >= 1")
+        if self.fork_overhead < 0:
+            raise ConfigurationError("fork_overhead must be >= 0")
+        if self.max_paths < 1:
+            raise ConfigurationError("max_paths must be >= 1")
+        if self.resolve_distance < 1:
+            raise ConfigurationError("resolve_distance must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class DualPathReport:
+    """Cycle accounting for one dual-path simulation."""
+
+    total_branches: int
+    mispredictions: int
+    forks: int
+    forks_denied: int  # low-confidence branches with no free path slot
+    covered_mispredictions: int  # mispredictions hidden by a fork
+    cycles_with_forking: int
+    cycles_without_forking: int
+
+    @property
+    def speedup(self) -> float:
+        """Branch-cycle speedup of forking vs never forking."""
+        if self.cycles_with_forking == 0:
+            return 1.0
+        return self.cycles_without_forking / self.cycles_with_forking
+
+    @property
+    def denial_rate(self) -> float:
+        """Fraction of fork requests rejected for lack of path slots —
+        the congestion Figure 15 predicts for ijpeg."""
+        requested = self.forks + self.forks_denied
+        return self.forks_denied / requested if requested else 0.0
+
+
+def simulate_dual_path(
+    predictor: BranchPredictor,
+    estimator: ConfidenceEstimator,
+    trace: Trace,
+    config: DualPathConfig | None = None,
+) -> DualPathReport:
+    """Run the dual-path cost model over a trace.
+
+    The same predictor drives both the forking and non-forking cycle
+    accounts in a single pass, so the comparison is exact rather than a
+    two-run approximation.
+    """
+    config = config or DualPathConfig()
+    predictor.reset()
+    estimator.reset()
+
+    live_paths: list[int] = []  # remaining resolve distances
+    mispredictions = 0
+    forks = 0
+    forks_denied = 0
+    covered = 0
+    cycles_fork = 0
+    cycles_plain = 0
+
+    pcs = trace.pcs
+    outcomes = trace.outcomes
+    for i in range(len(pcs)):
+        pc = int(pcs[i])
+        taken = bool(outcomes[i])
+
+        # Age out resolved paths before considering a new fork.
+        live_paths = [d - 1 for d in live_paths if d > 1]
+
+        confident = estimator.high_confidence(pc)
+        forked = False
+        if not confident:
+            if len(live_paths) < config.max_paths - 1:
+                live_paths.append(config.resolve_distance)
+                forks += 1
+                forked = True
+            else:
+                forks_denied += 1
+
+        correct = predictor.access(pc, taken)
+        estimator.update(pc, correct)
+
+        if not correct:
+            mispredictions += 1
+        cycles_plain += 1 if correct else 1 + config.misprediction_penalty
+        if forked:
+            cycles_fork += 1 + config.fork_overhead
+            if not correct:
+                covered += 1
+        else:
+            cycles_fork += 1 if correct else 1 + config.misprediction_penalty
+
+    return DualPathReport(
+        total_branches=len(pcs),
+        mispredictions=mispredictions,
+        forks=forks,
+        forks_denied=forks_denied,
+        covered_mispredictions=covered,
+        cycles_with_forking=cycles_fork,
+        cycles_without_forking=cycles_plain,
+    )

@@ -1,0 +1,138 @@
+"""Class-guided hybrid predictor construction (paper §5.4).
+
+The paper's design recipe for an ideal hybrid: classify branches,
+provide both global and per-address histories, and vary history length
+per class.  :func:`design_hybrid` implements it: from a branch profile
+(and the per-class optimal-history data of a sweep, when available) it
+routes every branch to the component its class predicts best:
+
+* heavily biased branches (taken classes 0/10, transition classes 0/1)
+  → a profile-guided **static** predictor, freeing dynamic tables,
+* high-transition branches (classes 9/10) → a **short-history PAs**
+  (one or two bits suffice for alternation),
+* everything else → a **long-history** component; per-address if the
+  branch's own pattern dominates, global otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..classify.profile import ProfileTable
+from ..predictors.hybrid import ClassRoutedHybrid
+from ..predictors.static import ProfileStaticPredictor
+from ..predictors.twolevel import make_gshare, make_pas
+
+__all__ = ["HybridPlan", "design_hybrid", "design_variable_history_hybrid"]
+
+# Component slots in the constructed hybrid.
+STATIC, SHORT_PAS, LONG_PAS, LONG_GLOBAL = range(4)
+
+
+@dataclass(frozen=True, slots=True)
+class HybridPlan:
+    """The routing decisions behind a constructed hybrid."""
+
+    routes: dict[int, int]
+    component_names: tuple[str, ...]
+
+    def population(self) -> dict[str, int]:
+        """Number of static branches routed to each component."""
+        counts = dict.fromkeys(self.component_names, 0)
+        for component in self.routes.values():
+            counts[self.component_names[component]] += 1
+        return counts
+
+
+def design_hybrid(
+    profile: ProfileTable,
+    *,
+    short_history: int = 2,
+    long_history: int = 10,
+    pht_index_bits: int = 12,
+) -> tuple[ClassRoutedHybrid, HybridPlan]:
+    """Build a class-routed hybrid from a branch profile.
+
+    Returns the predictor and the :class:`HybridPlan` documenting where
+    every branch went (useful for reports and the ablation bench).
+    """
+    static = _profile_static_from_profile(profile)
+    short_pas = make_pas(
+        short_history, pht_index_bits=pht_index_bits, bht_entries=1 << 12
+    )
+    long_pas = make_pas(
+        min(long_history, pht_index_bits),
+        pht_index_bits=pht_index_bits,
+        bht_entries=1 << 12,
+    )
+    long_global = make_gshare(long_history, pht_index_bits=pht_index_bits)
+    components: tuple = (static, short_pas, long_pas, long_global)
+
+    routes: dict[int, int] = {}
+    for pc in profile:
+        branch = profile[pc]
+        routes[pc] = _route_for(branch.taken_class, branch.transition_class)
+
+    hybrid = ClassRoutedHybrid(list(components), routes, name="paper-class-hybrid")
+    plan = HybridPlan(
+        routes=routes, component_names=tuple(c.name for c in components)
+    )
+    return hybrid, plan
+
+
+def _route_for(taken_class: int, transition_class: int) -> int:
+    if transition_class in (0,) or taken_class in (0, 10):
+        return STATIC
+    if transition_class in (9, 10):
+        return SHORT_PAS
+    if transition_class == 1:
+        # Low transition but not static: short per-address history.
+        return SHORT_PAS
+    if taken_class in (4, 5, 6) and transition_class in (4, 5, 6):
+        # The hard centre: global correlation is its only hope.
+        return LONG_GLOBAL
+    return LONG_PAS
+
+
+def design_variable_history_hybrid(
+    profile: ProfileTable,
+    grid,
+    *,
+    metric: str = "transition",
+    pht_index_bits: int = 12,
+) -> tuple[ClassRoutedHybrid, HybridPlan]:
+    """Per-branch history-length fitting via classes (paper §5.4 + [20]).
+
+    Stark et al. profile the best history length per branch; the paper
+    suggests classes make that practical.  This builder reads the
+    per-class optimal history lengths from a sweep's
+    :class:`~repro.analysis.history_sweep.ClassMissGrid`, creates one
+    per-address component per distinct optimal length, and routes each
+    branch to the component matching its class's optimum.
+    """
+    optimal = grid.optimal_history(metric)
+    lengths = sorted({min(int(k), pht_index_bits) for k in optimal})
+    components = [
+        make_pas(k, pht_index_bits=pht_index_bits, bht_entries=1 << 12)
+        for k in lengths
+    ]
+    slot_of_length = {k: i for i, k in enumerate(lengths)}
+
+    routes: dict[int, int] = {}
+    for pc in profile:
+        branch = profile[pc]
+        cls = (
+            branch.transition_class if metric == "transition" else branch.taken_class
+        )
+        routes[pc] = slot_of_length[min(int(optimal[cls]), pht_index_bits)]
+
+    hybrid = ClassRoutedHybrid(
+        components, routes, name=f"variable-history-hybrid-{metric}"
+    )
+    plan = HybridPlan(routes=routes, component_names=tuple(c.name for c in components))
+    return hybrid, plan
+
+
+def _profile_static_from_profile(profile: ProfileTable) -> ProfileStaticPredictor:
+    directions = {int(pc): profile[pc].taken_rate >= 0.5 for pc in profile}
+    return ProfileStaticPredictor(directions)

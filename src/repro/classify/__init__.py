@@ -1,0 +1,41 @@
+"""Branch classification by taken rate and transition rate.
+
+The paper's contribution: bin branches into 11 rate classes by taken
+rate (Chang et al.) and by the new transition-rate metric, combine the
+two into joint classes, and study predictor behaviour per class.
+"""
+
+from .classes import (
+    NUM_CLASSES,
+    JointClass,
+    class_bounds,
+    class_label,
+    joint_class,
+    rate_class,
+    rate_classes,
+)
+from .profile import BranchProfile, ProfileTable
+from .dynamic import DynamicClassifier
+from .window import (
+    BhtWindowClassifier,
+    window_joint_class,
+    window_taken_rate,
+    window_transition_rate,
+)
+
+__all__ = [
+    "NUM_CLASSES",
+    "rate_class",
+    "rate_classes",
+    "class_bounds",
+    "class_label",
+    "JointClass",
+    "joint_class",
+    "BranchProfile",
+    "ProfileTable",
+    "DynamicClassifier",
+    "BhtWindowClassifier",
+    "window_taken_rate",
+    "window_transition_rate",
+    "window_joint_class",
+]

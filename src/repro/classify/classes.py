@@ -1,0 +1,111 @@
+"""The paper's 11-band rate classification.
+
+Both taken rate and transition rate are binned into classes 0–10:
+
+* class 0  — [0 %, 5 %)
+* class i (1–9) — [10·i − 5 %, 10·i + 5 %), i.e. 10 %-wide bands
+  centred on 10 %, 20 %, …, 90 %
+* class 10 — [95 %, 100 %]
+
+This is the only tiling consistent with the paper's description
+("11 equal branch classes ... 0-5%, 5-10%, 10-15%, etc.", with class 10
+explicitly 95–100 %) — the narrow end bands isolate the near-static
+branches exactly as in Chang et al., and class 5 is centred on 50 % so
+the joint "5/5" cell is the paper's hard-branch region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ClassificationError
+
+__all__ = [
+    "NUM_CLASSES",
+    "rate_class",
+    "rate_classes",
+    "class_bounds",
+    "class_label",
+    "JointClass",
+    "joint_class",
+]
+
+#: Number of rate classes (0 through 10).
+NUM_CLASSES = 11
+
+
+def rate_class(rate: float) -> int:
+    """Class index (0–10) for a rate in [0, 1]."""
+    if not 0.0 <= rate <= 1.0:
+        raise ClassificationError(f"rate must be in [0, 1], got {rate}")
+    if rate < 0.05:
+        return 0
+    if rate >= 0.95:
+        return 10
+    # Bands centred on 0.1 * i with width 0.1: i = round(rate * 10).
+    return int(np.floor(rate * 10 + 0.5))
+
+
+def rate_classes(rates: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rate_class` over an array of rates."""
+    rates = np.asarray(rates, dtype=np.float64)
+    if rates.size and (rates.min() < 0.0 or rates.max() > 1.0):
+        raise ClassificationError("rates must be in [0, 1]")
+    classes = np.floor(rates * 10 + 0.5).astype(np.int64)
+    classes[rates < 0.05] = 0
+    classes[rates >= 0.95] = 10
+    return classes
+
+
+def class_bounds(cls: int) -> tuple[float, float]:
+    """Half-open [low, high) rate bounds of a class (class 10 closed)."""
+    _check_class(cls)
+    if cls == 0:
+        return (0.0, 0.05)
+    if cls == 10:
+        return (0.95, 1.0)
+    return (cls / 10 - 0.05, cls / 10 + 0.05)
+
+
+def class_label(cls: int) -> str:
+    """Human-readable percent-range label, e.g. ``"45-55%"``."""
+    low, high = class_bounds(cls)
+    return f"{low * 100:g}-{high * 100:g}%"
+
+
+def _check_class(cls: int) -> None:
+    if not 0 <= cls < NUM_CLASSES:
+        raise ClassificationError(f"class must be in [0, {NUM_CLASSES - 1}], got {cls}")
+
+
+@dataclass(frozen=True, slots=True)
+class JointClass:
+    """A (taken-rate class, transition-rate class) pair.
+
+    The paper's Table 2 and Figures 13/14 are indexed by these pairs;
+    the ``(5, 5)`` cell is the hard-to-predict region.
+    """
+
+    taken: int
+    transition: int
+
+    def __post_init__(self) -> None:
+        _check_class(self.taken)
+        _check_class(self.transition)
+
+    @property
+    def is_hard(self) -> bool:
+        """True for the paper's 5/5 (near-50 % taken and transition) class."""
+        return self.taken == 5 and self.transition == 5
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.taken}/{self.transition}"
+
+
+def joint_class(taken_rate: float, transition_rate: float) -> JointClass:
+    """Joint class of a branch from its two rates."""
+    return JointClass(
+        taken=rate_class(taken_rate), transition=rate_class(transition_rate)
+    )

@@ -1,0 +1,106 @@
+"""Online (hardware-style) transition/taken rate classification.
+
+The paper's future-work section asks whether transition-rate
+classification "based on some form of dynamic counter" could replace
+profiling.  :class:`DynamicClassifier` models that hardware: a small
+table of per-branch taken/transition counters over a sliding execution
+window, classifying each branch from whatever it has observed so far.
+The convergence of its online classes to the profiled classes is
+exercised in tests and the classification examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ClassificationError
+from .classes import JointClass, rate_class
+
+__all__ = ["DynamicClassifier"]
+
+
+class DynamicClassifier:
+    """Table of dynamic taken/transition rate estimators.
+
+    Parameters
+    ----------
+    entries:
+        Power-of-two number of table slots (PC-indexed; aliasing is
+        modelled just like the predictors' tables).
+    window:
+        Maximum executions remembered per slot.  Counts are halved when
+        the window fills, so the estimate tracks phase changes instead
+        of averaging over the whole run (an exponential-ish decay that
+        is cheap in hardware).
+    """
+
+    def __init__(self, entries: int = 1 << 12, *, window: int = 256) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ClassificationError("entries must be a positive power of two")
+        if window < 2:
+            raise ClassificationError("window must be >= 2")
+        self.entries = entries
+        self.window = window
+        self._mask = entries - 1
+        self._executions = np.zeros(entries, dtype=np.int64)
+        self._taken = np.zeros(entries, dtype=np.int64)
+        self._transitions = np.zeros(entries, dtype=np.int64)
+        self._last = np.zeros(entries, dtype=np.uint8)
+        self._seen = np.zeros(entries, dtype=bool)
+
+    def observe(self, pc: int, taken: bool) -> None:
+        """Feed one dynamic branch execution into the table."""
+        slot = pc & self._mask
+        if self._seen[slot]:
+            if bool(self._last[slot]) != bool(taken):
+                self._transitions[slot] += 1
+        else:
+            self._seen[slot] = True
+        self._last[slot] = 1 if taken else 0
+        self._executions[slot] += 1
+        if taken:
+            self._taken[slot] += 1
+        if self._executions[slot] >= self.window:
+            # Halve all counts: keeps the ratio, forgets old phases.
+            self._executions[slot] >>= 1
+            self._taken[slot] >>= 1
+            self._transitions[slot] >>= 1
+
+    def taken_rate(self, pc: int) -> float:
+        """Current taken-rate estimate for ``pc`` (0 if unseen)."""
+        slot = pc & self._mask
+        n = int(self._executions[slot])
+        return int(self._taken[slot]) / n if n else 0.0
+
+    def transition_rate(self, pc: int) -> float:
+        """Current transition-rate estimate for ``pc`` (0 if unseen)."""
+        slot = pc & self._mask
+        n = int(self._executions[slot])
+        if n <= 1:
+            return 0.0
+        return min(int(self._transitions[slot]) / (n - 1), 1.0)
+
+    def executions(self, pc: int) -> int:
+        """Window-decayed execution count for ``pc``'s slot."""
+        return int(self._executions[pc & self._mask])
+
+    def joint_class(self, pc: int) -> JointClass:
+        """Online joint class estimate for ``pc``."""
+        return JointClass(
+            taken=rate_class(self.taken_rate(pc)),
+            transition=rate_class(self.transition_rate(pc)),
+        )
+
+    def reset(self) -> None:
+        """Clear the table."""
+        self._executions.fill(0)
+        self._taken.fill(0)
+        self._transitions.fill(0)
+        self._last.fill(0)
+        self._seen.fill(False)
+
+    def storage_bits(self) -> int:
+        """Approximate hardware cost of the classifier table."""
+        counter_bits = int(self.window).bit_length()
+        # executions + taken + transitions counters, last bit, seen bit
+        return self.entries * (3 * counter_bits + 2)

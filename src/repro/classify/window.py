@@ -1,0 +1,96 @@
+"""Classification straight from pattern-history bits (paper §6).
+
+The paper's future-work observation: "If pattern history is already
+maintained for each branch, it would be easy to also maintain the
+local transition and taken rates for this history window."  This
+module does exactly that — given the k-bit outcome window a two-level
+predictor already stores in its BHT, derive the windowed taken rate,
+transition rate and joint class with pure bit arithmetic, no extra
+counters at all.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClassificationError
+from ..predictors.history import BranchHistoryTable
+from .classes import JointClass, rate_class
+
+__all__ = [
+    "window_taken_rate",
+    "window_transition_rate",
+    "window_joint_class",
+    "BhtWindowClassifier",
+]
+
+
+def window_taken_rate(history: int, bits: int) -> float:
+    """Taken rate over a k-bit outcome window (popcount / k)."""
+    _check(history, bits)
+    return history.bit_count() / bits
+
+
+def window_transition_rate(history: int, bits: int) -> float:
+    """Transition rate over a k-bit outcome window.
+
+    Adjacent-bit disagreements divided by k − 1 (windows of one
+    outcome have no transitions).
+    """
+    _check(history, bits)
+    if bits == 1:
+        return 0.0
+    flips = (history ^ (history >> 1)) & ((1 << (bits - 1)) - 1)
+    return flips.bit_count() / (bits - 1)
+
+
+def window_joint_class(history: int, bits: int) -> JointClass:
+    """Joint class estimated from a history window alone."""
+    return JointClass(
+        taken=rate_class(window_taken_rate(history, bits)),
+        transition=rate_class(window_transition_rate(history, bits)),
+    )
+
+
+def _check(history: int, bits: int) -> None:
+    if bits < 1:
+        raise ClassificationError("window must have >= 1 bit")
+    if not 0 <= history < (1 << bits):
+        raise ClassificationError(
+            f"history {history:#x} does not fit in {bits} bits"
+        )
+
+
+class BhtWindowClassifier:
+    """Free-riding classifier on an existing branch history table.
+
+    Wraps the BHT a PAs-style predictor already maintains; classifying
+    a branch costs two popcounts of state that exists anyway — the
+    zero-hardware implementation path the paper sketches in §6.
+    """
+
+    def __init__(self, bht: BranchHistoryTable) -> None:
+        if bht.bits < 2:
+            raise ClassificationError(
+                "window classification needs a BHT with >= 2 history bits"
+            )
+        self._bht = bht
+
+    @property
+    def window_bits(self) -> int:
+        """Width of the observation window (the BHT's history length)."""
+        return self._bht.bits
+
+    def taken_rate(self, pc: int) -> float:
+        """Windowed taken rate for ``pc`` (from its BHT slot)."""
+        return window_taken_rate(self._bht.value(pc), self._bht.bits)
+
+    def transition_rate(self, pc: int) -> float:
+        """Windowed transition rate for ``pc``."""
+        return window_transition_rate(self._bht.value(pc), self._bht.bits)
+
+    def joint_class(self, pc: int) -> JointClass:
+        """Windowed joint class for ``pc``."""
+        return window_joint_class(self._bht.value(pc), self._bht.bits)
+
+    def storage_bits(self) -> int:
+        """Extra hardware cost: zero — the BHT already exists."""
+        return 0

@@ -1,0 +1,121 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # experiments available
+    python -m repro run fig3 [options]        # one table/figure
+    python -m repro run all [options]         # everything, paper order
+    python -m repro misclassification         # the headline §4.2 numbers
+
+Options: ``--scale`` (trace length multiplier), ``--inputs primary|all``
+(one input set per benchmark vs all 34), ``--no-cache``, ``--engine``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis.misclassification import misclassification_report
+from .errors import ReproError
+from .experiments import ExperimentContext, all_experiment_ids, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Branch Transition Rate: A New Metric for "
+            "Improved Branch Classification Analysis' (HPCA 2000)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (e.g. fig3, table2) or 'all'")
+    _add_context_options(run)
+
+    mis = sub.add_parser(
+        "misclassification", help="print the section 4.2 headline numbers"
+    )
+    _add_context_options(mis)
+    return parser
+
+
+def _add_context_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="trace length multiplier (default 1.0)"
+    )
+    parser.add_argument(
+        "--inputs",
+        choices=("primary", "all"),
+        default="primary",
+        help="one input set per benchmark, or all 34 from Table 1",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read/write the sweep cache"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "vectorized", "reference"),
+        default="auto",
+        help="simulation engine (default auto)",
+    )
+
+
+def _context_from(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        inputs=args.inputs,
+        scale=args.scale,
+        cache_dir=None if args.no_cache else ".repro-cache",
+        engine=args.engine,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in all_experiment_ids():
+                experiment = get_experiment(experiment_id)
+                print(f"{experiment_id:8s} {experiment.paper_artifact:10s} {experiment.title}")
+            return 0
+
+        if args.command == "run":
+            context = _context_from(args)
+            ids = all_experiment_ids() if args.experiment == "all" else [args.experiment]
+            for experiment_id in ids:
+                result = get_experiment(experiment_id).run(context)
+                print(result.rendered)
+                if result.paper_note:
+                    print(f"[paper] {result.paper_note}")
+                print()
+            return 0
+
+        if args.command == "misclassification":
+            context = _context_from(args)
+            report = misclassification_report(
+                context.sweep.taken_distribution,
+                context.sweep.transition_distribution,
+            )
+            print(f"taken-rate identified:       {report.taken_identified:.2f}% (paper 62.90%)")
+            print(f"transition identified (GAs): {report.gas_transition_identified:.2f}% (paper 71.62%)")
+            print(f"transition identified (PAs): {report.pas_transition_identified:.2f}% (paper 72.19%)")
+            print(f"misclassified (GAs view):    {report.gas_misclassified:.2f}% (paper 8.72%)")
+            print(f"misclassified (PAs view):    {report.pas_misclassified:.2f}% (paper 9.29%)")
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

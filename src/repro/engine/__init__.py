@@ -1,0 +1,61 @@
+"""Predictor simulation engines.
+
+:func:`simulate` is the front door: it dispatches to the vectorized
+engine when the predictor supports it and to the step-accurate
+reference engine otherwise.  Both produce identical
+:class:`SimulationResult` objects.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..predictors.base import BranchPredictor
+from ..trace.stream import Trace
+from .reference import simulate_reference
+from .results import BranchResult, SimulationResult
+from .scan import counter_step_table, segmented_automaton_scan, segmented_saturating_scan
+from .vectorized import predictions_vectorized, simulate_vectorized, supports_vectorized
+
+__all__ = [
+    "simulate",
+    "simulate_reference",
+    "simulate_vectorized",
+    "predictions_vectorized",
+    "supports_vectorized",
+    "SimulationResult",
+    "BranchResult",
+    "segmented_automaton_scan",
+    "segmented_saturating_scan",
+    "counter_step_table",
+]
+
+
+def simulate(
+    predictor: BranchPredictor,
+    trace: Trace,
+    *,
+    engine: str = "auto",
+) -> SimulationResult:
+    """Simulate a predictor over a trace.
+
+    Parameters
+    ----------
+    predictor:
+        Any branch predictor.
+    trace:
+        Branch stream in program order.
+    engine:
+        ``"auto"`` (vectorized when supported), ``"vectorized"``
+        (error if unsupported), or ``"reference"``.
+    """
+    if engine == "auto":
+        if supports_vectorized(predictor):
+            return simulate_vectorized(predictor, trace)
+        return simulate_reference(predictor, trace)
+    if engine == "vectorized":
+        return simulate_vectorized(predictor, trace)
+    if engine == "reference":
+        return simulate_reference(predictor, trace)
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; expected 'auto', 'vectorized' or 'reference'"
+    )

@@ -1,0 +1,204 @@
+"""Segmented prefix scans over finite-state automata.
+
+The vectorized engine reduces saturating-counter evolution to this
+problem: given a sequence of input symbols partitioned into independent
+segments (one segment per pattern-history-table entry), compute the
+automaton state *before* each step, where every segment starts from the
+same initial state and each input applies a fixed state-transition
+function.
+
+Because function composition is associative, the prefix compositions
+can be computed with a Hillis–Steele doubling scan: O(n log n) work,
+~log2(n) vectorized passes, no Python-level per-step loop.  For the
+4-state 2-bit counters of the paper this is ~100× faster than stepping
+in Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "segmented_automaton_scan",
+    "segmented_saturating_scan",
+    "counter_step_table",
+]
+
+
+def counter_step_table(bits: int) -> np.ndarray:
+    """Transition table of an n-bit saturating counter.
+
+    Returns an array of shape ``(2, 2**bits)``: row 0 is the
+    "not-taken" (decrement) mapping, row 1 the "taken" (increment)
+    mapping, each mapping old state to new state with saturation.
+    """
+    if not 1 <= bits <= 6:
+        raise ConfigurationError(f"counter bits must be in [1, 6], got {bits}")
+    states = np.arange(1 << bits, dtype=np.uint8)
+    dec = np.maximum(states.astype(np.int64) - 1, 0).astype(np.uint8)
+    inc = np.minimum(states.astype(np.int64) + 1, (1 << bits) - 1).astype(np.uint8)
+    return np.stack([dec, inc])
+
+
+def segmented_automaton_scan(
+    step_table: np.ndarray,
+    inputs: np.ndarray,
+    segment_starts: np.ndarray,
+    initial_state: int,
+) -> np.ndarray:
+    """State of the automaton *before* each step, per segment.
+
+    Parameters
+    ----------
+    step_table:
+        ``(num_symbols, num_states)`` array; ``step_table[sym, s]`` is
+        the state after consuming ``sym`` in state ``s``.
+    inputs:
+        ``(n,)`` integer array of input symbols, already grouped so that
+        each segment is a contiguous run (e.g. sorted by PHT index with
+        a stable sort preserving time order within the segment).
+    segment_starts:
+        ``(n,)`` boolean array, True where a new segment begins.
+        Position 0 must be a segment start for nonempty input.
+    initial_state:
+        State every segment starts in.
+
+    Returns
+    -------
+    ``(n,)`` uint8 array: the automaton state immediately before each
+    step was applied.
+    """
+    step_table = np.asarray(step_table, dtype=np.uint8)
+    if step_table.ndim != 2:
+        raise ConfigurationError("step_table must be 2-D (symbols x states)")
+    num_states = step_table.shape[1]
+    if not 0 <= initial_state < num_states:
+        raise ConfigurationError(f"initial_state {initial_state} out of range")
+
+    n = len(inputs)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    segment_starts = np.asarray(segment_starts, dtype=bool)
+    if len(segment_starts) != n:
+        raise ConfigurationError("segment_starts must align with inputs")
+    if not segment_starts[0]:
+        raise ConfigurationError("position 0 must start a segment")
+
+    # compositions[i] maps "state at segment start" -> "state after step i",
+    # initially covering the single step i and doubled outward each pass.
+    compositions = step_table[np.asarray(inputs, dtype=np.int64)]
+
+    # boundary[i] = True once compositions[i] already reaches back to its
+    # segment start, so it must not absorb anything further left.
+    boundary = segment_starts.copy()
+    rows = np.arange(n)
+
+    offset = 1
+    while offset < n:
+        # Steps whose current composition window does not yet hit a
+        # segment start can absorb the window ending `offset` earlier.
+        can_extend = ~boundary
+        can_extend[:offset] = False
+        idx = rows[can_extend]
+        prev = idx - offset
+        # compose: first apply the earlier window, then the current one.
+        compositions[idx] = np.take_along_axis(
+            compositions[idx], compositions[prev], axis=1
+        )
+        # The extended window now starts where the absorbed window started.
+        boundary[idx] = boundary[prev]
+        offset <<= 1
+        if np.all(boundary):
+            break
+
+    # State after step i = compositions[i][initial]; state before step i is
+    # the state after step i-1, or the initial state at a segment start.
+    state_after = compositions[:, initial_state]
+    return _states_before(state_after, segment_starts, initial_state)
+
+
+def segmented_saturating_scan(
+    taken: np.ndarray,
+    segment_starts: np.ndarray,
+    initial_state: int,
+    max_state: int,
+) -> np.ndarray:
+    """Specialized scan for saturating up/down counters.
+
+    Semantically identical to :func:`segmented_automaton_scan` with
+    ``counter_step_table`` inputs, but several times faster: a
+    saturating-counter step is the clamp function
+    ``x -> min(max(x + a, b), c)``, and clamp functions are closed under
+    composition with a three-scalar closed form, so each doubling pass
+    is a handful of elementwise int32 operations instead of per-state
+    gathers.
+
+    Parameters
+    ----------
+    taken:
+        ``(n,)`` 0/1 array (1 increments the counter, 0 decrements),
+        grouped so each segment is contiguous and in time order.
+    segment_starts:
+        ``(n,)`` boolean array, True where a new counter begins.
+    initial_state, max_state:
+        Counter start value and saturation ceiling (floor is 0).
+
+    Returns
+    -------
+    ``(n,)`` uint8 array of counter values immediately before each step.
+    """
+    n = len(taken)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if not 0 <= initial_state <= max_state:
+        raise ConfigurationError(f"initial_state {initial_state} out of range")
+    segment_starts = np.asarray(segment_starts, dtype=bool)
+    if len(segment_starts) != n:
+        raise ConfigurationError("segment_starts must align with inputs")
+    if not segment_starts[0]:
+        raise ConfigurationError("position 0 must start a segment")
+
+    # Window at position i is the clamp x -> min(max(x + add, lo), hi)
+    # composed from the steps the window covers; initially just step i.
+    add = np.where(np.asarray(taken, dtype=bool), 1, -1).astype(np.int32)
+    lo = np.zeros(n, dtype=np.int32)
+    hi = np.full(n, max_state, dtype=np.int32)
+    bounded = segment_starts.copy()
+
+    offset = 1
+    while offset < n:
+        # Only windows that have not yet reached their segment start can
+        # grow; the working set shrinks geometrically for short segments.
+        can_extend = ~bounded
+        can_extend[:offset] = False
+        idx = np.flatnonzero(can_extend)
+        if idx.size == 0:
+            break
+        prev = idx - offset
+
+        # Snapshot both operands before writing (Hillis–Steele reads
+        # must all see the previous pass's values).
+        prev_add, prev_lo, prev_hi = add[prev], lo[prev], hi[prev]
+        cur_add, cur_lo, cur_hi = add[idx], lo[idx], hi[idx]
+
+        # Compose: apply the earlier window first, then the current one.
+        add[idx] = prev_add + cur_add
+        lo[idx] = np.maximum(prev_lo + cur_add, cur_lo)
+        hi[idx] = np.minimum(np.maximum(prev_hi + cur_add, cur_lo), cur_hi)
+        bounded[idx] = bounded[prev]
+        offset <<= 1
+
+    state_after = np.minimum(np.maximum(initial_state + add, lo), hi).astype(np.uint8)
+    return _states_before(state_after, segment_starts, initial_state)
+
+
+def _states_before(state_after: np.ndarray, segment_starts: np.ndarray, initial_state: int) -> np.ndarray:
+    """Shift after-states to before-states, reinitializing at segment starts."""
+    n = len(state_after)
+    state_before = np.empty(n, dtype=np.uint8)
+    state_before[0] = initial_state
+    state_before[1:] = state_after[:-1]
+    state_before[segment_starts] = initial_state
+    return state_before

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still distinguishing the specific failure if needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """A branch trace is malformed or used inconsistently."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace file has an invalid header or payload."""
+
+
+class AssemblyError(ReproError):
+    """The mini-ISA assembler rejected a source program."""
+
+
+class VMError(ReproError):
+    """The virtual machine hit an illegal state while executing."""
+
+
+class VMRuntimeError(VMError):
+    """Runtime fault: bad memory access, division by zero, bad opcode."""
+
+
+class VMLimitExceeded(VMError):
+    """The VM exceeded its configured instruction budget."""
+
+
+class PredictorError(ReproError):
+    """A branch predictor was constructed or driven incorrectly."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component received invalid configuration."""
+
+
+class ClassificationError(ReproError):
+    """Branch classification was asked for an undefined class or rate."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner failed or was asked for an unknown id."""

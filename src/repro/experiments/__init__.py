@@ -1,0 +1,15 @@
+"""Experiment runners: one per table/figure in the paper's evaluation."""
+
+from .base import Experiment, ExperimentResult
+from .context import ExperimentContext
+from .registry import EXPERIMENTS, all_experiment_ids, get_experiment, run_experiment
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentContext",
+    "EXPERIMENTS",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,52 @@
+"""Experiment abstractions.
+
+An *experiment* regenerates exactly one table or figure of the paper.
+Each runner takes the shared :class:`~repro.experiments.context.ExperimentContext`
+and returns an :class:`ExperimentResult` carrying both machine-readable
+data (for tests and EXPERIMENTS.md comparisons) and a rendered
+plain-text artefact (the table/plot itself).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+from .context import ExperimentContext
+
+__all__ = ["Experiment", "ExperimentResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    data: dict = field(default_factory=dict)
+    paper_note: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.rendered
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """A registered table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    runner: Callable[[ExperimentContext], ExperimentResult]
+
+    def run(self, context: ExperimentContext) -> ExperimentResult:
+        """Execute the experiment against a context."""
+        result = self.runner(context)
+        if result.experiment_id != self.experiment_id:
+            raise ExperimentError(
+                f"runner for {self.experiment_id} returned result for "
+                f"{result.experiment_id}"
+            )
+        return result

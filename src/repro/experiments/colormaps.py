@@ -1,0 +1,136 @@
+"""Figures 5–8 (class × history colormaps) and 13/14 (joint colormaps)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..classify.classes import NUM_CLASSES
+from ..report.colormap import ascii_colormap
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+__all__ = [
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig13",
+    "run_fig14",
+]
+
+_FIG_TO_GRID = {
+    "fig5": ("pas", "taken"),
+    "fig6": ("pas", "transition"),
+    "fig7": ("gas", "taken"),
+    "fig8": ("gas", "transition"),
+}
+
+
+def _class_history_colormap(
+    experiment_id: str, context: ExperimentContext, paper_note: str
+) -> ExperimentResult:
+    kind, metric = _FIG_TO_GRID[experiment_id]
+    grid = context.sweep.grid(kind)
+    rates = grid.miss_rates(metric)  # (H, 11): rows history, cols class
+    rendered = ascii_colormap(
+        rates,
+        row_labels=list(grid.history_lengths),
+        col_labels=list(range(NUM_CLASSES)),
+        title=(
+            f"Miss rates for {kind.upper()} by {metric} rate class and "
+            f"branch history length (dark = high miss rate)"
+        ),
+        row_axis="(history length)",
+        col_axis=f"({metric} rate class)",
+        vmax=0.5,
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{kind.upper()} miss colormap over {metric} class x history",
+        rendered=rendered,
+        data={
+            "history_lengths": list(grid.history_lengths),
+            "miss_rates": rates.tolist(),
+        },
+        paper_note=paper_note,
+    )
+
+
+def run_fig5(context: ExperimentContext) -> ExperimentResult:
+    """Figure 5: PAs miss rates by taken class × history length."""
+    return _class_history_colormap(
+        "fig5", context,
+        "Paper: dark column near class 5 at all histories; edges light.",
+    )
+
+
+def run_fig6(context: ExperimentContext) -> ExperimentResult:
+    """Figure 6: PAs miss rates by transition class × history length."""
+    return _class_history_colormap(
+        "fig6", context,
+        "Paper: classes 9/10 dark only at history 0 — the key PAs result.",
+    )
+
+
+def run_fig7(context: ExperimentContext) -> ExperimentResult:
+    """Figure 7: GAs miss rates by taken class × history length."""
+    return _class_history_colormap(
+        "fig7", context,
+        "Paper: like Figure 5 but with more residual darkness mid-table.",
+    )
+
+
+def run_fig8(context: ExperimentContext) -> ExperimentResult:
+    """Figure 8: GAs miss rates by transition class × history length."""
+    return _class_history_colormap(
+        "fig8", context,
+        "Paper: high-transition classes recover more slowly than under PAs.",
+    )
+
+
+def _joint_colormap(
+    experiment_id: str, kind: str, context: ExperimentContext, paper_note: str
+) -> ExperimentResult:
+    grid = context.sweep.grid(kind)
+    rates = grid.joint_miss_rates().min(axis=0)  # optimal history per cell
+    execs = grid.joint_executions[0]
+    display = np.where(execs > 0, rates, np.nan)  # unpopulated cells blank
+    rendered = ascii_colormap(
+        display,
+        row_labels=list(range(NUM_CLASSES)),
+        col_labels=list(range(NUM_CLASSES)),
+        title=(
+            f"{kind.upper()} miss rates per joint class at optimal history "
+            f"(rows transition class, cols taken class; '··' = unpopulated)"
+        ),
+        row_axis="(transition class)",
+        col_axis="(taken class)",
+        vmax=0.5,
+    )
+    hard = float(rates[5, 5]) if execs[5, 5] > 0 else None
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{kind.upper()} joint-class miss colormap",
+        rendered=rendered,
+        data={
+            "miss_rates": np.nan_to_num(display, nan=-1.0).tolist(),
+            "hard_cell_miss": hard,
+        },
+        paper_note=paper_note,
+    )
+
+
+def run_fig13(context: ExperimentContext) -> ExperimentResult:
+    """Figure 13: PAs joint-class miss rates at optimal history."""
+    return _joint_colormap(
+        "fig13", "pas", context,
+        "Paper: well-predicted triangle edge, ~50% dark spot at 5/5.",
+    )
+
+
+def run_fig14(context: ExperimentContext) -> ExperimentResult:
+    """Figure 14: GAs joint-class miss rates at optimal history."""
+    return _joint_colormap(
+        "fig14", "gas", context,
+        "Paper: same hard 5/5 spot; GAs slightly worse across the middle.",
+    )

@@ -1,0 +1,173 @@
+"""Shared experiment state: suite traces, profiles and the history sweep.
+
+Every table/figure reproduction consumes the same expensive artefacts —
+the benchmark traces, their profiles, and the PAs/GAs history sweep.
+:class:`ExperimentContext` computes each lazily, shares them across
+experiments in one process, and persists the sweep grids to an ``.npz``
+cache so re-running a figure costs milliseconds instead of the full
+sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.history_sweep import ClassMissGrid, SweepConfig, SweepResult, run_sweep
+from ..classify.profile import ProfileTable
+from ..errors import ConfigurationError
+from ..predictors.paper_configs import HISTORY_LENGTHS
+from ..trace.filters import merge_suite
+from ..trace.stream import Trace
+from ..workloads.synthetic.spec95 import suite_traces
+
+__all__ = ["ExperimentContext"]
+
+_CACHE_VERSION = 2
+
+
+class ExperimentContext:
+    """Lazily-computed shared state for experiment runners.
+
+    Parameters
+    ----------
+    inputs:
+        ``"primary"`` (one input set per benchmark, the default) or
+        ``"all"`` (all 34 Table 1 input sets).
+    scale:
+        Trace-length multiplier on top of the Table 1 scaling; the
+        benchmark harness uses small scales, full reproduction uses 1.0.
+    history_lengths:
+        Histories swept (the paper uses 0..16).
+    cache_dir:
+        Directory for the sweep cache; ``None`` disables caching.
+    engine:
+        Simulation engine selector passed through to the sweep.
+    """
+
+    def __init__(
+        self,
+        *,
+        inputs: str = "primary",
+        scale: float = 1.0,
+        history_lengths: tuple[int, ...] = tuple(HISTORY_LENGTHS),
+        cache_dir: str | Path | None = ".repro-cache",
+        engine: str = "auto",
+    ) -> None:
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        self.inputs = inputs
+        self.scale = scale
+        self.history_lengths = tuple(history_lengths)
+        self.engine = engine
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._traces: list[Trace] | None = None
+        self._profiles: dict[str, ProfileTable] | None = None
+        self._merged_profile: ProfileTable | None = None
+        self._sweep: SweepResult | None = None
+
+    # -- traces and profiles ----------------------------------------------
+
+    @property
+    def traces(self) -> list[Trace]:
+        """Per-benchmark traces (generated once per context)."""
+        if self._traces is None:
+            self._traces = suite_traces(inputs=self.inputs, scale=self.scale)
+        return self._traces
+
+    @property
+    def profiles(self) -> dict[str, ProfileTable]:
+        """Per-trace profiles keyed by trace label."""
+        if self._profiles is None:
+            self._profiles = {
+                trace.name: ProfileTable.from_trace(trace) for trace in self.traces
+            }
+        return self._profiles
+
+    @property
+    def merged_profile(self) -> ProfileTable:
+        """Profile of the whole suite with disjoint PC spaces."""
+        if self._merged_profile is None:
+            self._merged_profile = ProfileTable.from_trace(
+                merge_suite(self.traces, name="suite")
+            )
+        return self._merged_profile
+
+    # -- sweep (with disk cache) -----------------------------------------
+
+    @property
+    def sweep(self) -> SweepResult:
+        """The PAs/GAs history sweep over the suite (cached on disk)."""
+        if self._sweep is None:
+            self._sweep = self._load_sweep() or self._run_and_store_sweep()
+        return self._sweep
+
+    def _sweep_config(self) -> SweepConfig:
+        return SweepConfig(history_lengths=self.history_lengths, engine=self.engine)
+
+    def _cache_path(self) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        key = (
+            f"sweep-v{_CACHE_VERSION}-{self.inputs}-s{self.scale:g}"
+            f"-h{self.history_lengths[0]}to{self.history_lengths[-1]}"
+        )
+        return self.cache_dir / f"{key}.npz"
+
+    def _run_and_store_sweep(self) -> SweepResult:
+        result = run_sweep(self.traces, self._sweep_config())
+        path = self._cache_path()
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            arrays: dict[str, np.ndarray] = {
+                "taken_distribution": result.taken_distribution,
+                "transition_distribution": result.transition_distribution,
+                "joint_distribution": result.joint_distribution,
+            }
+            for kind, grid in result.grids.items():
+                arrays[f"{kind}_taken_executions"] = grid.taken_executions
+                arrays[f"{kind}_taken_misses"] = grid.taken_misses
+                arrays[f"{kind}_transition_executions"] = grid.transition_executions
+                arrays[f"{kind}_transition_misses"] = grid.transition_misses
+                arrays[f"{kind}_joint_executions"] = grid.joint_executions
+                arrays[f"{kind}_joint_misses"] = grid.joint_misses
+            meta = {
+                "kinds": sorted(result.grids),
+                "history_lengths": list(self.history_lengths),
+                "total_dynamic": result.total_dynamic,
+            }
+            np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+        return result
+
+    def _load_sweep(self) -> SweepResult | None:
+        path = self._cache_path()
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"]))
+                if tuple(meta["history_lengths"]) != self.history_lengths:
+                    return None
+                grids = {}
+                for kind in meta["kinds"]:
+                    grids[kind] = ClassMissGrid(
+                        history_lengths=self.history_lengths,
+                        taken_executions=data[f"{kind}_taken_executions"],
+                        taken_misses=data[f"{kind}_taken_misses"],
+                        transition_executions=data[f"{kind}_transition_executions"],
+                        transition_misses=data[f"{kind}_transition_misses"],
+                        joint_executions=data[f"{kind}_joint_executions"],
+                        joint_misses=data[f"{kind}_joint_misses"],
+                    )
+                return SweepResult(
+                    config=self._sweep_config(),
+                    grids=grids,
+                    taken_distribution=data["taken_distribution"],
+                    transition_distribution=data["transition_distribution"],
+                    joint_distribution=data["joint_distribution"],
+                    total_dynamic=int(meta["total_dynamic"]),
+                )
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            return None  # stale/corrupt cache: recompute

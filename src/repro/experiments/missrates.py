@@ -1,0 +1,148 @@
+"""Figures 3/4 (per-class optimal miss rates) and 9–12 (line plots)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..classify.classes import NUM_CLASSES
+from ..report.lineplot import ascii_lineplot
+from ..report.table import ascii_table
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+__all__ = [
+    "run_fig3",
+    "run_fig4",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+]
+
+#: Classes the paper singles out in its line plots.
+LINEPLOT_CLASSES = (0, 1, 9, 10)
+
+
+def _optimal_result(
+    experiment_id: str, metric: str, context: ExperimentContext, paper_note: str
+) -> ExperimentResult:
+    pas = context.sweep.grid("pas")
+    gas = context.sweep.grid("gas")
+    pas_opt = pas.miss_at_optimal(metric)
+    gas_opt = gas.miss_at_optimal(metric)
+    pas_hist = pas.optimal_history(metric)
+    gas_hist = gas.optimal_history(metric)
+
+    rows = []
+    for cls in range(NUM_CLASSES):
+        rows.append(
+            (
+                cls,
+                f"{pas_opt[cls]:.3f}",
+                int(pas_hist[cls]),
+                f"{gas_opt[cls]:.3f}",
+                int(gas_hist[cls]),
+            )
+        )
+    rendered = ascii_table(
+        ["Class", "PAs miss", "PAs opt h", "GAs miss", "GAs opt h"],
+        rows,
+        title=f"Miss rates by {metric} rate class (optimal history per class)",
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Miss rates by {metric} class at optimal history",
+        rendered=rendered,
+        data={
+            "pas_miss": pas_opt.tolist(),
+            "gas_miss": gas_opt.tolist(),
+            "pas_optimal_history": pas_hist.tolist(),
+            "gas_optimal_history": gas_hist.tolist(),
+        },
+        paper_note=paper_note,
+    )
+
+
+def run_fig3(context: ExperimentContext) -> ExperimentResult:
+    """Figure 3: miss rate by taken-rate class at optimal history."""
+    return _optimal_result(
+        "fig3",
+        "taken",
+        context,
+        "Paper: low at classes 0/10, rising toward ~0.3 near class 5.",
+    )
+
+
+def run_fig4(context: ExperimentContext) -> ExperimentResult:
+    """Figure 4: miss rate by transition-rate class at optimal history."""
+    return _optimal_result(
+        "fig4",
+        "transition",
+        context,
+        "Paper: low at 0/1, peak near class 5, and (for PAs) easy again at 9/10.",
+    )
+
+
+def _lineplot_result(
+    experiment_id: str,
+    kind: str,
+    metric: str,
+    context: ExperimentContext,
+    paper_note: str,
+) -> ExperimentResult:
+    grid = context.sweep.grid(kind)
+    rates = grid.miss_rates(metric)
+    histories = list(grid.history_lengths)
+    prefix = "tac" if metric == "taken" else "trc"
+    series = {
+        f"{prefix} {cls}": rates[:, cls].tolist() for cls in LINEPLOT_CLASSES
+    }
+    rendered = ascii_lineplot(
+        series,
+        x_values=histories,
+        title=(
+            f"Miss rates for {kind.upper()} by history length, "
+            f"{metric} classes {', '.join(map(str, LINEPLOT_CLASSES))}"
+        ),
+        x_label="branch history length",
+        y_label="miss rate",
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{kind.upper()} miss rate vs history for {metric} classes 0,1,9,10",
+        rendered=rendered,
+        data={"history_lengths": histories, "series": series},
+        paper_note=paper_note,
+    )
+
+
+def run_fig9(context: ExperimentContext) -> ExperimentResult:
+    """Figure 9: PAs miss rate vs history, taken classes 0/1/9/10."""
+    return _lineplot_result(
+        "fig9", "pas", "taken", context,
+        "Paper: classes 0 and 10 flat near zero; 1 and 9 improve with history.",
+    )
+
+
+def run_fig10(context: ExperimentContext) -> ExperimentResult:
+    """Figure 10: PAs miss rate vs history, transition classes 0/1/9/10."""
+    return _lineplot_result(
+        "fig10", "pas", "transition", context,
+        "Paper: classes 9/10 catastrophic at h=0, near-perfect by h=1-2.",
+    )
+
+
+def run_fig11(context: ExperimentContext) -> ExperimentResult:
+    """Figure 11: GAs miss rate vs history, taken classes 0/1/9/10."""
+    return _lineplot_result(
+        "fig11", "gas", "taken", context,
+        "Paper: same shape as Figure 9 with slightly worse mid-class rates.",
+    )
+
+
+def run_fig12(context: ExperimentContext) -> ExperimentResult:
+    """Figure 12: GAs miss rate vs history, transition classes 0/1/9/10."""
+    return _lineplot_result(
+        "fig12", "gas", "transition", context,
+        "Paper: 9/10 start near 50-60% at h=0 and need global history to recover.",
+    )

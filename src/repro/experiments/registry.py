@@ -1,0 +1,66 @@
+"""The experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .base import Experiment, ExperimentResult
+from .context import ExperimentContext
+from .colormaps import run_fig5, run_fig6, run_fig7, run_fig8, run_fig13, run_fig14
+from .distance_exp import run_fig15
+from .distributions import run_fig1, run_fig2
+from .missrates import run_fig3, run_fig4, run_fig9, run_fig10, run_fig11, run_fig12
+from .tables import run_table1, run_table2
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "all_experiment_ids"]
+
+_DEFINITIONS = [
+    ("table1", "Benchmarks and input sets", "Table 1", run_table1),
+    ("fig1", "Dynamic branches per taken class", "Figure 1", run_fig1),
+    ("fig2", "Dynamic branches per transition class", "Figure 2", run_fig2),
+    ("fig3", "Miss rate by taken class (optimal history)", "Figure 3", run_fig3),
+    ("fig4", "Miss rate by transition class (optimal history)", "Figure 4", run_fig4),
+    ("fig5", "PAs miss colormap: taken class x history", "Figure 5", run_fig5),
+    ("fig6", "PAs miss colormap: transition class x history", "Figure 6", run_fig6),
+    ("fig7", "GAs miss colormap: taken class x history", "Figure 7", run_fig7),
+    ("fig8", "GAs miss colormap: transition class x history", "Figure 8", run_fig8),
+    ("fig9", "PAs line plot: taken classes 0,1,9,10", "Figure 9", run_fig9),
+    ("fig10", "PAs line plot: transition classes 0,1,9,10", "Figure 10", run_fig10),
+    ("fig11", "GAs line plot: taken classes 0,1,9,10", "Figure 11", run_fig11),
+    ("fig12", "GAs line plot: transition classes 0,1,9,10", "Figure 12", run_fig12),
+    ("table2", "Joint class distribution + misclassification", "Table 2", run_table2),
+    ("fig13", "PAs joint-class miss colormap", "Figure 13", run_fig13),
+    ("fig14", "GAs joint-class miss colormap", "Figure 14", run_fig14),
+    ("fig15", "Hard-branch distance distribution", "Figure 15", run_fig15),
+]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment_id: Experiment(
+        experiment_id=experiment_id,
+        title=title,
+        paper_artifact=artifact,
+        runner=runner,
+    )
+    for experiment_id, title, artifact, runner in _DEFINITIONS
+}
+
+
+def all_experiment_ids() -> list[str]:
+    """Every registered experiment id, in paper order."""
+    return [d[0] for d in _DEFINITIONS]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {all_experiment_ids()}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment (creating a default context if none given)."""
+    return get_experiment(experiment_id).run(context or ExperimentContext())

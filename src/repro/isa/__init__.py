@@ -1,0 +1,15 @@
+"""Mini RISC-like ISA: opcodes, instructions and the assembler."""
+
+from .opcodes import BRANCH_OPCODES, OPCODE_ARITY, Opcode
+from .assembler import NUM_REGISTERS, PC_STRIDE, Instruction, Program, assemble
+
+__all__ = [
+    "Opcode",
+    "BRANCH_OPCODES",
+    "OPCODE_ARITY",
+    "Instruction",
+    "Program",
+    "assemble",
+    "NUM_REGISTERS",
+    "PC_STRIDE",
+]

@@ -1,0 +1,160 @@
+"""Two-pass assembler for the mini-ISA.
+
+Source syntax, one instruction per line::
+
+    ; comments run to end of line (also '#')
+    loop:               ; labels end with ':' and may share a line
+        LD   r2, r1, 0
+        ADDI r1, r1, 1
+        BLT  r1, r3, loop
+        HALT
+
+Registers are ``r0``–``r15`` (``r0`` reads as zero), immediates are
+decimal or ``0x`` hex (negatives allowed), branch/jump targets are
+labels.  Pass 1 collects label addresses, pass 2 encodes instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AssemblyError
+from .opcodes import BRANCH_OPCODES, OPCODE_ARITY, Opcode
+
+__all__ = ["Instruction", "Program", "assemble", "NUM_REGISTERS", "PC_STRIDE"]
+
+#: General registers r0..r15.
+NUM_REGISTERS = 16
+#: Byte stride between instruction addresses (cosmetic; gives PCs the
+#: familiar word-aligned look).
+PC_STRIDE = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``operands`` holds register indices and immediates; for control
+    flow, the final operand is the *instruction index* of the target.
+    """
+
+    opcode: Opcode
+    operands: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """An assembled program."""
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int]
+    base_address: int = 0x1000
+
+    def pc_of(self, index: int) -> int:
+        """Address of the instruction at ``index``."""
+        return self.base_address + index * PC_STRIDE
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def assemble(source: str, *, base_address: int = 0x1000) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    lines = _strip(source)
+
+    # Pass 1: label addresses.
+    labels: dict[str, int] = {}
+    counted: list[tuple[int, str]] = []  # (source line no, instruction text)
+    index = 0
+    for lineno, line in lines:
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = index
+            line = rest.strip()
+        if line:
+            counted.append((lineno, line))
+            index += 1
+
+    # Pass 2: encode.
+    instructions = []
+    for lineno, text in counted:
+        instructions.append(_encode(lineno, text, labels))
+    return Program(
+        instructions=tuple(instructions), labels=labels, base_address=base_address
+    )
+
+
+def _strip(source: str) -> list[tuple[int, str]]:
+    lines = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        for marker in (";", "#"):
+            if marker in raw:
+                raw = raw[: raw.index(marker)]
+        line = raw.strip()
+        if line:
+            lines.append((lineno, line))
+    return lines
+
+
+def _encode(lineno: int, text: str, labels: dict[str, int]) -> Instruction:
+    parts = text.replace(",", " ").split()
+    mnemonic = parts[0].upper()
+    try:
+        opcode = Opcode[mnemonic]
+    except KeyError:
+        raise AssemblyError(f"line {lineno}: unknown opcode {mnemonic!r}") from None
+    args = parts[1:]
+    arity = OPCODE_ARITY[opcode]
+    if len(args) != arity:
+        raise AssemblyError(
+            f"line {lineno}: {mnemonic} expects {arity} operands, got {len(args)}"
+        )
+
+    operands = []
+    for position, arg in enumerate(args):
+        is_target = (
+            opcode in BRANCH_OPCODES and position == 2
+        ) or (opcode in (Opcode.JMP, Opcode.CALL) and position == 0)
+        if is_target:
+            if arg not in labels:
+                raise AssemblyError(f"line {lineno}: undefined label {arg!r}")
+            operands.append(labels[arg])
+        elif _is_register(arg):
+            operands.append(_register(lineno, arg))
+        else:
+            operands.append(_immediate(lineno, arg, opcode, position))
+    return Instruction(opcode=opcode, operands=tuple(operands))
+
+
+def _is_register(arg: str) -> bool:
+    return len(arg) >= 2 and arg[0] in "rR" and arg[1:].isdigit()
+
+
+def _register(lineno: int, arg: str) -> int:
+    number = int(arg[1:])
+    if not 0 <= number < NUM_REGISTERS:
+        raise AssemblyError(f"line {lineno}: no such register {arg!r}")
+    return number
+
+
+#: (opcode, position) pairs where an immediate is legal.
+_IMMEDIATE_SLOTS = {
+    (Opcode.ADDI, 2), (Opcode.ANDI, 2), (Opcode.MULI, 2),
+    (Opcode.LI, 1), (Opcode.LD, 2), (Opcode.ST, 2),
+}
+
+
+def _immediate(lineno: int, arg: str, opcode: Opcode, position: int) -> int:
+    if (opcode, position) not in _IMMEDIATE_SLOTS:
+        raise AssemblyError(
+            f"line {lineno}: operand {position + 1} of {opcode.name} must be a register"
+        )
+    try:
+        return int(arg, 0)
+    except ValueError:
+        raise AssemblyError(f"line {lineno}: bad immediate {arg!r}") from None

@@ -1,0 +1,74 @@
+"""The mini-ISA's opcode set.
+
+A small RISC-like register ISA: 16 general registers (``r0`` reads as
+zero), a flat word-addressed data memory, conditional branches that
+compare two registers, and a call stack managed by the machine.  It
+exists so workload *programs* — sorts, searches, compressors — can run
+for real and emit authentic conditional-branch streams, standing in
+for SimpleScalar's PISA binaries (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+__all__ = ["Opcode", "BRANCH_OPCODES", "OPCODE_ARITY"]
+
+
+class Opcode(Enum):
+    """Every instruction the VM executes."""
+
+    # arithmetic / logic (rd, rs, rt)
+    ADD = auto()
+    SUB = auto()
+    MUL = auto()
+    DIV = auto()   # integer division, traps on zero divisor
+    MOD = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    SHL = auto()
+    SHR = auto()
+    SLT = auto()   # rd = 1 if rs < rt else 0
+    # immediates (rd, rs, imm)
+    ADDI = auto()
+    ANDI = auto()
+    MULI = auto()
+    # data movement
+    LI = auto()    # rd, imm
+    MOV = auto()   # rd, rs
+    LD = auto()    # rd, rs, imm   : rd = mem[rs + imm]
+    ST = auto()    # rs, rt, imm   : mem[rt + imm] = rs
+    # control flow
+    BEQ = auto()   # rs, rt, label (conditional - emits a branch event)
+    BNE = auto()
+    BLT = auto()
+    BGE = auto()
+    BLE = auto()
+    BGT = auto()
+    JMP = auto()   # label (unconditional - no branch event)
+    CALL = auto()  # label
+    RET = auto()
+    # misc
+    OUT = auto()   # rs : append register value to the output stream
+    HALT = auto()
+
+
+#: Conditional branches: the instructions that emit trace events.
+BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT}
+)
+
+#: Operand count per opcode (labels and registers both count as one).
+OPCODE_ARITY: dict[Opcode, int] = {
+    Opcode.ADD: 3, Opcode.SUB: 3, Opcode.MUL: 3, Opcode.DIV: 3, Opcode.MOD: 3,
+    Opcode.AND: 3, Opcode.OR: 3, Opcode.XOR: 3, Opcode.SHL: 3, Opcode.SHR: 3,
+    Opcode.SLT: 3,
+    Opcode.ADDI: 3, Opcode.ANDI: 3, Opcode.MULI: 3,
+    Opcode.LI: 2, Opcode.MOV: 2,
+    Opcode.LD: 3, Opcode.ST: 3,
+    Opcode.BEQ: 3, Opcode.BNE: 3, Opcode.BLT: 3, Opcode.BGE: 3,
+    Opcode.BLE: 3, Opcode.BGT: 3,
+    Opcode.JMP: 1, Opcode.CALL: 1, Opcode.RET: 0,
+    Opcode.OUT: 1, Opcode.HALT: 0,
+}

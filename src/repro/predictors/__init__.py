@@ -1,0 +1,74 @@
+"""Branch predictor suite.
+
+Implements the paper's budget-matched PAs/GAs configurations plus the
+predictor families its related-work section surveys (gshare, gselect,
+pshare, Agree, Bi-Mode, YAGS, Filter, McFarling tournament) and the
+class-guided hybrid of §5.4.
+"""
+
+from .base import BranchPredictor
+from .counter import CounterTable, SaturatingCounter
+from .history import BranchHistoryTable, HistoryRegister
+from .static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    OraclePredictor,
+    ProfileStaticPredictor,
+)
+from .bimodal import BimodalPredictor, LastOutcomePredictor
+from .twolevel import (
+    TwoLevelPredictor,
+    make_gas,
+    make_gselect,
+    make_gshare,
+    make_pas,
+    make_pshare,
+)
+from .paper_configs import (
+    BUDGET_BYTES,
+    HISTORY_LENGTHS,
+    paper_gas,
+    paper_pas,
+    paper_predictor,
+    pas_bht_entries,
+)
+from .agree import AgreePredictor
+from .bimode import BiModePredictor
+from .yags import YagsPredictor
+from .filter import FilterPredictor
+from .tournament import TournamentPredictor
+from .hybrid import ClassRoutedHybrid
+from .dhlf import DhlfPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "SaturatingCounter",
+    "CounterTable",
+    "HistoryRegister",
+    "BranchHistoryTable",
+    "AlwaysTakenPredictor",
+    "AlwaysNotTakenPredictor",
+    "ProfileStaticPredictor",
+    "OraclePredictor",
+    "LastOutcomePredictor",
+    "BimodalPredictor",
+    "TwoLevelPredictor",
+    "make_gas",
+    "make_pas",
+    "make_gshare",
+    "make_gselect",
+    "make_pshare",
+    "paper_gas",
+    "paper_pas",
+    "paper_predictor",
+    "pas_bht_entries",
+    "HISTORY_LENGTHS",
+    "BUDGET_BYTES",
+    "AgreePredictor",
+    "BiModePredictor",
+    "YagsPredictor",
+    "FilterPredictor",
+    "TournamentPredictor",
+    "ClassRoutedHybrid",
+    "DhlfPredictor",
+]

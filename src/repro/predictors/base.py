@@ -1,0 +1,66 @@
+"""Branch predictor interface.
+
+Every predictor follows the paper's simulation discipline: for each
+dynamic branch the engine first asks for a prediction
+(:meth:`BranchPredictor.predict`), compares it with the actual outcome,
+then trains the predictor (:meth:`BranchPredictor.update`).  ``update``
+must be self-contained — it may not rely on ``predict`` having been
+called first — so predictors recompute any indices they need rather
+than caching them across the two calls.
+
+Predictors also report a hardware cost estimate
+(:meth:`BranchPredictor.storage_bits`) so budget-matched comparisons
+like the paper's 32 KB configurations can be checked programmatically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["BranchPredictor"]
+
+
+class BranchPredictor(ABC):
+    """Abstract dynamic branch predictor.
+
+    Subclasses must implement :meth:`predict`, :meth:`update`,
+    :meth:`reset` and :meth:`storage_bits`, and should set a
+    human-readable :attr:`name`.
+    """
+
+    #: Human-readable identifier used in reports and experiment output.
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (True = taken)."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the actual outcome of ``pc``."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return all internal state to its initial value."""
+
+    @abstractmethod
+    def storage_bits(self) -> int:
+        """Approximate hardware state in bits (tables + histories)."""
+
+    # -- conveniences ---------------------------------------------------
+
+    def access(self, pc: int, taken: bool) -> bool:
+        """Predict, then train; returns True iff the prediction was correct.
+
+        This is the per-branch step the simulation engines perform.
+        """
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction == bool(taken)
+
+    def storage_bytes(self) -> float:
+        """Hardware state in bytes."""
+        return self.storage_bits() / 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

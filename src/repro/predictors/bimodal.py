@@ -1,0 +1,83 @@
+"""PC-indexed table predictors (last-outcome and bimodal).
+
+These are the "history length 0" predictors: the prediction depends
+only on the branch's own recent outcomes, selected by PC bits.  The
+paper's PAs/GAs configurations degenerate to exactly the 2-bit bimodal
+table at history length 0, and the one-bit last-outcome predictor is
+the device the paper uses to explain why low-transition-rate branches
+are trivially predictable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictorError
+from .base import BranchPredictor
+from .counter import CounterTable
+
+__all__ = ["LastOutcomePredictor", "BimodalPredictor"]
+
+
+class LastOutcomePredictor(BranchPredictor):
+    """One bit per entry: predict whatever the branch did last time.
+
+    Mispredicts exactly at the branch's *transitions* (plus aliasing),
+    which is why its miss rate on a branch equals that branch's
+    transition rate — the observation that motivates the paper's metric.
+    """
+
+    def __init__(self, entries: int = 1 << 14, *, initial: bool = True) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise PredictorError("entries must be a positive power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._initial = 1 if initial else 0
+        self._bits = np.full(entries, self._initial, dtype=np.uint8)
+        self.name = f"last-outcome-{entries}"
+
+    def predict(self, pc: int) -> bool:
+        return bool(self._bits[pc & self._mask])
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._bits[pc & self._mask] = 1 if taken else 0
+
+    def reset(self) -> None:
+        self._bits.fill(self._initial)
+
+    def storage_bits(self) -> int:
+        return self.entries
+
+
+class BimodalPredictor(BranchPredictor):
+    """A table of n-bit saturating counters indexed by PC bits.
+
+    With ``entries = 2**17`` and 2-bit counters this is exactly the
+    paper's history-length-0 configuration for both PAs and GAs.
+    """
+
+    def __init__(self, entries: int = 1 << 17, *, counter_bits: int = 2) -> None:
+        self.table = CounterTable(entries, bits=counter_bits)
+        self._mask = entries - 1
+        self.name = f"bimodal-{entries}x{counter_bits}b"
+
+    @property
+    def entries(self) -> int:
+        """Number of counters in the table."""
+        return self.table.entries
+
+    def index_of(self, pc: int) -> int:
+        """Table index used by ``pc``."""
+        return pc & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(pc & self._mask)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(pc & self._mask, taken)
+
+    def reset(self) -> None:
+        self.table.reset()
+
+    def storage_bits(self) -> int:
+        return self.table.storage_bits()

@@ -1,0 +1,94 @@
+"""The Bi-Mode predictor (Lee, Chen & Mudge, MICRO 1997).
+
+Splits the PHT into a taken-biased bank and a not-taken-biased bank,
+both gshare-indexed; a PC-indexed *choice* PHT picks the bank.
+Branches of opposite bias are steered into different banks, so
+destructive aliasing between them disappears — a dynamic form of the
+bias classification idea the paper surveys.
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .counter import CounterTable
+from .history import HistoryRegister
+
+__all__ = ["BiModePredictor"]
+
+
+class BiModePredictor(BranchPredictor):
+    """Global-history bi-mode predictor.
+
+    Parameters
+    ----------
+    history_bits:
+        Global history length for the direction banks' gshare index.
+    direction_index_bits:
+        log2 of each direction bank's entry count.
+    choice_index_bits:
+        log2 of the PC-indexed choice PHT's entry count.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        *,
+        direction_index_bits: int = 12,
+        choice_index_bits: int = 13,
+    ) -> None:
+        self.history = HistoryRegister(history_bits)
+        # Banks are biased by initializing their counters toward their polarity.
+        self.taken_bank = CounterTable(1 << direction_index_bits, bits=2, initial=2)
+        self.not_taken_bank = CounterTable(1 << direction_index_bits, bits=2, initial=1)
+        self.choice = CounterTable(1 << choice_index_bits, bits=2)
+        self._dir_mask = (1 << direction_index_bits) - 1
+        self._choice_mask = (1 << choice_index_bits) - 1
+        self.name = f"bimode-h{history_bits}"
+
+    def _dir_index(self, pc: int) -> int:
+        return (self.history.value ^ pc) & self._dir_mask
+
+    def _choice_index(self, pc: int) -> int:
+        return pc & self._choice_mask
+
+    def _select(self, pc: int) -> tuple[CounterTable, int, bool]:
+        """(selected bank, direction index, choice says taken-bank)."""
+        choose_taken = self.choice.predict(self._choice_index(pc))
+        bank = self.taken_bank if choose_taken else self.not_taken_bank
+        return bank, self._dir_index(pc), choose_taken
+
+    def predict(self, pc: int) -> bool:
+        bank, index, _ = self._select(pc)
+        return bank.predict(index)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bank, dir_index, choose_taken = self._select(pc)
+        bank_prediction = bank.predict(dir_index)
+
+        # Only the selected bank trains (the other bank keeps its bias).
+        bank.update(dir_index, taken)
+
+        # Choice PHT trains toward the outcome, except when its current
+        # choice disagrees with the outcome but the selected bank still
+        # predicted correctly — then the choice was vindicated and is
+        # left alone (the standard bi-mode partial-update rule).
+        vindicated = (choose_taken != bool(taken)) and (bank_prediction == bool(taken))
+        if not vindicated:
+            self.choice.update(self._choice_index(pc), taken)
+
+        self.history.push(taken)
+
+    def reset(self) -> None:
+        self.history.reset()
+        self.choice.reset()
+        # Re-bias the banks rather than plain reset, preserving polarity.
+        self.taken_bank.values.fill(2)
+        self.not_taken_bank.values.fill(1)
+
+    def storage_bits(self) -> int:
+        return (
+            self.history.storage_bits()
+            + self.taken_bank.storage_bits()
+            + self.not_taken_bank.storage_bits()
+            + self.choice.storage_bits()
+        )

@@ -1,0 +1,128 @@
+"""Dynamic History-Length Fitting (Juan, Sanjeevan & Navarro, ISCA 1998).
+
+The related-work comparator the paper cites as the *coarse-grained*
+alternative to per-branch classification: one global history register
+whose effective length is tuned at runtime.  Execution is divided into
+fixed-size intervals; after each interval the predictor compares its
+misprediction count against the best seen for the current length and
+hill-climbs the history length up or down.
+
+Including it lets the ablation benches contrast "adapt one global
+knob" (DHLF) against the paper's "classify branches and give each
+class its own configuration" (the class-routed hybrid).
+"""
+
+from __future__ import annotations
+
+from ..errors import PredictorError
+from .base import BranchPredictor
+from .counter import CounterTable
+from .history import HistoryRegister
+
+__all__ = ["DhlfPredictor"]
+
+
+class DhlfPredictor(BranchPredictor):
+    """gshare-style predictor with runtime-fitted history length.
+
+    Parameters
+    ----------
+    pht_index_bits:
+        log2 of the PHT entry count (also the maximum history length).
+    interval:
+        Dynamic branches per fitting interval.
+    start_history:
+        Initial history length.
+    """
+
+    def __init__(
+        self,
+        *,
+        pht_index_bits: int = 14,
+        interval: int = 16 * 1024,
+        start_history: int | None = None,
+    ) -> None:
+        if pht_index_bits < 1:
+            raise PredictorError("pht_index_bits must be >= 1")
+        if interval < 16:
+            raise PredictorError("interval must be >= 16")
+        self.pht_index_bits = pht_index_bits
+        self.max_history = pht_index_bits
+        self.interval = interval
+        self._start_history = (
+            pht_index_bits // 2 if start_history is None else start_history
+        )
+        if not 0 <= self._start_history <= self.max_history:
+            raise PredictorError("start_history out of range")
+
+        self.pht = CounterTable(1 << pht_index_bits, bits=2)
+        self.history = HistoryRegister(self.max_history)
+        self._mask = (1 << pht_index_bits) - 1
+        self.reset()
+        self.name = f"dhlf-{pht_index_bits}b"
+
+    #: Intervals spent at the best length between exploration rounds.
+    EXPLOIT_INTERVALS = 24
+
+    # -- dynamic fitting state ------------------------------------------------
+
+    def reset(self) -> None:
+        self.pht.reset()
+        self.history.reset()
+        self.history_length = self._start_history
+        self._interval_misses = 0
+        self._interval_count = 0
+        # Exploration sweeps every length once, recording each interval's
+        # misses, then exploits the winner before re-exploring.
+        self._explore_queue: list[int] = list(range(self.max_history + 1))
+        self._explore_misses: dict[int, int] = {}
+        self._exploit_remaining = 0
+        if self._explore_queue:
+            self.history_length = self._explore_queue.pop(0)
+
+    def _index(self, pc: int) -> int:
+        hist_mask = (1 << self.history_length) - 1 if self.history_length else 0
+        return ((self.history.value & hist_mask) ^ pc) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self.pht.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        correct = self.pht.predict(index) == bool(taken)
+        self.pht.update(index, taken)
+        self.history.push(taken)
+
+        self._interval_count += 1
+        if not correct:
+            self._interval_misses += 1
+        if self._interval_count >= self.interval:
+            self._end_interval()
+
+    def _end_interval(self) -> None:
+        misses = self._interval_misses
+        self._interval_misses = 0
+        self._interval_count = 0
+
+        if self._exploit_remaining > 0:
+            # Settled on the current best; count down to re-exploration.
+            self._exploit_remaining -= 1
+            if self._exploit_remaining == 0:
+                self._explore_queue = list(range(self.max_history + 1))
+                self._explore_misses = {}
+                self.history_length = self._explore_queue.pop(0)
+            return
+
+        # Exploration: record this length's result and move to the next
+        # candidate; when the sweep completes, exploit the winner.
+        self._explore_misses[self.history_length] = misses
+        if self._explore_queue:
+            self.history_length = self._explore_queue.pop(0)
+        else:
+            self.history_length = min(
+                self._explore_misses, key=self._explore_misses.__getitem__
+            )
+            self._exploit_remaining = self.EXPLOIT_INTERVALS
+
+    def storage_bits(self) -> int:
+        return self.pht.storage_bits() + self.history.storage_bits()

@@ -1,0 +1,98 @@
+"""The Filter predictor (Chang, Evers & Patt, PACT 1996).
+
+A per-branch *bias counter* counts consecutive executions in the same
+direction.  Once a branch has gone the same way ``threshold`` times in
+a row it is "filtered": predicted statically in that direction and kept
+out of the backing dynamic predictor's tables, removing the
+near-static branches that cause most interference.  The paper notes
+this counter is effectively a primitive transition-rate classifier —
+it resets exactly when the branch *transitions*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictorError
+from .base import BranchPredictor
+from .twolevel import make_gshare
+
+__all__ = ["FilterPredictor"]
+
+
+class FilterPredictor(BranchPredictor):
+    """Bias-filtered predictor in front of a dynamic backing predictor.
+
+    Parameters
+    ----------
+    backing:
+        The dynamic predictor that handles unfiltered branches.  If
+        omitted, a gshare with 12 history bits is used.
+    threshold:
+        Consecutive same-direction executions required before a branch
+        is filtered (predicted statically).
+    counter_bits:
+        Width of the per-branch run counter; the threshold must fit.
+    entries:
+        Entries in the PC-indexed filter table.
+    """
+
+    def __init__(
+        self,
+        backing: BranchPredictor | None = None,
+        *,
+        threshold: int = 32,
+        counter_bits: int = 6,
+        entries: int = 1 << 14,
+    ) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise PredictorError("entries must be a positive power of two")
+        max_count = (1 << counter_bits) - 1
+        if not 1 <= threshold <= max_count:
+            raise PredictorError(
+                f"threshold {threshold} must fit the {counter_bits}-bit counter"
+            )
+        self.backing = backing if backing is not None else make_gshare(12, pht_index_bits=14)
+        self.threshold = threshold
+        self._max_count = max_count
+        self._mask = entries - 1
+        self._bias = np.zeros(entries, dtype=np.uint8)
+        self._count = np.zeros(entries, dtype=np.uint16)
+        self.name = f"filter-t{threshold}+{self.backing.name}"
+
+    def is_filtered(self, pc: int) -> bool:
+        """True if ``pc`` is currently predicted statically."""
+        return int(self._count[pc & self._mask]) >= self.threshold
+
+    def predict(self, pc: int) -> bool:
+        slot = pc & self._mask
+        if int(self._count[slot]) >= self.threshold:
+            return bool(self._bias[slot])
+        return self.backing.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        slot = pc & self._mask
+        count = int(self._count[slot])
+        filtered = count >= self.threshold
+
+        # The backing predictor only sees (and is only polluted by)
+        # unfiltered branches — that is the whole point of the filter.
+        if not filtered:
+            self.backing.update(pc, taken)
+
+        if count > 0 and bool(self._bias[slot]) == bool(taken):
+            if count < self._max_count:
+                self._count[slot] = count + 1
+        else:
+            # First sighting or a transition: restart the run counter.
+            self._bias[slot] = 1 if taken else 0
+            self._count[slot] = 1
+
+    def reset(self) -> None:
+        self.backing.reset()
+        self._bias.fill(0)
+        self._count.fill(0)
+
+    def storage_bits(self) -> int:
+        counter_bits = int(self._max_count).bit_length()
+        return self.backing.storage_bits() + len(self._bias) * (1 + counter_bits)

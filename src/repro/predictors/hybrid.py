@@ -1,0 +1,76 @@
+"""Class-guided hybrid predictor (paper §5.4).
+
+The paper argues an ideal hybrid should (a) classify branches, (b)
+offer both global and per-address histories, and (c) vary history
+length per class.  :class:`ClassRoutedHybrid` realizes that: a routing
+function — typically derived from a taken/transition-rate profile (see
+:func:`repro.analysis.hybrid.design_hybrid`) — statically assigns every
+branch to one component, and *only that component* sees the branch, so
+easy branches stop polluting the tables used by hard ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from ..errors import PredictorError
+from .base import BranchPredictor
+
+__all__ = ["ClassRoutedHybrid"]
+
+
+class ClassRoutedHybrid(BranchPredictor):
+    """Hybrid predictor with static per-branch component routing.
+
+    Parameters
+    ----------
+    components:
+        The component predictors.  Component 0 is also the fallback for
+        branches the router has never seen.
+    route:
+        Either a mapping from branch PC to component index or a callable
+        ``pc -> component index``.  Indices out of range fall back to
+        component 0 (with a construction-time check for mappings).
+    """
+
+    def __init__(
+        self,
+        components: Sequence[BranchPredictor],
+        route: Mapping[int, int] | Callable[[int], int],
+        *,
+        name: str | None = None,
+    ) -> None:
+        if not components:
+            raise PredictorError("hybrid needs at least one component")
+        self.components = list(components)
+        if isinstance(route, Mapping):
+            bad = {pc: c for pc, c in route.items() if not 0 <= c < len(self.components)}
+            if bad:
+                raise PredictorError(f"route targets out of range: {bad}")
+            table = dict(route)
+            self._route = lambda pc: table.get(pc, 0)
+        else:
+            self._route = route
+        self.name = name or "class-hybrid(" + ",".join(c.name for c in self.components) + ")"
+
+    def component_for(self, pc: int) -> BranchPredictor:
+        """The component that owns the branch at ``pc``."""
+        index = self._route(pc)
+        if not 0 <= index < len(self.components):
+            index = 0
+        return self.components[index]
+
+    def predict(self, pc: int) -> bool:
+        return self.component_for(pc).predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        # Static routing: only the owning component trains, so branch
+        # classes cannot interfere with one another across components.
+        self.component_for(pc).update(pc, taken)
+
+    def reset(self) -> None:
+        for component in self.components:
+            component.reset()
+
+    def storage_bits(self) -> int:
+        return sum(c.storage_bits() for c in self.components)

@@ -1,0 +1,112 @@
+"""The paper's budget-matched 32 KB predictor configurations.
+
+Section 3 of the paper fixes, for every history length k in 0..16:
+
+* **GAs** — a PHT of 2^17 2-bit counters (exactly 32 KB).  The PHT
+  index is the k-bit global history concatenated with the low 17−k
+  bits of the branch address.
+* **PAs** — a PHT of 2^16 2-bit counters (16 KB), indexed by the k-bit
+  per-address history concatenated with the low 16−k bits of the
+  branch address.  The remaining budget holds the BHT, restricted to a
+  power-of-two entry count: ``2**floor(log2(2**17 / k))`` entries of k
+  bits each.
+* **k = 0** — both degenerate to a single table of 2^17 2-bit counters
+  indexed by 17 bits of branch address.
+
+These factories are what every experiment driver uses, so the index
+arithmetic matches the paper in one auditable place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+from .twolevel import TwoLevelPredictor
+
+__all__ = [
+    "HISTORY_LENGTHS",
+    "BUDGET_BYTES",
+    "paper_gas",
+    "paper_pas",
+    "paper_predictor",
+    "pas_bht_entries",
+]
+
+#: History lengths swept by the paper's evaluation.
+HISTORY_LENGTHS: tuple[int, ...] = tuple(range(17))
+
+#: The paper's hardware budget per predictor.
+BUDGET_BYTES: int = 32 * 1024
+
+_GAS_PHT_BITS = 17
+_PAS_PHT_BITS = 16
+
+
+def pas_bht_entries(history_bits: int) -> int:
+    """BHT entry count for the paper's PAs at history length ``history_bits``.
+
+    ``2**floor(log2(2**17 / k))`` — the largest power of two such that
+    the BHT fits in the half of the 32 KB budget left by the PHT.
+    """
+    if history_bits < 1:
+        raise ConfigurationError("PAs BHT is only defined for history length >= 1")
+    return 1 << int(math.floor(math.log2((1 << 17) / history_bits)))
+
+
+def paper_gas(history_bits: int) -> TwoLevelPredictor:
+    """The paper's GAs configuration for history length ``history_bits``."""
+    _check_history(history_bits)
+    return TwoLevelPredictor(
+        history_kind="global",
+        history_bits=history_bits,
+        pht_index_bits=_GAS_PHT_BITS,
+        index_scheme="concat",
+        counter_bits=2,
+        name=f"GAs-h{history_bits}",
+    )
+
+
+def paper_pas(history_bits: int) -> TwoLevelPredictor:
+    """The paper's PAs configuration for history length ``history_bits``.
+
+    History length 0 degenerates to the shared 2^17-counter bimodal
+    table (identical to ``paper_gas(0)``), as the paper specifies.
+    """
+    _check_history(history_bits)
+    if history_bits == 0:
+        return TwoLevelPredictor(
+            history_kind="per-address",
+            history_bits=0,
+            pht_index_bits=_GAS_PHT_BITS,
+            index_scheme="concat",
+            counter_bits=2,
+            name="PAs-h0",
+        )
+    return TwoLevelPredictor(
+        history_kind="per-address",
+        history_bits=history_bits,
+        pht_index_bits=_PAS_PHT_BITS,
+        index_scheme="concat",
+        bht_entries=pas_bht_entries(history_bits),
+        counter_bits=2,
+        name=f"PAs-h{history_bits}",
+    )
+
+
+def paper_predictor(kind: str, history_bits: int) -> TwoLevelPredictor:
+    """Factory keyed by the paper's predictor names: ``"pas"`` or ``"gas"``."""
+    kind = kind.lower()
+    if kind == "gas":
+        return paper_gas(history_bits)
+    if kind == "pas":
+        return paper_pas(history_bits)
+    raise ConfigurationError(f"unknown paper predictor kind {kind!r} (want 'pas' or 'gas')")
+
+
+def _check_history(history_bits: int) -> None:
+    if history_bits not in HISTORY_LENGTHS:
+        raise ConfigurationError(
+            f"paper configurations cover history lengths {HISTORY_LENGTHS[0]}.."
+            f"{HISTORY_LENGTHS[-1]}, got {history_bits}"
+        )

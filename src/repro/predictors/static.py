@@ -1,0 +1,131 @@
+"""Static (non-adaptive) predictors.
+
+Chang et al.'s classification-based hybrid assigns the most heavily
+biased branch classes to *static* predictors, freeing dynamic table
+space for harder branches.  These predictors never learn at runtime;
+:class:`ProfileStaticPredictor` is "trained" once from a profiling pass
+instead, exactly like the paper's profile-guided assignment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import PredictorError
+from .base import BranchPredictor
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "AlwaysNotTakenPredictor",
+    "ProfileStaticPredictor",
+    "OraclePredictor",
+]
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict taken for every branch."""
+
+    name = "always-taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predict not-taken for every branch."""
+
+    name = "always-not-taken"
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class ProfileStaticPredictor(BranchPredictor):
+    """Per-branch fixed direction from a profiling pass.
+
+    Parameters
+    ----------
+    directions:
+        Mapping from branch PC to the profiled majority direction.
+    default:
+        Direction for branches absent from the profile (cold branches).
+    """
+
+    name = "profile-static"
+
+    def __init__(self, directions: Mapping[int, bool], *, default: bool = True) -> None:
+        self._directions = dict(directions)
+        self._default = default
+
+    @classmethod
+    def from_stats(cls, stats, *, default: bool = True) -> "ProfileStaticPredictor":
+        """Build from a :class:`~repro.trace.stats.TraceStats` profile.
+
+        Each branch's static direction is its majority outcome.
+        """
+        directions = {int(pc): stats[pc].taken_rate >= 0.5 for pc in stats}
+        return cls(directions, default=default)
+
+    def predict(self, pc: int) -> bool:
+        return self._directions.get(pc, self._default)
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass  # static by definition
+
+    def reset(self) -> None:
+        pass
+
+    def storage_bits(self) -> int:
+        # One direction bit per profiled branch (an ISA hint bit in
+        # hardware terms, not predictor table state).
+        return len(self._directions)
+
+
+class OraclePredictor(BranchPredictor):
+    """Perfect predictor, as an upper bound for comparisons.
+
+    Must be primed with the upcoming outcome before each prediction via
+    :meth:`prime`; the engines do this automatically when they recognise
+    the type.
+    """
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self._next: bool | None = None
+
+    def prime(self, taken: bool) -> None:
+        """Tell the oracle the outcome it is about to be asked for."""
+        self._next = bool(taken)
+
+    def predict(self, pc: int) -> bool:
+        if self._next is None:
+            raise PredictorError("OraclePredictor.predict called before prime()")
+        return self._next
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._next = None
+
+    def reset(self) -> None:
+        self._next = None
+
+    def storage_bits(self) -> int:
+        return 0

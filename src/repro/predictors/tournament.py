@@ -1,0 +1,76 @@
+"""McFarling's combining (tournament) predictor (DEC WRL TN-36, 1993).
+
+Two component predictors run side by side; a PC-indexed table of 2-bit
+*chooser* counters learns, per branch, which component to believe.
+Both components train on every branch; the chooser moves toward the
+component that was correct when exactly one of them was.
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .counter import CounterTable
+
+__all__ = ["TournamentPredictor"]
+
+
+class TournamentPredictor(BranchPredictor):
+    """Two-component combining predictor with a PC-indexed chooser.
+
+    Parameters
+    ----------
+    first, second:
+        The component predictors.  The chooser predicts ``first`` when
+        its counter is in the lower half of its range, ``second``
+        otherwise; it is initialized exactly at the boundary favouring
+        ``second`` weakly (the conventional reset).
+    chooser_index_bits:
+        log2 of the chooser table's entry count.
+    """
+
+    def __init__(
+        self,
+        first: BranchPredictor,
+        second: BranchPredictor,
+        *,
+        chooser_index_bits: int = 13,
+        name: str | None = None,
+    ) -> None:
+        self.first = first
+        self.second = second
+        self.chooser = CounterTable(1 << chooser_index_bits, bits=2)
+        self._mask = (1 << chooser_index_bits) - 1
+        self.name = name or f"tournament({first.name},{second.name})"
+
+    def chooses_second(self, pc: int) -> bool:
+        """True if the chooser currently trusts the second component."""
+        return self.chooser.predict(pc & self._mask)
+
+    def predict(self, pc: int) -> bool:
+        if self.chooses_second(pc):
+            return self.second.predict(pc)
+        return self.first.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        first_correct = self.first.predict(pc) == bool(taken)
+        second_correct = self.second.predict(pc) == bool(taken)
+
+        # Chooser trains only when the components disagree in
+        # correctness; "taken" for the chooser means "trust second".
+        if first_correct != second_correct:
+            self.chooser.update(pc & self._mask, second_correct)
+
+        self.first.update(pc, taken)
+        self.second.update(pc, taken)
+
+    def reset(self) -> None:
+        self.first.reset()
+        self.second.reset()
+        self.chooser.reset()
+
+    def storage_bits(self) -> int:
+        return (
+            self.first.storage_bits()
+            + self.second.storage_bits()
+            + self.chooser.storage_bits()
+        )

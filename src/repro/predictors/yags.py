@@ -1,0 +1,158 @@
+"""The YAGS predictor (Eden & Mudge, MICRO 1998).
+
+"Yet Another Global Scheme": a PC-indexed choice PHT supplies the
+*bias* of each branch, and two small tagged caches store only the
+**exceptions** — executions where the branch goes against its bias.
+Because the caches hold exceptions rather than all patterns, most
+inter-branch aliasing never happens, at a fraction of bi-mode's cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictorError
+from .base import BranchPredictor
+from .counter import CounterTable
+from .history import HistoryRegister
+
+__all__ = ["YagsPredictor"]
+
+
+class _ExceptionCache:
+    """Direct-mapped tagged cache of 2-bit counters."""
+
+    __slots__ = ("_tags", "_valid", "_counters", "_index_mask", "_tag_mask", "_tag_shift")
+
+    def __init__(self, index_bits: int, tag_bits: int) -> None:
+        entries = 1 << index_bits
+        self._tags = np.zeros(entries, dtype=np.uint32)
+        self._valid = np.zeros(entries, dtype=bool)
+        self._counters = np.full(entries, 2, dtype=np.uint8)
+        self._index_mask = entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._tag_shift = index_bits
+
+    def _slot_tag(self, index: int, pc: int) -> tuple[int, int]:
+        return index & self._index_mask, (pc >> 0) & self._tag_mask
+
+    def lookup(self, index: int, pc: int) -> bool | None:
+        """Predicted direction on a tag hit, else None."""
+        slot, tag = self._slot_tag(index, pc)
+        if self._valid[slot] and self._tags[slot] == tag:
+            return bool(self._counters[slot] >= 2)
+        return None
+
+    def train_hit(self, index: int, pc: int, taken: bool) -> bool:
+        """Update the counter if the tag matches; returns hit."""
+        slot, tag = self._slot_tag(index, pc)
+        if self._valid[slot] and self._tags[slot] == tag:
+            v = self._counters[slot]
+            if taken:
+                if v < 3:
+                    self._counters[slot] = v + 1
+            elif v > 0:
+                self._counters[slot] = v - 1
+            return True
+        return False
+
+    def insert(self, index: int, pc: int, taken: bool) -> None:
+        """Allocate (or overwrite) the entry for this index/tag."""
+        slot, tag = self._slot_tag(index, pc)
+        self._tags[slot] = tag
+        self._valid[slot] = True
+        self._counters[slot] = 2 if taken else 1
+
+    def reset(self) -> None:
+        self._valid.fill(False)
+        self._counters.fill(2)
+        self._tags.fill(0)
+
+    def storage_bits(self) -> int:
+        entries = len(self._tags)
+        tag_bits = int(self._tag_mask).bit_length()
+        return entries * (tag_bits + 2 + 1)  # tag + counter + valid
+
+
+class YagsPredictor(BranchPredictor):
+    """Global-history YAGS predictor.
+
+    Parameters
+    ----------
+    history_bits:
+        Global history length for the exception-cache gshare index.
+    cache_index_bits:
+        log2 of each exception cache's entry count.
+    tag_bits:
+        Partial-tag width stored in the caches.
+    choice_index_bits:
+        log2 of the PC-indexed choice PHT's entry count.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        *,
+        cache_index_bits: int = 11,
+        tag_bits: int = 8,
+        choice_index_bits: int = 13,
+    ) -> None:
+        if tag_bits < 1:
+            raise PredictorError("tag_bits must be >= 1")
+        self.history = HistoryRegister(history_bits)
+        self.choice = CounterTable(1 << choice_index_bits, bits=2)
+        # "T cache" holds exceptions for not-taken-biased branches (cases
+        # where they were taken); "NT cache" the reverse.
+        self.t_cache = _ExceptionCache(cache_index_bits, tag_bits)
+        self.nt_cache = _ExceptionCache(cache_index_bits, tag_bits)
+        self._cache_mask = (1 << cache_index_bits) - 1
+        self._choice_mask = (1 << choice_index_bits) - 1
+        self.name = f"yags-h{history_bits}"
+
+    def _cache_index(self, pc: int) -> int:
+        return (self.history.value ^ pc) & self._cache_mask
+
+    def _choice_index(self, pc: int) -> int:
+        return pc & self._choice_mask
+
+    def predict(self, pc: int) -> bool:
+        bias_taken = self.choice.predict(self._choice_index(pc))
+        cache = self.nt_cache if bias_taken else self.t_cache
+        exception = cache.lookup(self._cache_index(pc), pc)
+        if exception is not None:
+            return exception
+        return bias_taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        choice_index = self._choice_index(pc)
+        bias_taken = self.choice.predict(choice_index)
+        cache = self.nt_cache if bias_taken else self.t_cache
+        cache_index = self._cache_index(pc)
+
+        hit = cache.train_hit(cache_index, pc, taken)
+        if not hit and bool(taken) != bias_taken:
+            # The branch contradicted its bias and no exception entry
+            # existed: allocate one.
+            cache.insert(cache_index, pc, taken)
+
+        # Choice PHT uses the bi-mode partial-update rule: don't punish
+        # the bias when the exception cache covered the deviation.
+        vindicated = (bias_taken != bool(taken)) and hit
+        if not vindicated:
+            self.choice.update(choice_index, taken)
+
+        self.history.push(taken)
+
+    def reset(self) -> None:
+        self.history.reset()
+        self.choice.reset()
+        self.t_cache.reset()
+        self.nt_cache.reset()
+
+    def storage_bits(self) -> int:
+        return (
+            self.history.storage_bits()
+            + self.choice.storage_bits()
+            + self.t_cache.storage_bits()
+            + self.nt_cache.storage_bits()
+        )

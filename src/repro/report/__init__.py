@@ -1,0 +1,15 @@
+"""Plain-text rendering of tables, colormaps and line plots."""
+
+from .table import ascii_table, format_percent, format_rate
+from .colormap import SHADES, ascii_colormap
+from .lineplot import SERIES_GLYPHS, ascii_lineplot
+
+__all__ = [
+    "ascii_table",
+    "format_percent",
+    "format_rate",
+    "ascii_colormap",
+    "SHADES",
+    "ascii_lineplot",
+    "SERIES_GLYPHS",
+]

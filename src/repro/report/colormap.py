@@ -1,0 +1,77 @@
+"""ASCII gray-scale colormaps.
+
+The paper's Figures 5–8 and 13–14 are gray-scale colormaps of miss
+rate over (class × history length) or (class × class) grids; this
+module renders the same data with density characters, dark = high miss
+rate, matching the paper's visual convention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_colormap", "SHADES"]
+
+#: Light-to-dark character ramp.
+SHADES = " .:-=+*#%@"
+
+
+def ascii_colormap(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str = "",
+    row_axis: str = "",
+    col_axis: str = "",
+    vmin: float = 0.0,
+    vmax: float | None = None,
+    cell_width: int = 2,
+) -> str:
+    """Render a matrix as a shaded character grid with a legend.
+
+    Cells with no data (NaN) render as ``··``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConfigurationError("colormap input must be 2-D")
+    rows, cols = matrix.shape
+    if len(row_labels) != rows or len(col_labels) != cols:
+        raise ConfigurationError("label lengths must match matrix shape")
+    if vmax is None:
+        finite = matrix[np.isfinite(matrix)]
+        vmax = float(finite.max()) if finite.size else 1.0
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+
+    span = vmax - vmin
+    label_width = max(len(str(r)) for r in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + "".join(
+        str(c)[:cell_width].rjust(cell_width) for c in col_labels
+    )
+    if col_axis:
+        lines.append(" " * (label_width + 1) + col_axis)
+    lines.append(header)
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            value = matrix[r, c]
+            if not np.isfinite(value):
+                cells.append("·" * cell_width)
+                continue
+            level = (min(max(value, vmin), vmax) - vmin) / span
+            shade = SHADES[min(int(level * len(SHADES)), len(SHADES) - 1)]
+            cells.append(shade * cell_width)
+        suffix = f"  {row_axis}" if (row_axis and r == 0) else ""
+        lines.append(f"{str(row_labels[r]).rjust(label_width)} " + "".join(cells) + suffix)
+    lines.append(
+        f"legend: '{SHADES[0]}'={vmin:.2f} .. '{SHADES[-1]}'>={vmax:.2f} (miss rate)"
+    )
+    return "\n".join(lines)

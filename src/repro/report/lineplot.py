@@ -1,0 +1,80 @@
+"""ASCII line plots.
+
+The paper's Figures 9–12 are per-class miss-rate curves against
+history length; this renders equivalent multi-series plots in plain
+text, one glyph per series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_lineplot", "SERIES_GLYPHS"]
+
+#: Per-series marker characters, assigned in insertion order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def ascii_lineplot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_values: Sequence[float],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    height: int = 16,
+    y_max: float | None = None,
+) -> str:
+    """Render series (all sharing ``x_values``) as a character plot."""
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if height < 4:
+        raise ConfigurationError("height must be >= 4")
+    xs = list(x_values)
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points, expected {len(xs)}"
+            )
+    if len(series) > len(SERIES_GLYPHS):
+        raise ConfigurationError(f"at most {len(SERIES_GLYPHS)} series supported")
+
+    all_values = np.concatenate([np.asarray(list(ys), dtype=float) for ys in series.values()])
+    top = float(y_max) if y_max is not None else float(all_values.max()) * 1.05
+    if top <= 0:
+        top = 1.0
+
+    columns = len(xs)
+    col_stride = 3  # characters per x position
+    width = columns * col_stride
+    grid = [[" "] * width for _ in range(height)]
+
+    for (name, ys), glyph in zip(series.items(), SERIES_GLYPHS):
+        for i, y in enumerate(ys):
+            level = min(max(float(y) / top, 0.0), 1.0)
+            row = height - 1 - int(round(level * (height - 1)))
+            col = i * col_stride + col_stride // 2
+            grid[row][col] = glyph
+
+    label_width = 7
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        y_at_row = top * (height - 1 - r) / (height - 1)
+        label = f"{y_at_row:6.3f} " if r % 4 == 0 or r == height - 1 else " " * label_width
+        lines.append(label + "|" + "".join(grid[r]))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_line = " " * (label_width + 1)
+    for x in xs:
+        x_line += str(x).rjust(col_stride)[:col_stride]
+    lines.append(x_line + ("  " + x_label if x_label else ""))
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), SERIES_GLYPHS)
+    )
+    lines.append(f"legend: {legend}" + (f"   y: {y_label}" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering.
+
+Every experiment renders its data as an ASCII table (and the colormap
+and line-plot helpers build on the same column layout), so results are
+readable in a terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_table", "format_percent", "format_rate"]
+
+
+def format_percent(value: float, *, digits: int = 2) -> str:
+    """``0.0872`` → ``"8.72%"``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_rate(value: float, *, digits: int = 3) -> str:
+    """A miss rate with fixed decimals, e.g. ``0.153``."""
+    return f"{value:.{digits}f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    align_first_left: bool = True,
+) -> str:
+    """Render rows as a boxed, column-aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_first_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt(list(headers)))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in str_rows)
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Branch trace substrate.
+
+Everything in this library consumes streams of dynamic
+conditional-branch outcomes.  This package provides the record type,
+the column-oriented in-memory :class:`Trace`, serialization, per-branch
+statistics, and trace transformations.
+"""
+
+from .record import NOT_TAKEN, TAKEN, BranchRecord
+from .stream import Trace, TraceBuilder, concat
+from .stats import BranchStats, TraceStats, taken_rate, transition_rate
+from .io import load_trace, read_binary, read_text, save_trace, write_binary, write_text
+from .filters import (
+    exclude_pcs,
+    merge_suite,
+    offset_pcs,
+    remap_pcs,
+    sample_every,
+    select_pcs,
+    select_where,
+    window,
+)
+
+__all__ = [
+    "BranchRecord",
+    "TAKEN",
+    "NOT_TAKEN",
+    "Trace",
+    "TraceBuilder",
+    "concat",
+    "BranchStats",
+    "TraceStats",
+    "taken_rate",
+    "transition_rate",
+    "save_trace",
+    "load_trace",
+    "read_binary",
+    "write_binary",
+    "read_text",
+    "write_text",
+    "select_pcs",
+    "exclude_pcs",
+    "select_where",
+    "window",
+    "sample_every",
+    "remap_pcs",
+    "offset_pcs",
+    "merge_suite",
+]

@@ -1,0 +1,122 @@
+"""Trace transformations.
+
+Pure functions producing new :class:`~repro.trace.stream.Trace` objects
+from existing ones: PC-based selection, windowing, deterministic
+sampling, PC remapping, and the interleaving helper used to merge the
+per-benchmark traces of a suite into one stream with disjoint PC
+spaces (mirroring how the paper aggregates SPECint95 results across
+benchmarks weighted by dynamic occurrence).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from .stream import Trace
+
+__all__ = [
+    "select_pcs",
+    "exclude_pcs",
+    "select_where",
+    "window",
+    "sample_every",
+    "remap_pcs",
+    "offset_pcs",
+    "merge_suite",
+]
+
+
+def select_pcs(trace: Trace, pcs: Iterable[int]) -> Trace:
+    """Keep only records whose PC is in ``pcs`` (order preserved)."""
+    wanted = np.asarray(sorted(set(int(p) for p in pcs)), dtype=np.int64)
+    mask = np.isin(trace.pcs, wanted)
+    return Trace(trace.pcs[mask], trace.outcomes[mask], name=trace.name)
+
+
+def exclude_pcs(trace: Trace, pcs: Iterable[int]) -> Trace:
+    """Drop all records whose PC is in ``pcs``."""
+    unwanted = np.asarray(sorted(set(int(p) for p in pcs)), dtype=np.int64)
+    mask = ~np.isin(trace.pcs, unwanted)
+    return Trace(trace.pcs[mask], trace.outcomes[mask], name=trace.name)
+
+
+def select_where(trace: Trace, predicate: Callable[[int], bool]) -> Trace:
+    """Keep records whose PC satisfies ``predicate``.
+
+    The predicate is evaluated once per *static* branch, not per record.
+    """
+    keep = [int(pc) for pc in np.unique(trace.pcs) if predicate(int(pc))]
+    return select_pcs(trace, keep)
+
+
+def window(trace: Trace, start: int, length: int) -> Trace:
+    """The ``length`` records beginning at dynamic position ``start``."""
+    if start < 0 or length < 0:
+        raise TraceError("window start and length must be non-negative")
+    return trace[start : start + length]
+
+
+def sample_every(trace: Trace, stride: int, *, phase: int = 0) -> Trace:
+    """Keep every ``stride``-th record starting at ``phase``.
+
+    Deterministic systematic sampling; useful for quick-look analysis of
+    very long traces.  Note that sampling distorts *transition* counts
+    (adjacent surviving records were not adjacent originally), so use it
+    for distribution estimates only, never for predictor simulation.
+    """
+    if stride <= 0:
+        raise TraceError("stride must be positive")
+    if not 0 <= phase < stride:
+        raise TraceError("phase must satisfy 0 <= phase < stride")
+    return Trace(trace.pcs[phase::stride], trace.outcomes[phase::stride], name=trace.name)
+
+
+def remap_pcs(trace: Trace, mapping: Callable[[int], int]) -> Trace:
+    """Apply ``mapping`` to every static PC."""
+    uniques = np.unique(trace.pcs)
+    table = {int(pc): int(mapping(int(pc))) for pc in uniques}
+    for old, new in table.items():
+        if new < 0:
+            raise TraceError(f"remapped pc for {old} is negative ({new})")
+    lut_keys = np.asarray(list(table.keys()), dtype=np.int64)
+    lut_vals = np.asarray(list(table.values()), dtype=np.int64)
+    idx = np.searchsorted(lut_keys, trace.pcs)
+    return Trace(lut_vals[idx], trace.outcomes, name=trace.name)
+
+
+def offset_pcs(trace: Trace, offset: int) -> Trace:
+    """Shift every PC by a constant offset."""
+    if len(trace) and int(trace.pcs.min()) + offset < 0:
+        raise TraceError("offset would produce negative pcs")
+    return Trace(trace.pcs + offset, trace.outcomes, name=trace.name)
+
+
+def merge_suite(traces: Sequence[Trace], *, name: str = "suite", pc_stride: int = 1 << 24) -> Trace:
+    """Concatenate benchmark traces with disjoint PC spaces.
+
+    Each input trace's PCs are offset into its own ``pc_stride``-sized
+    region, so branches from different benchmarks can never alias in the
+    profiling tables.  This mirrors the paper's whole-suite aggregation:
+    the combined trace weights every class by dynamic occurrence across
+    all benchmarks.  (Predictor *hardware* tables still alias across
+    benchmarks only if you simulate the merged trace directly — the
+    experiment drivers simulate per benchmark and merge results instead.)
+    """
+    if pc_stride <= 0:
+        raise TraceError("pc_stride must be positive")
+    shifted = []
+    for i, trace in enumerate(traces):
+        if len(trace) and int(trace.pcs.max()) >= pc_stride:
+            raise TraceError(
+                f"trace {trace.name or i} has pcs >= pc_stride {pc_stride}; "
+                "raise pc_stride"
+            )
+        shifted.append(Trace(trace.pcs + i * pc_stride, trace.outcomes, name=trace.name))
+    if not shifted:
+        return Trace.empty(name=name)
+    pcs = np.concatenate([t.pcs for t in shifted])
+    outs = np.concatenate([t.outcomes for t in shifted])
+    return Trace(pcs, outs, name=name)

@@ -1,0 +1,148 @@
+"""Trace serialization.
+
+Two interchange formats are provided:
+
+* a **binary** format (``.rbt``, magic ``RBTR``) — compact, fast,
+  outcomes bit-packed; the format every tool in this repo prefers, and
+  the stand-in for SimpleScalar's dumped branch traces;
+* a **text** format — one ``pc taken`` pair per line with ``#``
+  comments; slow but diffable and easy to produce from other tools.
+
+Both round-trip exactly, including the trace name.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from pathlib import Path
+from typing import BinaryIO, TextIO
+
+import numpy as np
+
+from ..errors import TraceFormatError
+from .stream import Trace
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "write_binary",
+    "read_binary",
+    "write_text",
+    "read_text",
+    "save_trace",
+    "load_trace",
+]
+
+MAGIC = b"RBTR"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQI")  # magic, version, flags, count, name length
+
+
+# -- binary format ---------------------------------------------------------
+
+
+def write_binary(trace: Trace, fp: BinaryIO) -> None:
+    """Serialize ``trace`` to an open binary stream."""
+    name_bytes = trace.name.encode("utf-8")
+    fp.write(_HEADER.pack(MAGIC, FORMAT_VERSION, 0, len(trace), len(name_bytes)))
+    fp.write(name_bytes)
+    fp.write(np.ascontiguousarray(trace.pcs, dtype="<i8").tobytes())
+    fp.write(np.packbits(trace.outcomes).tobytes())
+
+
+def read_binary(fp: BinaryIO) -> Trace:
+    """Deserialize a trace written by :func:`write_binary`."""
+    header = fp.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, _flags, count, name_len = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}; not a repro branch trace")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace format version {version}")
+    name = fp.read(name_len).decode("utf-8")
+    pcs_bytes = fp.read(count * 8)
+    if len(pcs_bytes) != count * 8:
+        raise TraceFormatError("truncated pc payload")
+    packed_len = (count + 7) // 8
+    out_bytes = fp.read(packed_len)
+    if len(out_bytes) != packed_len:
+        raise TraceFormatError("truncated outcome payload")
+    pcs = np.frombuffer(pcs_bytes, dtype="<i8").astype(np.int64)
+    outcomes = np.unpackbits(np.frombuffer(out_bytes, dtype=np.uint8), count=count)
+    return Trace(pcs, outcomes, name=name)
+
+
+# -- text format -------------------------------------------------------------
+
+
+def write_text(trace: Trace, fp: TextIO) -> None:
+    """Serialize ``trace`` as one ``pc taken`` pair per line."""
+    if trace.name:
+        fp.write(f"# name: {trace.name}\n")
+    pcs = trace.pcs
+    outs = trace.outcomes
+    for i in range(len(trace)):
+        fp.write(f"{int(pcs[i])} {int(outs[i])}\n")
+
+
+def read_text(fp: TextIO) -> Trace:
+    """Deserialize a trace written by :func:`write_text`.
+
+    Blank lines and ``#`` comments are ignored; a leading
+    ``# name: <label>`` comment restores the trace name.
+    """
+    name = ""
+    pcs: list[int] = []
+    outs: list[int] = []
+    for lineno, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("name:"):
+                name = body[len("name:") :].strip()
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise TraceFormatError(f"line {lineno}: expected 'pc taken', got {line!r}")
+        try:
+            pc = int(parts[0], 0)
+            taken = int(parts[1], 0)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: non-integer field in {line!r}") from exc
+        if taken not in (0, 1):
+            raise TraceFormatError(f"line {lineno}: outcome must be 0 or 1, got {taken}")
+        pcs.append(pc)
+        outs.append(taken)
+    return Trace(pcs, outs, name=name)
+
+
+# -- path-level conveniences ---------------------------------------------------
+
+
+def save_trace(trace: Trace, path: str | os.PathLike[str]) -> None:
+    """Write ``trace`` to ``path``; ``.txt`` selects the text format."""
+    path = Path(path)
+    if path.suffix == ".txt":
+        with open(path, "w", encoding="utf-8") as fp:
+            write_text(trace, fp)
+    else:
+        with open(path, "wb") as fp:
+            write_binary(trace, fp)
+
+
+def load_trace(path: str | os.PathLike[str]) -> Trace:
+    """Read a trace from ``path``, sniffing binary vs text by magic."""
+    path = Path(path)
+    with open(path, "rb") as fp:
+        head = fp.read(4)
+        fp.seek(0)
+        if head == MAGIC:
+            return read_binary(fp)
+        text = io.TextIOWrapper(fp, encoding="utf-8")
+        return read_text(text)

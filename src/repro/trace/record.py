@@ -1,0 +1,49 @@
+"""Single branch-outcome records.
+
+The unit of data in this library is one dynamic execution of a static
+conditional branch: the branch's program counter (PC) and whether the
+branch was taken.  The paper's entire analysis operates on streams of
+these records; everything else (predictors, classifiers, experiments)
+consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BranchRecord", "TAKEN", "NOT_TAKEN"]
+
+#: Symbolic outcome constants.  Outcomes are plain ints (0/1) in bulk
+#: storage; these names exist for readability at call sites.
+TAKEN: int = 1
+NOT_TAKEN: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BranchRecord:
+    """One dynamic execution of a conditional branch.
+
+    Attributes
+    ----------
+    pc:
+        Address (or any stable integer identity) of the static branch
+        instruction.  Must be non-negative.
+    taken:
+        ``True`` if the branch was taken on this execution.
+    """
+
+    pc: int
+    taken: bool
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"branch pc must be non-negative, got {self.pc}")
+
+    @property
+    def outcome(self) -> int:
+        """The outcome as an integer (:data:`TAKEN` or :data:`NOT_TAKEN`)."""
+        return TAKEN if self.taken else NOT_TAKEN
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        arrow = "T" if self.taken else "N"
+        return f"{self.pc:#x}:{arrow}"

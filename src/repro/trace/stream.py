@@ -1,0 +1,239 @@
+"""In-memory branch traces.
+
+A :class:`Trace` is an immutable, column-oriented sequence of branch
+records backed by numpy arrays (one array of PCs, one of outcomes).
+This layout keeps multi-million-record traces compact and lets the
+vectorized simulation engine and the statistics pass operate without
+per-record Python objects, while still exposing a convenient
+record-at-a-time view for the reference engine and for tests.
+
+:class:`TraceBuilder` is the mutable companion used by producers (the
+VM's branch hook, the synthetic workload generators) to accumulate
+records cheaply before freezing them into a :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import overload
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import BranchRecord
+
+__all__ = ["Trace", "TraceBuilder", "concat"]
+
+
+class Trace:
+    """An immutable sequence of dynamic conditional-branch outcomes.
+
+    Parameters
+    ----------
+    pcs:
+        Array-like of non-negative branch addresses, one per dynamic
+        branch execution, in program order.
+    outcomes:
+        Array-like of 0/1 outcomes (1 = taken), same length as ``pcs``.
+    name:
+        Optional label (e.g. benchmark and input-set name) carried along
+        for reporting.
+    """
+
+    __slots__ = ("_pcs", "_outcomes", "name")
+
+    def __init__(self, pcs, outcomes, *, name: str = "") -> None:
+        pcs_arr = np.asarray(pcs, dtype=np.int64)
+        out_arr = np.asarray(outcomes, dtype=np.uint8)
+        if pcs_arr.ndim != 1 or out_arr.ndim != 1:
+            raise TraceError("pcs and outcomes must be one-dimensional")
+        if len(pcs_arr) != len(out_arr):
+            raise TraceError(
+                f"pcs and outcomes length mismatch: {len(pcs_arr)} != {len(out_arr)}"
+            )
+        if len(pcs_arr) and pcs_arr.min() < 0:
+            raise TraceError("branch pcs must be non-negative")
+        if len(out_arr) and out_arr.max() > 1:
+            raise TraceError("outcomes must be 0 or 1")
+        pcs_arr.setflags(write=False)
+        out_arr.setflags(write=False)
+        self._pcs = pcs_arr
+        self._outcomes = out_arr
+        self.name = name
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[BranchRecord], *, name: str = "") -> "Trace":
+        """Materialize a trace from an iterable of :class:`BranchRecord`."""
+        pcs: list[int] = []
+        outs: list[int] = []
+        for rec in records:
+            pcs.append(rec.pc)
+            outs.append(1 if rec.taken else 0)
+        return cls(pcs, outs, name=name)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, int]], *, name: str = "") -> "Trace":
+        """Materialize a trace from ``(pc, taken)`` pairs."""
+        pcs: list[int] = []
+        outs: list[int] = []
+        for pc, taken in pairs:
+            pcs.append(pc)
+            outs.append(1 if taken else 0)
+        return cls(pcs, outs, name=name)
+
+    @classmethod
+    def empty(cls, *, name: str = "") -> "Trace":
+        """An empty trace."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8), name=name)
+
+    # -- column access ---------------------------------------------------
+
+    @property
+    def pcs(self) -> np.ndarray:
+        """Read-only ``int64`` array of branch addresses."""
+        return self._pcs
+
+    @property
+    def outcomes(self) -> np.ndarray:
+        """Read-only ``uint8`` array of outcomes (1 = taken)."""
+        return self._outcomes
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @overload
+    def __getitem__(self, index: int) -> BranchRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Trace": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._pcs[index], self._outcomes[index], name=self.name)
+        rec_pc = int(self._pcs[index])
+        return BranchRecord(pc=rec_pc, taken=bool(self._outcomes[index]))
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        pcs = self._pcs
+        outs = self._outcomes
+        for i in range(len(pcs)):
+            yield BranchRecord(pc=int(pcs[i]), taken=bool(outs[i]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and bool(np.array_equal(self._pcs, other._pcs))
+            and bool(np.array_equal(self._outcomes, other._outcomes))
+        )
+
+    def __hash__(self) -> int:  # content hash; traces are immutable
+        return hash((len(self), self._pcs.tobytes(), self._outcomes.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Trace(len={len(self)}, static={self.num_static_branches}{label})"
+
+    # -- summary properties ------------------------------------------------
+
+    @property
+    def num_static_branches(self) -> int:
+        """Number of distinct static branch PCs in the trace."""
+        if not len(self):
+            return 0
+        return int(len(np.unique(self._pcs)))
+
+    @property
+    def num_taken(self) -> int:
+        """Total number of taken outcomes."""
+        return int(self._outcomes.sum())
+
+    @property
+    def taken_fraction(self) -> float:
+        """Fraction of all dynamic branches that were taken."""
+        if not len(self):
+            return 0.0
+        return self.num_taken / len(self)
+
+    def static_pcs(self) -> np.ndarray:
+        """Sorted array of distinct static branch PCs."""
+        return np.unique(self._pcs)
+
+    # -- combinators ---------------------------------------------------------
+
+    def with_name(self, name: str) -> "Trace":
+        """A view of the same data under a different label."""
+        return Trace(self._pcs, self._outcomes, name=name)
+
+    def head(self, n: int) -> "Trace":
+        """The first ``n`` records (or fewer if the trace is shorter)."""
+        if n < 0:
+            raise TraceError("head() requires a non-negative count")
+        return self[:n]
+
+    def concat(self, other: "Trace", *, name: str | None = None) -> "Trace":
+        """This trace followed by ``other``.
+
+        PC spaces are assumed compatible (the caller is responsible for
+        disambiguating PCs across different programs; see
+        :func:`repro.trace.filters.interleave` for the offsetting helper).
+        """
+        return concat([self, other], name=self.name if name is None else name)
+
+
+def concat(traces: Sequence[Trace], *, name: str = "") -> Trace:
+    """Concatenate traces end to end, preserving program order."""
+    if not traces:
+        return Trace.empty(name=name)
+    pcs = np.concatenate([t.pcs for t in traces])
+    outs = np.concatenate([t.outcomes for t in traces])
+    return Trace(pcs, outs, name=name)
+
+
+class TraceBuilder:
+    """Mutable accumulator that freezes into a :class:`Trace`.
+
+    Producers append one record at a time (or in bulk); :meth:`build`
+    snapshots the contents.  Appending after :meth:`build` is allowed and
+    affects only subsequent snapshots.
+    """
+
+    __slots__ = ("_pcs", "_outcomes", "name")
+
+    def __init__(self, *, name: str = "") -> None:
+        self._pcs: list[int] = []
+        self._outcomes: list[int] = []
+        self.name = name
+
+    def append(self, pc: int, taken: bool | int) -> None:
+        """Record one dynamic branch execution."""
+        if pc < 0:
+            raise TraceError(f"branch pc must be non-negative, got {pc}")
+        self._pcs.append(pc)
+        self._outcomes.append(1 if taken else 0)
+
+    def extend(self, records: Iterable[BranchRecord]) -> None:
+        """Append many :class:`BranchRecord` objects."""
+        for rec in records:
+            self._pcs.append(rec.pc)
+            self._outcomes.append(1 if rec.taken else 0)
+
+    def extend_pairs(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Append many ``(pc, taken)`` pairs."""
+        for pc, taken in pairs:
+            self.append(pc, taken)
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def build(self) -> Trace:
+        """Freeze the accumulated records into an immutable :class:`Trace`."""
+        return Trace(self._pcs, self._outcomes, name=self.name)

@@ -1,0 +1,5 @@
+"""The mini-ISA virtual machine (functional simulator with branch hooks)."""
+
+from .machine import Machine, RunResult, run_traced
+
+__all__ = ["Machine", "RunResult", "run_traced"]

@@ -1,0 +1,218 @@
+"""The functional simulator.
+
+Executes assembled :class:`~repro.isa.assembler.Program` objects with a
+flat word memory, a machine-managed call stack, and — the point of the
+whole exercise — a branch hook: every *conditional* branch execution is
+reported as ``(pc, taken)``, exactly the event stream the paper's
+modified ``sim-bpred`` extracts from SPEC binaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import VMLimitExceeded, VMRuntimeError
+from ..isa.assembler import NUM_REGISTERS, Program
+from ..isa.opcodes import Opcode
+from ..trace.stream import Trace, TraceBuilder
+
+__all__ = ["Machine", "RunResult", "run_traced"]
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - (1 << 64) if value >> 63 else value
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program run."""
+
+    steps: int
+    output: list[int]
+    halted: bool
+    dynamic_branches: int
+    trace: Trace | None = None
+
+
+@dataclass
+class Machine:
+    """A mini-ISA virtual machine.
+
+    Parameters
+    ----------
+    program:
+        The assembled program to run.
+    memory_words:
+        Size of the flat data memory (word addressed).
+    branch_hook:
+        Optional callable invoked as ``hook(pc, taken)`` for every
+        conditional branch executed.
+    """
+
+    program: Program
+    memory_words: int = 1 << 16
+    branch_hook: Callable[[int, bool], None] | None = None
+
+    registers: list[int] = field(init=False)
+    memory: list[int] = field(init=False)
+    output: list[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear registers, memory, output and the call stack."""
+        self.registers = [0] * NUM_REGISTERS
+        self.memory = [0] * self.memory_words
+        self.output = []
+        self._call_stack: list[int] = []
+
+    def load_memory(self, address: int, values: Sequence[int]) -> None:
+        """Copy ``values`` into memory starting at ``address``."""
+        if address < 0 or address + len(values) > self.memory_words:
+            raise VMRuntimeError(
+                f"memory image [{address}, {address + len(values)}) out of bounds"
+            )
+        for offset, value in enumerate(values):
+            self.memory[address + offset] = _signed(value)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, *, max_steps: int = 10_000_000) -> RunResult:
+        """Execute from instruction 0 until HALT (or the step budget)."""
+        instructions = self.program.instructions
+        regs = self.registers
+        memory = self.memory
+        hook = self.branch_hook
+        pc_of = self.program.pc_of
+        num_instructions = len(instructions)
+
+        index = 0
+        steps = 0
+        branches = 0
+        halted = False
+        while steps < max_steps:
+            if not 0 <= index < num_instructions:
+                raise VMRuntimeError(f"control fell off the program at index {index}")
+            instruction = instructions[index]
+            op = instruction.opcode
+            operands = instruction.operands
+            steps += 1
+            next_index = index + 1
+
+            if op is Opcode.ADD:
+                regs[operands[0]] = _signed(regs[operands[1]] + regs[operands[2]])
+            elif op is Opcode.SUB:
+                regs[operands[0]] = _signed(regs[operands[1]] - regs[operands[2]])
+            elif op is Opcode.MUL:
+                regs[operands[0]] = _signed(regs[operands[1]] * regs[operands[2]])
+            elif op is Opcode.DIV:
+                divisor = regs[operands[2]]
+                if divisor == 0:
+                    raise VMRuntimeError(f"division by zero at {pc_of(index):#x}")
+                regs[operands[0]] = _signed(int(regs[operands[1]] / divisor))
+            elif op is Opcode.MOD:
+                divisor = regs[operands[2]]
+                if divisor == 0:
+                    raise VMRuntimeError(f"modulo by zero at {pc_of(index):#x}")
+                regs[operands[0]] = _signed(regs[operands[1]] - int(regs[operands[1]] / divisor) * divisor)
+            elif op is Opcode.AND:
+                regs[operands[0]] = regs[operands[1]] & regs[operands[2]]
+            elif op is Opcode.OR:
+                regs[operands[0]] = regs[operands[1]] | regs[operands[2]]
+            elif op is Opcode.XOR:
+                regs[operands[0]] = regs[operands[1]] ^ regs[operands[2]]
+            elif op is Opcode.SHL:
+                regs[operands[0]] = _signed(regs[operands[1]] << (regs[operands[2]] & 63))
+            elif op is Opcode.SHR:
+                regs[operands[0]] = _signed((regs[operands[1]] & _WORD_MASK) >> (regs[operands[2]] & 63))
+            elif op is Opcode.SLT:
+                regs[operands[0]] = 1 if regs[operands[1]] < regs[operands[2]] else 0
+            elif op is Opcode.ADDI:
+                regs[operands[0]] = _signed(regs[operands[1]] + operands[2])
+            elif op is Opcode.ANDI:
+                regs[operands[0]] = regs[operands[1]] & operands[2]
+            elif op is Opcode.MULI:
+                regs[operands[0]] = _signed(regs[operands[1]] * operands[2])
+            elif op is Opcode.LI:
+                regs[operands[0]] = _signed(operands[1])
+            elif op is Opcode.MOV:
+                regs[operands[0]] = regs[operands[1]]
+            elif op is Opcode.LD:
+                address = regs[operands[1]] + operands[2]
+                if not 0 <= address < self.memory_words:
+                    raise VMRuntimeError(f"load from {address} out of bounds at {pc_of(index):#x}")
+                regs[operands[0]] = memory[address]
+            elif op is Opcode.ST:
+                address = regs[operands[1]] + operands[2]
+                if not 0 <= address < self.memory_words:
+                    raise VMRuntimeError(f"store to {address} out of bounds at {pc_of(index):#x}")
+                memory[address] = regs[operands[0]]
+            elif op in _BRANCH_TESTS:
+                taken = _BRANCH_TESTS[op](regs[operands[0]], regs[operands[1]])
+                branches += 1
+                if hook is not None:
+                    hook(pc_of(index), taken)
+                if taken:
+                    next_index = operands[2]
+            elif op is Opcode.JMP:
+                next_index = operands[0]
+            elif op is Opcode.CALL:
+                self._call_stack.append(index + 1)
+                next_index = operands[0]
+            elif op is Opcode.RET:
+                if not self._call_stack:
+                    raise VMRuntimeError(f"RET with empty call stack at {pc_of(index):#x}")
+                next_index = self._call_stack.pop()
+            elif op is Opcode.OUT:
+                self.output.append(regs[operands[0]])
+            elif op is Opcode.HALT:
+                halted = True
+            else:  # pragma: no cover - all opcodes handled
+                raise VMRuntimeError(f"unimplemented opcode {op}")
+
+            regs[0] = 0  # r0 is hardwired zero
+            if halted:
+                break
+            index = next_index
+
+        if not halted:
+            raise VMLimitExceeded(f"program did not halt within {max_steps} steps")
+        return RunResult(
+            steps=steps, output=list(self.output), halted=True, dynamic_branches=branches
+        )
+
+
+_BRANCH_TESTS = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+    Opcode.BLE: lambda a, b: a <= b,
+    Opcode.BGT: lambda a, b: a > b,
+}
+
+
+def run_traced(
+    program: Program,
+    *,
+    memory_image: dict[int, Sequence[int]] | None = None,
+    max_steps: int = 10_000_000,
+    memory_words: int = 1 << 16,
+    name: str = "",
+) -> RunResult:
+    """Run a program and capture its conditional-branch trace."""
+    builder = TraceBuilder(name=name)
+    machine = Machine(
+        program, memory_words=memory_words, branch_hook=builder.append
+    )
+    if memory_image:
+        for address, values in memory_image.items():
+            machine.load_memory(address, values)
+    result = machine.run(max_steps=max_steps)
+    result.trace = builder.build()
+    return result

@@ -1,0 +1,5 @@
+"""Workload generation: synthetic calibrated populations and VM programs."""
+
+from . import synthetic
+
+__all__ = ["synthetic"]

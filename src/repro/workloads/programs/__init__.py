@@ -1,0 +1,5 @@
+"""VM workload programs: real kernels emitting authentic branch traces."""
+
+from .kernels import KERNEL_NAMES, build_kernel, run_kernel
+
+__all__ = ["KERNEL_NAMES", "build_kernel", "run_kernel"]

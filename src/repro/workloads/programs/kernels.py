@@ -1,0 +1,374 @@
+"""Workload kernels written in the mini-ISA assembly.
+
+Each kernel is a real algorithm — the VM executes it to completion and
+its conditional branches land in the trace.  The kernels cover the
+branch-behaviour space the paper studies:
+
+* ``bubble_sort`` — loop back-edges (biased) + data-dependent compares
+  whose taken rate drifts as the array gets sorted,
+* ``binary_search`` — near-50 % data-dependent compares (hard class),
+* ``rle_compress`` — a run-length encoder (the compress analogue):
+  branch behaviour tracks input run structure,
+* ``sieve`` — composite-flag tests with a thinning taken rate,
+* ``byte_scanner`` — a parser-style classification ladder (perl-like),
+* ``matmul`` — pure loop nests (ijpeg-like, heavily biased).
+
+All builders return ``(Program, memory_image)``; :func:`run_kernel`
+executes one and returns a :class:`~repro.vm.machine.RunResult` whose
+``trace`` is the branch stream, and verifies the architectural output
+(sorts actually sort, the sieve finds real primes) so trace validity is
+anchored to program correctness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...isa.assembler import Program, assemble
+from ...vm.machine import RunResult, run_traced
+
+__all__ = [
+    "KERNEL_NAMES",
+    "build_kernel",
+    "run_kernel",
+]
+
+
+def _bubble_sort(n: int) -> str:
+    return f"""
+        LI   r1, {n}        ; n
+        LI   r2, 0          ; i
+    outer:
+        ADDI r9, r1, -1     ; n-1
+        BGE  r2, r9, output
+        LI   r3, 0          ; j
+        SUB  r10, r9, r2    ; limit = n-1-i
+    inner:
+        BGE  r3, r10, inner_done
+        LD   r4, r3, 0
+        ADDI r5, r3, 1
+        LD   r6, r5, 0
+        BLE  r4, r6, no_swap
+        ST   r6, r3, 0
+        ST   r4, r5, 0
+    no_swap:
+        ADDI r3, r3, 1
+        JMP  inner
+    inner_done:
+        ADDI r2, r2, 1
+        JMP  outer
+    output:
+        LI   r3, 0
+    out_loop:
+        BGE  r3, r1, end
+        LD   r4, r3, 0
+        OUT  r4
+        ADDI r3, r3, 1
+        JMP  out_loop
+    end:
+        HALT
+    """
+
+
+def _binary_search(n: int, queries: int) -> str:
+    return f"""
+        LI   r1, {n}         ; array length
+        LI   r2, {queries}   ; query count
+        LI   r3, 0           ; query index
+    q_loop:
+        BGE  r3, r2, end
+        LD   r4, r3, 1024    ; key
+        LI   r5, 0           ; lo
+        MOV  r6, r1          ; hi
+    search:
+        BGE  r5, r6, not_found
+        ADD  r7, r5, r6
+        LI   r8, 2
+        DIV  r7, r7, r8      ; mid
+        LD   r9, r7, 0
+        BEQ  r9, r4, found
+        BLT  r9, r4, go_right
+        MOV  r6, r7          ; hi = mid
+        JMP  search
+    go_right:
+        ADDI r5, r7, 1       ; lo = mid + 1
+        JMP  search
+    found:
+        OUT  r7
+        JMP  next_query
+    not_found:
+        LI   r7, -1
+        OUT  r7
+    next_query:
+        ADDI r3, r3, 1
+        JMP  q_loop
+    end:
+        HALT
+    """
+
+
+def _rle_compress(n: int) -> str:
+    return f"""
+        LI   r1, {n}        ; input length
+        LI   r2, 0          ; position
+    scan:
+        LD   r3, r2, 0      ; run value
+        LI   r4, 1          ; run length
+    run:
+        ADD  r5, r2, r4
+        BGE  r5, r1, flush
+        LD   r6, r5, 0
+        BNE  r6, r3, flush
+        ADDI r4, r4, 1
+        JMP  run
+    flush:
+        OUT  r3
+        OUT  r4
+        ADD  r2, r2, r4
+        BLT  r2, r1, scan
+        HALT
+    """
+
+
+def _sieve(n: int) -> str:
+    return f"""
+        LI   r1, {n}
+        LI   r2, 2
+    i_loop:
+        BGE  r2, r1, end
+        LD   r3, r2, 0
+        BNE  r3, r0, not_prime
+        OUT  r2
+        MUL  r4, r2, r2
+    mark:
+        BGE  r4, r1, not_prime
+        LI   r5, 1
+        ST   r5, r4, 0
+        ADD  r4, r4, r2
+        JMP  mark
+    not_prime:
+        ADDI r2, r2, 1
+        JMP  i_loop
+    end:
+        HALT
+    """
+
+
+def _byte_scanner(n: int) -> str:
+    return f"""
+        LI   r1, {n}
+        LI   r2, 0          ; index
+        LI   r4, 0          ; control chars
+        LI   r5, 0          ; digits/punctuation band
+        LI   r6, 0          ; multiples of 7
+        LI   r7, 0          ; everything else
+    loop:
+        BGE  r2, r1, end
+        LD   r3, r2, 0
+        LI   r8, 32
+        BGE  r3, r8, not_ctrl
+        ADDI r4, r4, 1
+        JMP  next
+    not_ctrl:
+        LI   r8, 64
+        BGE  r3, r8, not_low
+        ADDI r5, r5, 1
+        JMP  next
+    not_low:
+        LI   r8, 7
+        MOD  r9, r3, r8
+        BNE  r9, r0, other
+        ADDI r6, r6, 1
+        JMP  next
+    other:
+        ADDI r7, r7, 1
+    next:
+        ADDI r2, r2, 1
+        JMP  loop
+    end:
+        OUT  r4
+        OUT  r5
+        OUT  r6
+        OUT  r7
+        HALT
+    """
+
+
+def _matmul(n: int) -> str:
+    return f"""
+        LI   r1, {n}
+        LI   r2, 0          ; i
+    i_loop:
+        BGE  r2, r1, end
+        LI   r3, 0          ; j
+    j_loop:
+        BGE  r3, r1, i_next
+        LI   r4, 0          ; k
+        LI   r5, 0          ; accumulator
+    k_loop:
+        BGE  r4, r1, store
+        MUL  r6, r2, r1
+        ADD  r6, r6, r4
+        LD   r7, r6, 0      ; A[i*n+k]
+        MUL  r8, r4, r1
+        ADD  r8, r8, r3
+        LD   r9, r8, 4096   ; B[k*n+j]
+        MUL  r10, r7, r9
+        ADD  r5, r5, r10
+        ADDI r4, r4, 1
+        JMP  k_loop
+    store:
+        MUL  r6, r2, r1
+        ADD  r6, r6, r3
+        ST   r5, r6, 8192   ; C[i*n+j]
+        OUT  r5
+        ADDI r3, r3, 1
+        JMP  j_loop
+    i_next:
+        ADDI r2, r2, 1
+        JMP  i_loop
+    end:
+        HALT
+    """
+
+
+KERNEL_NAMES = (
+    "bubble_sort",
+    "binary_search",
+    "rle_compress",
+    "sieve",
+    "byte_scanner",
+    "matmul",
+)
+
+
+def build_kernel(
+    name: str, *, size: int = 64, seed: int = 0, base_address: int = 0x1000
+) -> tuple[Program, dict[int, Sequence[int]], dict]:
+    """Assemble a kernel and its input image.
+
+    Returns ``(program, memory_image, expectation)`` where
+    ``expectation`` carries whatever :func:`run_kernel` needs to verify
+    the architectural output.
+    """
+    rng = np.random.default_rng(seed)
+    if name == "bubble_sort":
+        data = rng.integers(0, 1000, size=size).tolist()
+        return (
+            assemble(_bubble_sort(size), base_address=base_address),
+            {0: data},
+            {"output": sorted(data)},
+        )
+    if name == "binary_search":
+        array = sorted(rng.integers(0, 10 * size, size=size).tolist())
+        queries = [
+            int(rng.choice(array)) if rng.random() < 0.6 else int(rng.integers(0, 10 * size))
+            for _ in range(size)
+        ]
+        expected = []
+        for key in queries:
+            expected.append(_binary_search_oracle(array, key))
+        return (
+            assemble(_binary_search(size, len(queries)), base_address=base_address),
+            {0: array, 1024: queries},
+            {"output": expected},
+        )
+    if name == "rle_compress":
+        data = []
+        while len(data) < size:
+            run = int(rng.geometric(0.3))
+            data.extend([int(rng.integers(0, 8))] * run)
+        data = data[:size]
+        expected = []
+        i = 0
+        while i < len(data):
+            j = i
+            while j < len(data) and data[j] == data[i]:
+                j += 1
+            expected += [data[i], j - i]
+            i = j
+        return (
+            assemble(_rle_compress(size), base_address=base_address),
+            {0: data},
+            {"output": expected},
+        )
+    if name == "sieve":
+        limit = max(size, 8)
+        primes = [p for p in range(2, limit) if all(p % d for d in range(2, p))]
+        return (
+            assemble(_sieve(limit), base_address=base_address),
+            {},
+            {"output": primes},
+        )
+    if name == "byte_scanner":
+        data = rng.integers(0, 256, size=size).tolist()
+        counts = [0, 0, 0, 0]
+        for byte in data:
+            if byte < 32:
+                counts[0] += 1
+            elif byte < 64:
+                counts[1] += 1
+            elif byte % 7 == 0:
+                counts[2] += 1
+            else:
+                counts[3] += 1
+        return (
+            assemble(_byte_scanner(size), base_address=base_address),
+            {0: data},
+            {"output": counts},
+        )
+    if name == "matmul":
+        # Matrix side grows with size so loop back-edges stay heavily
+        # biased (exit taken once per n+1 tests).
+        n = max(4, size // 3)
+        a = rng.integers(-9, 10, size=(n, n))
+        b = rng.integers(-9, 10, size=(n, n))
+        c = (a @ b).flatten().tolist()
+        return (
+            assemble(_matmul(n), base_address=base_address),
+            {0: a.flatten().tolist(), 4096: b.flatten().tolist()},
+            {"output": c},
+        )
+    raise ConfigurationError(f"unknown kernel {name!r}; available: {KERNEL_NAMES}")
+
+
+def run_kernel(
+    name: str,
+    *,
+    size: int = 64,
+    seed: int = 0,
+    base_address: int = 0x1000,
+    max_steps: int = 20_000_000,
+    verify: bool = True,
+) -> RunResult:
+    """Assemble, run, verify and trace one kernel."""
+    program, image, expectation = build_kernel(
+        name, size=size, seed=seed, base_address=base_address
+    )
+    result = run_traced(
+        program,
+        memory_image=image,
+        max_steps=max_steps,
+        name=f"vm/{name}",
+    )
+    if verify and result.output != expectation["output"]:
+        raise ConfigurationError(
+            f"kernel {name!r} produced wrong output - VM or kernel bug"
+        )
+    return result
+
+
+def _binary_search_oracle(array: list[int], key: int) -> int:
+    lo, hi = 0, len(array)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if array[mid] == key:
+            return mid
+        if array[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return -1

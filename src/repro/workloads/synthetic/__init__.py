@@ -1,0 +1,51 @@
+"""Synthetic branch workloads calibrated to the paper's SPECint95 data."""
+
+from .models import (
+    AlternatingModel,
+    BiasedModel,
+    BranchModel,
+    LoopModel,
+    MarkovModel,
+    PatternModel,
+    PhasedModel,
+    pattern_for_rates,
+)
+from .population import BranchPopulation, BranchSpec, population_from_joint
+from .spec95 import (
+    BENCHMARK_CHARACTERS,
+    BENCHMARK_NAMES,
+    SPEC95_INPUTS,
+    TABLE2_JOINT_PERCENT,
+    BenchmarkCharacter,
+    InputSet,
+    benchmark_joint_matrix,
+    input_trace,
+    make_population,
+    scaled_length,
+    suite_traces,
+)
+
+__all__ = [
+    "BranchModel",
+    "BiasedModel",
+    "PatternModel",
+    "LoopModel",
+    "AlternatingModel",
+    "MarkovModel",
+    "PhasedModel",
+    "pattern_for_rates",
+    "BranchSpec",
+    "BranchPopulation",
+    "population_from_joint",
+    "TABLE2_JOINT_PERCENT",
+    "BENCHMARK_NAMES",
+    "BENCHMARK_CHARACTERS",
+    "BenchmarkCharacter",
+    "SPEC95_INPUTS",
+    "InputSet",
+    "benchmark_joint_matrix",
+    "make_population",
+    "input_trace",
+    "scaled_length",
+    "suite_traces",
+]

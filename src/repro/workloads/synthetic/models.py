@@ -1,0 +1,283 @@
+"""Per-branch outcome models.
+
+Each model generates the outcome stream of one static branch.  The
+models span the paper's behaviour space:
+
+* :class:`BiasedModel` — i.i.d. coin flips (data-dependent branches;
+  the 5/5 hard class at p = 0.5),
+* :class:`PatternModel` — deterministic repeating patterns (learnable
+  by two-level predictors given enough history),
+* :class:`LoopModel` — loop back-edges (T…TN repeating),
+* :class:`AlternatingModel` — the transition-class-10 extreme,
+* :class:`MarkovModel` — two-state chains whose taken rate and
+  transition rate are *independently* tunable, the workhorse used to
+  hit every cell of the paper's Table 2,
+* :class:`PhasedModel` — concatenated phases of other models
+  (branches whose behaviour changes over the run).
+
+Every model is deterministic given the ``numpy`` generator passed to
+:meth:`BranchModel.generate`, so whole workloads are reproducible from
+one seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from ...errors import ConfigurationError
+
+__all__ = [
+    "BranchModel",
+    "BiasedModel",
+    "PatternModel",
+    "LoopModel",
+    "AlternatingModel",
+    "MarkovModel",
+    "PhasedModel",
+    "pattern_for_rates",
+]
+
+
+class BranchModel(ABC):
+    """Generator of one branch's outcome stream."""
+
+    @abstractmethod
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` outcomes (uint8, 1 = taken)."""
+
+    def expected_taken_rate(self) -> float:
+        """Long-run taken rate this model targets (for calibration tests)."""
+        raise NotImplementedError
+
+    def expected_transition_rate(self) -> float:
+        """Long-run transition rate this model targets."""
+        raise NotImplementedError
+
+
+class BiasedModel(BranchModel):
+    """Independent Bernoulli outcomes with taken probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"bias must be in [0, 1], got {p}")
+        self.p = p
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return (rng.random(n) < self.p).astype(np.uint8)
+
+    def expected_taken_rate(self) -> float:
+        return self.p
+
+    def expected_transition_rate(self) -> float:
+        return 2 * self.p * (1 - self.p)
+
+
+class PatternModel(BranchModel):
+    """A fixed binary pattern repeated forever (optionally phase-shifted)."""
+
+    def __init__(self, pattern: Sequence[int], *, random_phase: bool = True) -> None:
+        arr = np.asarray(list(pattern), dtype=np.uint8)
+        if arr.ndim != 1 or len(arr) == 0:
+            raise ConfigurationError("pattern must be a non-empty 1-D sequence")
+        if arr.max(initial=0) > 1:
+            raise ConfigurationError("pattern entries must be 0 or 1")
+        self.pattern = arr
+        self.random_phase = random_phase
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        period = len(self.pattern)
+        phase = int(rng.integers(period)) if self.random_phase else 0
+        reps = (n + phase) // period + 1
+        return np.tile(self.pattern, reps)[phase : phase + n]
+
+    def expected_taken_rate(self) -> float:
+        return float(self.pattern.mean())
+
+    def expected_transition_rate(self) -> float:
+        p = self.pattern
+        # Transitions around the cycle, including the wrap-around edge.
+        return float((p != np.roll(p, 1)).mean())
+
+
+class LoopModel(PatternModel):
+    """A loop back-edge: taken ``body - 1`` times, then not-taken once."""
+
+    def __init__(self, body: int, *, random_phase: bool = True) -> None:
+        if body < 2:
+            raise ConfigurationError(f"loop body must be >= 2, got {body}")
+        super().__init__([1] * (body - 1) + [0], random_phase=random_phase)
+        self.body = body
+
+
+class AlternatingModel(PatternModel):
+    """Strict T/N alternation — the transition-rate-1.0 extreme."""
+
+    def __init__(self) -> None:
+        super().__init__([1, 0])
+
+
+class MarkovModel(BranchModel):
+    """Two-state Markov chain over {taken, not-taken}.
+
+    Parameters
+    ----------
+    p_tn:
+        P(next = not-taken | current = taken).
+    p_nt:
+        P(next = taken | current = not-taken).
+
+    The stationary taken rate is ``p_nt / (p_tn + p_nt)`` and the
+    stationary transition rate ``2 p_tn p_nt / (p_tn + p_nt)``; use
+    :meth:`for_rates` to solve the inverse problem.
+    """
+
+    def __init__(self, p_tn: float, p_nt: float) -> None:
+        for name, p in (("p_tn", p_tn), ("p_nt", p_nt)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if p_tn == 0.0 and p_nt == 0.0:
+            raise ConfigurationError("absorbing chain: p_tn and p_nt cannot both be 0")
+        self.p_tn = p_tn
+        self.p_nt = p_nt
+
+    @classmethod
+    def for_rates(cls, taken_rate: float, transition_rate: float) -> "MarkovModel":
+        """Chain whose stationary taken/transition rates hit the targets.
+
+        Solves ``p_tn = x / (2 p)`` and ``p_nt = x / (2 (1 - p))``,
+        clamping to the feasible region ``x <= 2 min(p, 1-p)`` (the same
+        feasibility bound that shapes the paper's Table 2 arc).
+        """
+        p = min(max(taken_rate, 1e-3), 1 - 1e-3)
+        x = max(transition_rate, 1e-4)
+        x = min(x, 2 * min(p, 1 - p))  # clamp to feasibility
+        return cls(p_tn=min(x / (2 * p), 1.0), p_nt=min(x / (2 * (1 - p)), 1.0))
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0, dtype=np.uint8)
+        # Run-length construction: state dwell times are geometric, so
+        # the chain is generated as alternating runs without a Python
+        # loop per step.
+        p_taken = self.p_nt / (self.p_tn + self.p_nt)
+        state = 1 if rng.random() < p_taken else 0
+        out = np.empty(0, dtype=np.uint8)
+        # Expected run length bounds the number of runs we need; draw in
+        # slabs until the stream is long enough.
+        while len(out) < n:
+            remaining = n - len(out)
+            leave = self.p_tn if state else self.p_nt
+            if leave <= 0.0:
+                # Absorbed: this state never exits; fill the rest.
+                out = np.concatenate([out, np.full(remaining, state, dtype=np.uint8)])
+                break
+            mean_run = 1.0 / leave
+            num_runs = max(8, int(remaining / mean_run) + 8)
+            # Alternating runs starting from `state`.
+            lens_a = rng.geometric(self.p_tn if state else self.p_nt, size=num_runs)
+            lens_b = rng.geometric(self.p_nt if state else self.p_tn, size=num_runs)
+            lengths = np.empty(2 * num_runs, dtype=np.int64)
+            lengths[0::2] = lens_a
+            lengths[1::2] = lens_b
+            values = np.empty(2 * num_runs, dtype=np.uint8)
+            values[0::2] = state
+            values[1::2] = 1 - state
+            chunk = np.repeat(values, lengths)
+            out = np.concatenate([out, chunk])
+            # Continue from the opposite of the last *completed* run's
+            # state only if we need another slab; parity is preserved
+            # because slabs always contain an even number of runs.
+        return out[:n]
+
+    def expected_taken_rate(self) -> float:
+        return self.p_nt / (self.p_tn + self.p_nt)
+
+    def expected_transition_rate(self) -> float:
+        return 2 * self.p_tn * self.p_nt / (self.p_tn + self.p_nt)
+
+
+class PhasedModel(BranchModel):
+    """Concatenated phases, each generated by a sub-model.
+
+    Models branches whose behaviour depends on program phase (e.g. an
+    input-scanning loop that flips polarity between file sections).
+    """
+
+    def __init__(self, phases: Sequence[tuple[BranchModel, float]]) -> None:
+        if not phases:
+            raise ConfigurationError("PhasedModel needs at least one phase")
+        total = sum(weight for _, weight in phases)
+        if total <= 0:
+            raise ConfigurationError("phase weights must sum to a positive value")
+        self.phases = [(model, weight / total) for model, weight in phases]
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        chunks = []
+        produced = 0
+        for i, (model, fraction) in enumerate(self.phases):
+            length = n - produced if i == len(self.phases) - 1 else int(round(n * fraction))
+            length = min(length, n - produced)
+            chunks.append(model.generate(length, rng))
+            produced += length
+        return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint8)
+
+    def expected_taken_rate(self) -> float:
+        return sum(m.expected_taken_rate() * w for m, w in self.phases)
+
+    def expected_transition_rate(self) -> float:
+        # Phase boundaries contribute O(1/n); ignore them.
+        return sum(m.expected_transition_rate() * w for m, w in self.phases)
+
+
+def pattern_for_rates(taken_rate: float, transition_rate: float, *, period: int = 40) -> PatternModel:
+    """A deterministic repeating pattern hitting target rates.
+
+    Builds a cycle of alternating taken/not-taken runs whose run count
+    matches the transition rate and whose total taken count matches the
+    taken rate.  Unlike :class:`MarkovModel`, the result is perfectly
+    learnable by a two-level predictor with enough history — the
+    structured component of each Table 2 cell.
+    """
+    if period < 2:
+        raise ConfigurationError("period must be >= 2")
+    p = min(max(taken_rate, 0.0), 1.0)
+    x = min(max(transition_rate, 0.0), 1.0)
+
+    # A cycle always has an even, >= 2 number of transitions, so very low
+    # transition targets need a long enough period: realized rate is
+    # transitions / period, and the period grows until that quantization
+    # error stops mattering (e.g. x = 0.025 forces period >= 80).
+    if 0.0 < x < 2 / period:
+        period = min(int(np.ceil(2 / x)), 2000)
+
+    taken_total = int(round(p * period))
+    taken_total = min(max(taken_total, 0), period)
+    if taken_total == 0 or x == 0.0:
+        return PatternModel([0] * period if taken_total == 0 else [1] * period)
+    if taken_total == period:
+        return PatternModel([1] * period)
+
+    # Number of transitions in the cycle (even, so the cycle closes).
+    transitions = int(round(x * period))
+    transitions = max(2, transitions - transitions % 2)
+    half = transitions // 2  # number of taken runs (= not-taken runs)
+    half = min(half, taken_total, period - taken_total)
+    half = max(half, 1)
+
+    taken_runs = _split_into_runs(taken_total, half)
+    not_taken_runs = _split_into_runs(period - taken_total, half)
+    pattern: list[int] = []
+    for t_run, n_run in zip(taken_runs, not_taken_runs):
+        pattern += [1] * t_run
+        pattern += [0] * n_run
+    return PatternModel(pattern)
+
+
+def _split_into_runs(total: int, runs: int) -> list[int]:
+    """Split ``total`` into ``runs`` positive near-equal parts."""
+    base = total // runs
+    extra = total % runs
+    return [base + (1 if i < extra else 0) for i in range(runs)]

@@ -1,0 +1,260 @@
+"""SPECint95 benchmark analogues.
+
+The paper's evaluation runs the eight SPECint95 benchmarks (34 input
+sets, Table 1) to completion under a modified ``sim-bpred``.  SPEC95
+binaries and reference inputs are proprietary and the full runs are
+billions of branches, so this module builds *calibrated synthetic
+analogues*: each benchmark is a :class:`BranchPopulation` whose joint
+taken/transition-rate distribution is the paper's own Table 2 matrix,
+tilted per benchmark toward its known character (vortex/m88ksim very
+biased and easy, go hard, ijpeg loop-heavy with hard branches
+clustered back-to-back, gcc broad with many static branches), at a
+reduced dynamic scale.
+
+What this preserves: the class-distribution shapes of Figures 1/2 and
+Table 2, the per-class predictability structure that drives Figures
+3–14, and the per-benchmark hard-branch spacing behaviour of Figure 15.
+What it does not preserve: absolute miss rates of the authors' exact
+binaries (see DESIGN.md, substitutions, and EXPERIMENTS.md for
+paper-vs-measured numbers).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...classify.classes import NUM_CLASSES, class_bounds
+from ...errors import ConfigurationError
+from ...trace.stream import Trace
+from .population import BranchPopulation, population_from_joint
+
+__all__ = [
+    "TABLE2_JOINT_PERCENT",
+    "BENCHMARK_NAMES",
+    "SPEC95_INPUTS",
+    "InputSet",
+    "BenchmarkCharacter",
+    "BENCHMARK_CHARACTERS",
+    "benchmark_joint_matrix",
+    "make_population",
+    "input_trace",
+    "suite_traces",
+    "scaled_length",
+]
+
+#: The paper's Table 2: percentage of dynamic branches per joint class.
+#: Rows are transition-rate classes 0-10, columns taken-rate classes 0-10.
+TABLE2_JOINT_PERCENT = np.array(
+    [
+        [26.11, 0.71, 0.01, 0.05, 0.04, 0.02, 0.07, 0.32, 0.69, 0.05, 32.73],
+        [0.46, 2.12, 0.09, 0.09, 0.16, 0.06, 0.07, 0.03, 0.15, 4.00, 3.59],
+        [0.00, 2.27, 0.45, 0.11, 0.03, 0.04, 0.99, 0.06, 0.57, 2.97, 0.00],
+        [0.00, 0.10, 1.01, 0.28, 0.13, 0.20, 0.24, 0.30, 0.87, 0.05, 0.00],
+        [0.00, 0.00, 0.36, 0.70, 1.08, 0.30, 1.72, 0.52, 0.60, 0.00, 0.00],
+        [0.00, 0.00, 0.01, 1.77, 0.72, 1.34, 0.16, 0.92, 0.56, 0.00, 0.00],
+        [0.00, 0.00, 0.00, 0.71, 1.59, 0.45, 0.89, 1.21, 0.00, 0.00, 0.00],
+        [0.00, 0.00, 0.00, 0.03, 0.13, 0.53, 0.11, 0.40, 0.00, 0.00, 0.00],
+        [0.00, 0.00, 0.00, 0.00, 0.21, 0.06, 0.02, 0.00, 0.00, 0.00, 0.00],
+        [0.00, 0.00, 0.00, 0.00, 0.03, 0.07, 0.03, 0.00, 0.00, 0.00, 0.00],
+        [0.00, 0.00, 0.00, 0.00, 0.00, 0.44, 0.00, 0.00, 0.00, 0.00, 0.00],
+    ]
+)
+
+BENCHMARK_NAMES = (
+    "compress",
+    "gcc",
+    "go",
+    "ijpeg",
+    "li",
+    "m88ksim",
+    "perl",
+    "vortex",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class InputSet:
+    """One (benchmark, input) pair from the paper's Table 1."""
+
+    benchmark: str
+    input_name: str
+    paper_dynamic_branches: int
+
+    @property
+    def label(self) -> str:
+        """Stable identifier, e.g. ``"gcc/cccp.i"``."""
+        return f"{self.benchmark}/{self.input_name}"
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-input seed (CRC of the label)."""
+        return zlib.crc32(self.label.encode())
+
+
+#: The paper's Table 1 — all 34 benchmark/input pairs with their
+#: dynamic conditional branch counts.
+SPEC95_INPUTS: tuple[InputSet, ...] = tuple(
+    InputSet(bench, name, count)
+    for bench, name, count in [
+        ("compress", "bigtest.in", 5_641_834_221),
+        ("gcc", "amptjp.i", 194_467_495),
+        ("gcc", "c-decl-s.i", 194_487_972),
+        ("gcc", "cccp.i", 190_138_561),
+        ("gcc", "cp-decl.i", 217_997_360),
+        ("gcc", "dbxout.i", 24_944_893),
+        ("gcc", "emit-rtl.i", 25_378_207),
+        ("gcc", "explow.i", 36_513_202),
+        ("gcc", "expr.i", 153_982_215),
+        ("gcc", "gcc.i", 30_394_247),
+        ("gcc", "genoutput.i", 12_971_324),
+        ("gcc", "genrecog.i", 18_202_207),
+        ("gcc", "insn-emit.i", 20_774_453),
+        ("gcc", "insn-recog.i", 85_446_679),
+        ("gcc", "integrate.i", 33_397_714),
+        ("gcc", "jump.i", 23_141_650),
+        ("gcc", "print-tree.i", 25_996_412),
+        ("gcc", "protoize.i", 76_482_161),
+        ("gcc", "recog.i", 43_591_736),
+        ("gcc", "regclass.i", 18_259_839),
+        ("gcc", "reload1.i", 138_706_109),
+        ("gcc", "stmt-protoize.i", 153_772_060),
+        ("gcc", "stmt.i", 82_470_825),
+        ("gcc", "toplev.i", 65_824_567),
+        ("gcc", "varasm.i", 37_656_353),
+        ("go", "9stone21.in", 3_838_574_925),
+        ("ijpeg", "penguin.ppm", 1_548_835_517),
+        ("ijpeg", "specmun.ppm", 1_392_275_287),
+        ("ijpeg", "vigo.ppm", 1_627_642_253),
+        ("li", "ref-lsp", 8_493_447_845),
+        ("m88ksim", "ctl.lit", 9_086_543_174),
+        ("perl", "primes.pl", 1_738_514_158),
+        ("perl", "scrabbl.pl", 3_150_939_854),
+        ("vortex", "vortex.lit", 9_897_766_691),
+    ]
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkCharacter:
+    """Per-benchmark tilt applied to the Table 2 base distribution.
+
+    ``hardness_tilt`` > 0 shifts dynamic weight toward the hard centre
+    of the joint matrix (go), < 0 toward the easy biased corners
+    (vortex, m88ksim).  ``branches_per_cell`` scales the static branch
+    count (gcc has far more static branches than compress).
+    ``hard_adjacency`` clusters hard-branch occurrences back to back
+    (ijpeg's signature in Figure 15).  ``structured_damping`` controls
+    how much of each cell is random rather than learnable pattern.
+    """
+
+    hardness_tilt: float
+    branches_per_cell: int
+    hard_adjacency: float
+    structured_damping: float
+
+
+BENCHMARK_CHARACTERS: dict[str, BenchmarkCharacter] = {
+    "compress": BenchmarkCharacter(0.6, 2, 0.10, 0.92),
+    "gcc": BenchmarkCharacter(0.0, 8, 0.05, 0.85),
+    "go": BenchmarkCharacter(1.2, 5, 0.15, 0.95),
+    "ijpeg": BenchmarkCharacter(0.2, 3, 0.90, 0.80),
+    "li": BenchmarkCharacter(-0.8, 3, 0.05, 0.80),
+    "m88ksim": BenchmarkCharacter(-1.2, 3, 0.05, 0.75),
+    "perl": BenchmarkCharacter(-0.4, 4, 0.05, 0.80),
+    "vortex": BenchmarkCharacter(-1.5, 4, 0.05, 0.70),
+}
+
+
+def _cell_hardness() -> np.ndarray:
+    """(11, 11) matrix of joint-cell 'hardness' in [0, 1]."""
+    hardness = np.zeros((NUM_CLASSES, NUM_CLASSES))
+    for x_cls in range(NUM_CLASSES):
+        x_lo, x_hi = class_bounds(x_cls)
+        x_mid = (x_lo + x_hi) / 2
+        for t_cls in range(NUM_CLASSES):
+            t_lo, t_hi = class_bounds(t_cls)
+            t_mid = (t_lo + t_hi) / 2
+            hardness[x_cls, t_cls] = (1 - abs(2 * t_mid - 1)) * (1 - abs(2 * x_mid - 1))
+    return hardness
+
+
+def benchmark_joint_matrix(benchmark: str) -> np.ndarray:
+    """The Table 2 base matrix tilted for one benchmark (normalized)."""
+    character = _character(benchmark)
+    tilted = TABLE2_JOINT_PERCENT * np.exp(character.hardness_tilt * _cell_hardness())
+    return tilted / tilted.sum()
+
+
+def make_population(input_set: InputSet) -> BranchPopulation:
+    """The synthetic branch population for one Table 1 input set."""
+    character = _character(input_set.benchmark)
+    return population_from_joint(
+        benchmark_joint_matrix(input_set.benchmark),
+        seed=input_set.seed,
+        branches_per_cell=character.branches_per_cell,
+        structured_damping=character.structured_damping,
+        hard_adjacency=character.hard_adjacency,
+        name=input_set.label,
+    )
+
+
+def scaled_length(
+    input_set: InputSet,
+    *,
+    scale: float = 1.0,
+    divisor: int = 20_000,
+    minimum: int = 40_000,
+    maximum: int = 250_000,
+) -> int:
+    """Reduced-scale trace length for an input set.
+
+    The paper runs each input to completion (Table 1 counts); we divide
+    by ``divisor`` and clamp, preserving the relative weighting of
+    benchmarks in suite-level aggregates while staying laptop-sized.
+    """
+    n = int(np.clip(input_set.paper_dynamic_branches // divisor, minimum, maximum))
+    return max(1, int(n * scale))
+
+
+def input_trace(input_set: InputSet, *, scale: float = 1.0) -> Trace:
+    """Generate the reduced-scale trace for one input set."""
+    population = make_population(input_set)
+    return population.generate(scaled_length(input_set, scale=scale), name=input_set.label)
+
+
+def suite_traces(*, inputs: str = "primary", scale: float = 1.0) -> list[Trace]:
+    """Traces for the whole suite.
+
+    Parameters
+    ----------
+    inputs:
+        ``"primary"`` — the largest input set per benchmark (8 traces,
+        the default experiment configuration); ``"all"`` — all 34
+        Table 1 input sets.
+    scale:
+        Length multiplier applied after the Table 1 scaling.
+    """
+    if inputs == "all":
+        chosen = list(SPEC95_INPUTS)
+    elif inputs == "primary":
+        best: dict[str, InputSet] = {}
+        for input_set in SPEC95_INPUTS:
+            current = best.get(input_set.benchmark)
+            if current is None or input_set.paper_dynamic_branches > current.paper_dynamic_branches:
+                best[input_set.benchmark] = input_set
+        chosen = [best[name] for name in BENCHMARK_NAMES]
+    else:
+        raise ConfigurationError(f"inputs must be 'primary' or 'all', got {inputs!r}")
+    return [input_trace(input_set, scale=scale) for input_set in chosen]
+
+
+def _character(benchmark: str) -> BenchmarkCharacter:
+    try:
+        return BENCHMARK_CHARACTERS[benchmark]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {benchmark!r}; expected one of {BENCHMARK_NAMES}"
+        ) from None

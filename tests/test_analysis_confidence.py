@@ -1,0 +1,159 @@
+"""Tests for confidence estimation and the §5.2 advisors."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ClassConfidenceEstimator,
+    OneLevelEstimator,
+    TwoLevelEstimator,
+    assess_dual_path,
+    evaluate_confidence,
+    predication_candidates,
+)
+from repro.classify import ProfileTable
+from repro.errors import ConfigurationError
+from repro.predictors import make_gshare
+from repro.trace import Trace
+from repro.workloads.synthetic import (
+    BiasedModel,
+    BranchPopulation,
+    BranchSpec,
+    PatternModel,
+)
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    """Easy always-taken branch + hard random branch."""
+    specs = [
+        BranchSpec(pc=0x10, model=PatternModel([1]), weight=6),
+        BranchSpec(pc=0x20, model=BiasedModel(0.5), weight=2, hard=True),
+    ]
+    return BranchPopulation(specs, seed=4).generate(20_000)
+
+
+@pytest.fixture(scope="module")
+def mixed_profile(mixed_trace):
+    return ProfileTable.from_trace(mixed_trace)
+
+
+def hard_biased_rates():
+    """Synthetic 11x11 class miss-rate matrix: hard centre, easy edges."""
+    rates = np.zeros((11, 11))
+    rates[5, 5] = 0.5
+    rates[4:7, 4:7] = np.maximum(rates[4:7, 4:7], 0.35)
+    return rates
+
+
+class TestClassConfidence:
+    def test_flags_hard_class_low(self, mixed_profile):
+        est = ClassConfidenceEstimator(mixed_profile, hard_biased_rates(), threshold=0.2)
+        assert est.high_confidence(0x10)
+        assert not est.high_confidence(0x20)
+
+    def test_unknown_pc_defaults_high(self, mixed_profile):
+        est = ClassConfidenceEstimator(mixed_profile, hard_biased_rates())
+        assert est.high_confidence(0xDEAD)
+
+    def test_validation(self, mixed_profile):
+        with pytest.raises(ConfigurationError):
+            ClassConfidenceEstimator(mixed_profile, np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            ClassConfidenceEstimator(mixed_profile, hard_biased_rates(), threshold=2.0)
+
+    def test_quality_on_mixed_trace(self, mixed_trace, mixed_profile):
+        est = ClassConfidenceEstimator(mixed_profile, hard_biased_rates(), threshold=0.2)
+        quality = evaluate_confidence(est, make_gshare(8, pht_index_bits=10), mixed_trace)
+        # The static estimator flags exactly the hard branch (1/4 of stream).
+        assert quality.coverage == pytest.approx(0.25, abs=0.02)
+        # Low-confidence branches should indeed mispredict often.
+        assert quality.pvn > 0.3
+        # High-confidence branches are nearly always correct.
+        assert quality.pvp > 0.95
+
+
+class TestDynamicEstimators:
+    def test_one_level_learns_hard_branch(self, mixed_trace):
+        est = OneLevelEstimator(entries=64, threshold=8)
+        quality = evaluate_confidence(est, make_gshare(8, pht_index_bits=10), mixed_trace)
+        assert quality.pvn > 0.3
+        assert quality.miss_coverage > 0.5
+
+    def test_two_level_quality(self, mixed_trace):
+        est = TwoLevelEstimator(entries=64, history_bits=4, threshold=8)
+        quality = evaluate_confidence(est, make_gshare(8, pht_index_bits=10), mixed_trace)
+        assert quality.pvn > 0.3
+
+    def test_one_level_reset_on_miss(self):
+        est = OneLevelEstimator(entries=16, threshold=2)
+        est.update(1, True)
+        est.update(1, True)
+        assert est.high_confidence(1)
+        est.update(1, False)
+        assert not est.high_confidence(1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OneLevelEstimator(entries=3)
+        with pytest.raises(ConfigurationError):
+            OneLevelEstimator(threshold=0)
+        with pytest.raises(ConfigurationError):
+            TwoLevelEstimator(history_bits=0)
+        with pytest.raises(ConfigurationError):
+            TwoLevelEstimator(threshold=99)
+
+    def test_quality_metric_edge_cases(self):
+        from repro.analysis import ConfidenceQuality
+
+        empty = ConfidenceQuality(
+            estimator_name="e", total=0, low_flagged=0, mispredicts=0,
+            low_and_miss=0, high_and_correct=0,
+        )
+        assert empty.coverage == 0.0
+        assert empty.pvn == 0.0
+        assert empty.pvp == 0.0
+        assert empty.miss_coverage == 0.0
+
+
+class TestPredicationAdvisor:
+    def test_hard_branch_is_candidate(self, mixed_profile):
+        candidates = predication_candidates(mixed_profile, hard_biased_rates())
+        assert [c.pc for c in candidates] == [0x20]
+        assert candidates[0].expected_miss_rate == 0.5
+
+    def test_easy_branch_not_candidate(self, mixed_profile):
+        candidates = predication_candidates(mixed_profile, hard_biased_rates())
+        assert all(c.pc != 0x10 for c in candidates)
+
+    def test_profitability_tradeoff(self, mixed_profile):
+        # With an enormous path length, predication stops being profitable.
+        cheap = predication_candidates(mixed_profile, hard_biased_rates(), path_length=1)
+        expensive = predication_candidates(
+            mixed_profile, hard_biased_rates(), path_length=100
+        )
+        assert cheap[0].profitable
+        assert not expensive[0].profitable
+
+    def test_validation(self, mixed_profile):
+        with pytest.raises(ConfigurationError):
+            predication_candidates(mixed_profile, np.zeros((2, 2)))
+
+
+class TestDualPathAdvisor:
+    def test_scattered_hard_branches_feasible(self, mixed_trace):
+        assessment = assess_dual_path(mixed_trace)
+        # Hard branch is 1/4 of the stream: too frequent for dual path.
+        assert assessment.hard_dynamic_fraction == pytest.approx(0.25, abs=0.02)
+        assert not assessment.feasible
+
+    def test_rare_hard_branches_feasible(self):
+        rng = np.random.default_rng(5)
+        specs = [
+            BranchSpec(pc=0x10, model=PatternModel([1]), weight=40),
+            BranchSpec(pc=0x20, model=BiasedModel(0.5), weight=1, hard=True),
+        ]
+        trace = BranchPopulation(specs, seed=6).generate(30_000)
+        assessment = assess_dual_path(trace)
+        assert assessment.hard_dynamic_fraction < 0.05
+        assert assessment.feasible

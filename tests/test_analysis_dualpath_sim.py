@@ -1,0 +1,153 @@
+"""Tests for the dual-path execution cost model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ClassConfidenceEstimator, OneLevelEstimator
+from repro.analysis.dualpath_sim import (
+    DualPathConfig,
+    DualPathReport,
+    simulate_dual_path,
+)
+from repro.classify import ProfileTable
+from repro.errors import ConfigurationError
+from repro.predictors import make_gshare
+from repro.workloads.synthetic import (
+    BiasedModel,
+    BranchPopulation,
+    BranchSpec,
+    PatternModel,
+)
+
+
+def hard_rates():
+    rates = np.zeros((11, 11))
+    rates[4:7, 4:7] = 0.5
+    return rates
+
+
+def make_workload(hard_weight, easy_weight, *, adjacency=0.0, n=20_000, seed=8):
+    specs = [
+        BranchSpec(pc=0x10, model=PatternModel([1]), weight=easy_weight),
+        BranchSpec(pc=0x20, model=BiasedModel(0.5), weight=hard_weight, hard=True),
+    ]
+    pop = BranchPopulation(specs, seed=seed, hard_adjacency=adjacency)
+    trace = pop.generate(n)
+    return trace, ProfileTable.from_trace(trace)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DualPathConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DualPathConfig(misprediction_penalty=0)
+        with pytest.raises(ConfigurationError):
+            DualPathConfig(fork_overhead=-1)
+        with pytest.raises(ConfigurationError):
+            DualPathConfig(max_paths=0)
+        with pytest.raises(ConfigurationError):
+            DualPathConfig(resolve_distance=0)
+
+
+class TestDualPathModel:
+    def test_rare_hard_branches_speed_up(self):
+        """Sparse hard branches: forking hides ~50%-miss branches for a
+        small fork overhead -> net win."""
+        trace, profile = make_workload(hard_weight=1, easy_weight=30)
+        estimator = ClassConfidenceEstimator(profile, hard_rates(), threshold=0.2)
+        report = simulate_dual_path(
+            estimator=estimator,
+            predictor=make_gshare(10, pht_index_bits=11),
+            trace=trace,
+        )
+        assert report.forks > 0
+        assert report.denial_rate < 0.05
+        assert report.speedup > 1.0
+        assert report.covered_mispredictions > 0
+
+    def test_clustered_hard_branches_get_denied(self):
+        """Back-to-back hard branches (the ijpeg case): path slots are
+        busy, so fork requests get denied."""
+        trace, profile = make_workload(
+            hard_weight=10, easy_weight=20, adjacency=1.0
+        )
+        estimator = ClassConfidenceEstimator(profile, hard_rates(), threshold=0.2)
+        report = simulate_dual_path(
+            estimator=estimator,
+            predictor=make_gshare(10, pht_index_bits=11),
+            trace=trace,
+            config=DualPathConfig(max_paths=2, resolve_distance=4),
+        )
+        assert report.denial_rate > 0.3
+
+    def test_more_path_slots_reduce_denials(self):
+        trace, profile = make_workload(hard_weight=10, easy_weight=20, adjacency=1.0)
+        estimator = ClassConfidenceEstimator(profile, hard_rates(), threshold=0.2)
+
+        def run(paths):
+            return simulate_dual_path(
+                estimator=ClassConfidenceEstimator(profile, hard_rates(), threshold=0.2),
+                predictor=make_gshare(10, pht_index_bits=11),
+                trace=trace,
+                config=DualPathConfig(max_paths=paths),
+            )
+
+        assert run(4).denial_rate < run(2).denial_rate
+
+    def test_never_forking_is_identity(self):
+        """An estimator that is always confident never forks, and the
+        two cycle accounts coincide."""
+        trace, _ = make_workload(hard_weight=2, easy_weight=10)
+        estimator = OneLevelEstimator(entries=16, threshold=1)  # trivially confident
+        # threshold=1 flags low confidence only right after a miss;
+        # use a fully-confident stub instead for the identity check.
+
+        class AlwaysConfident(OneLevelEstimator):
+            def high_confidence(self, pc):
+                return True
+
+        report = simulate_dual_path(
+            estimator=AlwaysConfident(entries=16),
+            predictor=make_gshare(8, pht_index_bits=10),
+            trace=trace,
+        )
+        assert report.forks == 0
+        assert report.cycles_with_forking == report.cycles_without_forking
+        assert report.speedup == 1.0
+
+    def test_cycle_accounting_exact(self):
+        """Hand-checkable accounting on a tiny trace."""
+        from repro.trace import Trace
+
+        trace = Trace.from_pairs([(1, 1)] * 4)
+
+        class NeverConfident(OneLevelEstimator):
+            def high_confidence(self, pc):
+                return False
+
+        report = simulate_dual_path(
+            estimator=NeverConfident(entries=4),
+            predictor=make_gshare(2, pht_index_bits=4),
+            trace=trace,
+            config=DualPathConfig(
+                misprediction_penalty=8, fork_overhead=2, max_paths=2, resolve_distance=2
+            ),
+        )
+        # Forks alternate: fork at i=0 (live for next branch), denied at
+        # i=1, free again at i=2, denied at i=3.
+        assert report.forks == 2
+        assert report.forks_denied == 2
+        # Always-taken branch, weakly-taken init: never mispredicts.
+        assert report.mispredictions == 0
+        assert report.cycles_without_forking == 4
+        assert report.cycles_with_forking == 4 + 2 * 2  # fork overhead twice
+
+    def test_report_edge_cases(self):
+        report = DualPathReport(
+            total_branches=0, mispredictions=0, forks=0, forks_denied=0,
+            covered_mispredictions=0, cycles_with_forking=0, cycles_without_forking=0,
+        )
+        assert report.speedup == 1.0
+        assert report.denial_rate == 0.0

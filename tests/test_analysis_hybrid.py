@@ -1,0 +1,83 @@
+"""Tests for the class-guided hybrid design (paper §5.4)."""
+
+import pytest
+
+from repro.analysis import design_hybrid
+from repro.classify import ProfileTable
+from repro.engine import simulate_reference
+from repro.predictors import make_gshare
+from repro.workloads.synthetic import (
+    AlternatingModel,
+    BiasedModel,
+    BranchPopulation,
+    BranchSpec,
+    LoopModel,
+    PatternModel,
+    pattern_for_rates,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    specs = [
+        BranchSpec(pc=0x100, model=PatternModel([1]), weight=5),   # static T
+        BranchSpec(pc=0x104, model=PatternModel([0]), weight=5),   # static N
+        BranchSpec(pc=0x108, model=AlternatingModel(), weight=3),  # short history
+        BranchSpec(pc=0x10C, model=LoopModel(12), weight=3),       # medium pattern
+        BranchSpec(pc=0x110, model=pattern_for_rates(0.5, 0.45), weight=3),
+        BranchSpec(pc=0x114, model=BiasedModel(0.5), weight=1, hard=True),
+    ]
+    pop = BranchPopulation(specs, seed=11)
+    trace = pop.generate(30_000)
+    return trace, ProfileTable.from_trace(trace)
+
+
+class TestDesignHybrid:
+    def test_components_and_routes(self, workload):
+        _, profile = workload
+        hybrid, plan = design_hybrid(profile)
+        assert len(hybrid.components) == 4
+        assert len(plan.routes) == len(profile)
+
+    def test_static_branches_routed_static(self, workload):
+        _, profile = workload
+        hybrid, plan = design_hybrid(profile)
+        static_name = hybrid.components[0].name
+        assert plan.component_names[plan.routes[0x100]] == static_name
+        assert plan.component_names[plan.routes[0x104]] == static_name
+
+    def test_alternating_routed_short_history(self, workload):
+        _, profile = workload
+        hybrid, plan = design_hybrid(profile)
+        assert plan.routes[0x108] == 1  # SHORT_PAS slot
+
+    def test_hard_branch_routed_global(self, workload):
+        _, profile = workload
+        _, plan = design_hybrid(profile)
+        assert plan.routes[0x114] == 3  # LONG_GLOBAL slot
+
+    def test_population_summary(self, workload):
+        _, profile = workload
+        hybrid, plan = design_hybrid(profile)
+        population = plan.population()
+        assert sum(population.values()) == len(profile)
+        assert population[hybrid.components[0].name] >= 2
+
+    def test_hybrid_beats_monolithic_gshare(self, workload):
+        """The paper's pitch: class routing should at least match a
+        monolithic predictor of comparable size on a mixed workload."""
+        trace, profile = workload
+        hybrid, _ = design_hybrid(profile, pht_index_bits=10)
+        gshare = make_gshare(10, pht_index_bits=10)
+        hybrid_result = simulate_reference(hybrid, trace)
+        gshare_result = simulate_reference(gshare, trace)
+        assert hybrid_result.miss_rate <= gshare_result.miss_rate + 0.01
+
+    def test_static_component_accuracy(self, workload):
+        """Branches routed to the static component are predicted at
+        their profiled bias accuracy (perfect for fixed branches)."""
+        trace, profile = workload
+        hybrid, _ = design_hybrid(profile)
+        result = simulate_reference(hybrid, trace)
+        assert result[0x100].miss_rate == 0.0
+        assert result[0x104].miss_rate == 0.0

@@ -1,0 +1,105 @@
+"""Tests for misclassification accounting and distance distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MAX_TRACKED_DISTANCE,
+    PAPER_PAS_TRANSITION_IDENTIFIED,
+    PAPER_TAKEN_IDENTIFIED,
+    DistanceDistribution,
+    hard_branch_distances,
+    misclassification_report,
+)
+from repro.classify import ProfileTable
+from repro.errors import ConfigurationError
+from repro.trace import Trace
+from repro.workloads.synthetic import TABLE2_JOINT_PERCENT
+
+
+class TestMisclassification:
+    def test_paper_numbers_from_table2(self):
+        """Feeding the paper's own Table 2 reproduces §4.2 exactly."""
+        joint = TABLE2_JOINT_PERCENT / TABLE2_JOINT_PERCENT.sum()
+        taken_dist = joint.sum(axis=0)
+        transition_dist = joint.sum(axis=1)
+        report = misclassification_report(taken_dist, transition_dist)
+        assert report.taken_identified == pytest.approx(62.90, abs=0.05)
+        assert report.gas_transition_identified == pytest.approx(71.62, abs=0.05)
+        assert report.pas_transition_identified == pytest.approx(72.19, abs=0.05)
+        assert report.gas_misclassified == pytest.approx(8.72, abs=0.06)
+        assert report.pas_misclassified == pytest.approx(9.29, abs=0.06)
+        # "almost a 15% improvement in classification"
+        assert report.improvement_ratio == pytest.approx(0.1477, abs=0.005)
+
+    def test_paper_constants_recorded(self):
+        assert PAPER_TAKEN_IDENTIFIED == 62.90
+        assert PAPER_PAS_TRANSITION_IDENTIFIED == 72.19
+
+    def test_misclassified_cells_exclude_taken_easy(self):
+        report = misclassification_report(np.full(11, 1 / 11), np.full(11, 1 / 11))
+        for x_cls, t_cls in report.misclassified_cells():
+            assert t_cls not in (0, 10)
+            assert x_cls in (0, 1, 9, 10)
+
+    def test_zero_distribution(self):
+        report = misclassification_report(np.zeros(11), np.zeros(11))
+        assert report.taken_identified == 0.0
+        assert report.improvement_ratio == 0.0
+
+
+class TestDistanceDistribution:
+    def test_adjacent_hard_branches(self):
+        # Hard branches at every position: all distances are 1.
+        trace = Trace.from_pairs([(1, i % 2) for i in range(50)])
+        dist = hard_branch_distances(trace, hard_pcs=np.array([1]))
+        assert dist.fractions[0] == 1.0
+        assert not dist.dual_path_friendly
+
+    def test_spread_hard_branches(self):
+        # One hard occurrence every 10 branches: all land in the 8+ bucket.
+        pairs = []
+        for i in range(300):
+            pc = 99 if i % 10 == 0 else i % 9
+            pairs.append((pc, 1))
+        trace = Trace.from_pairs(pairs)
+        dist = hard_branch_distances(trace, hard_pcs=np.array([99]))
+        assert dist.fractions[-1] == 1.0
+        assert dist.dual_path_friendly
+        assert dist.close_fraction == 0.0
+
+    def test_exact_distance_buckets(self):
+        # Hard branches at positions 0, 3, 4: distances 3 and 1.
+        pairs = [(9, 1), (1, 1), (2, 1), (9, 1), (9, 1), (3, 1)]
+        trace = Trace.from_pairs(pairs)
+        dist = hard_branch_distances(trace, hard_pcs=np.array([9]))
+        assert dist.occurrences == 2
+        assert dist.fractions[0] == 0.5  # distance 1
+        assert dist.fractions[2] == 0.5  # distance 3
+
+    def test_no_hard_branches(self):
+        trace = Trace.from_pairs([(1, 1)] * 10)
+        dist = hard_branch_distances(trace, hard_pcs=np.array([], dtype=np.int64))
+        assert dist.occurrences == 0
+        assert sum(dist.fractions) == 0.0
+
+    def test_profile_based_detection(self):
+        rng = np.random.default_rng(0)
+        pairs = [(7, int(rng.random() < 0.5)) for _ in range(2000)]
+        pairs += [(1, 1)] * 500
+        rng.shuffle(pairs)
+        trace = Trace.from_pairs(pairs)
+        dist = hard_branch_distances(trace)
+        assert dist.occurrences > 0  # pc 7 detected as 5/5 via profile
+
+    def test_benchmark_name_from_trace(self):
+        trace = Trace.from_pairs([(1, 1)], name="ijpeg/penguin.ppm")
+        dist = hard_branch_distances(trace, hard_pcs=np.array([], dtype=np.int64))
+        assert dist.benchmark == "ijpeg"
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            DistanceDistribution(benchmark="x", fractions=(1.0,), occurrences=1)
+
+    def test_max_tracked(self):
+        assert MAX_TRACKED_DISTANCE == 8

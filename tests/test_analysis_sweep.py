@@ -1,0 +1,128 @@
+"""Tests for the history sweep and per-class miss attribution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepConfig, run_sweep
+from repro.errors import ConfigurationError
+from repro.trace import Trace
+from repro.workloads.synthetic import (
+    AlternatingModel,
+    BiasedModel,
+    BranchPopulation,
+    BranchSpec,
+    LoopModel,
+    PatternModel,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    """Sweep over a crafted population with known class behaviour."""
+    specs = [
+        BranchSpec(pc=0x100, model=PatternModel([1]), weight=6),      # T10/X0
+        BranchSpec(pc=0x104, model=PatternModel([0]), weight=6),      # T0/X0
+        BranchSpec(pc=0x108, model=AlternatingModel(), weight=4),     # T5/X10
+        BranchSpec(pc=0x10C, model=LoopModel(10), weight=4),          # T9/X2
+        BranchSpec(pc=0x110, model=BiasedModel(0.5), weight=4, hard=True),  # 5/5
+    ]
+    pop = BranchPopulation(specs, seed=9, name="crafted")
+    trace = pop.generate(40_000)
+    config = SweepConfig(history_lengths=tuple(range(0, 9)))
+    return run_sweep([trace], config)
+
+
+class TestSweepBasics:
+    def test_grids_for_both_predictors(self, small_sweep):
+        assert set(small_sweep.grids) == {"pas", "gas"}
+
+    def test_distributions_sum_to_one(self, small_sweep):
+        assert small_sweep.taken_distribution.sum() == pytest.approx(1.0)
+        assert small_sweep.transition_distribution.sum() == pytest.approx(1.0)
+        assert small_sweep.joint_distribution.sum() == pytest.approx(1.0)
+
+    def test_expected_class_populations(self, small_sweep):
+        # Weight 6+6 of 24 in taken classes 10 and 0 respectively.
+        assert small_sweep.taken_distribution[10] == pytest.approx(0.25, abs=0.01)
+        assert small_sweep.taken_distribution[0] == pytest.approx(0.25, abs=0.01)
+        # Alternating branch: transition class 10, weight 4/24.
+        assert small_sweep.transition_distribution[10] == pytest.approx(4 / 24, abs=0.01)
+
+    def test_execution_totals_match(self, small_sweep):
+        grid = small_sweep.grid("pas")
+        assert grid.taken_executions[0].sum() == 40_000
+        assert grid.joint_executions[0].sum() == 40_000
+        # Identical totals at every history length.
+        assert (grid.taken_executions.sum(axis=1) == 40_000).all()
+
+
+class TestSweepSemantics:
+    def test_static_classes_always_easy(self, small_sweep):
+        """Taken classes 0 and 10 are well predicted at every history."""
+        for kind in ("pas", "gas"):
+            rates = small_sweep.grid(kind).miss_rates("taken")
+            assert rates[:, 0].max() < 0.05
+            assert rates[:, 10].max() < 0.05
+
+    def test_alternating_needs_history_pas(self, small_sweep):
+        """Transition class 10 is terrible at history 0 but near-perfect
+        with a couple of history bits under PAs — the paper's key plot."""
+        rates = small_sweep.grid("pas").miss_rates("transition")
+        assert rates[0, 10] > 0.4  # 2-bit counter thrashes on T/N/T/N
+        assert rates[2, 10] < 0.05
+
+    def test_hard_class_never_good(self, small_sweep):
+        """The 5/5 joint cell stays near 50% at every history length."""
+        for kind in ("pas", "gas"):
+            joint = small_sweep.grid(kind).joint_miss_rates()
+            assert joint[:, 5, 5].min() > 0.35
+
+    def test_optimal_history_selection(self, small_sweep):
+        grid = small_sweep.grid("pas")
+        optimal = grid.optimal_history("transition")
+        assert optimal.shape == (11,)
+        # Class 10 (alternating) optimal is small but nonzero.
+        assert 1 <= optimal[10] <= 4
+        at_opt = grid.miss_at_optimal("transition")
+        assert at_opt[10] < 0.05
+
+    def test_joint_at_optimal_shape(self, small_sweep):
+        m = small_sweep.grid("gas").joint_miss_at_optimal()
+        assert m.shape == (11, 11)
+        assert m[5, 5] > 0.35
+
+    def test_overall_rates_monotone_data(self, small_sweep):
+        overall = small_sweep.grid("pas").overall_miss_rates()
+        assert len(overall) == 9
+        # With history, this population predicts much better than without.
+        assert overall[4] < overall[0]
+
+
+class TestSweepValidation:
+    def test_empty_history(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(history_lengths=())
+
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            SweepConfig(predictor_kinds=("tage",))
+
+    def test_bad_metric(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.grid("pas").miss_rates("spin")
+
+    def test_missing_grid(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.grid("tage")
+
+    def test_empty_traces(self):
+        result = run_sweep([Trace.empty()], SweepConfig(history_lengths=(0, 1)))
+        assert result.total_dynamic == 0
+        assert result.joint_distribution.sum() == 0.0
+
+    def test_accumulate_mismatched_grids(self, small_sweep):
+        from repro.analysis import ClassMissGrid
+
+        other = ClassMissGrid(history_lengths=(0, 1))
+        with pytest.raises(ConfigurationError):
+            small_sweep.grid("pas").accumulate(other)

@@ -1,0 +1,122 @@
+"""Tests for the 11-band rate classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classify import (
+    NUM_CLASSES,
+    JointClass,
+    class_bounds,
+    class_label,
+    joint_class,
+    rate_class,
+    rate_classes,
+)
+from repro.errors import ClassificationError
+
+
+class TestRateClass:
+    def test_class_zero_band(self):
+        assert rate_class(0.0) == 0
+        assert rate_class(0.049) == 0
+
+    def test_class_ten_band(self):
+        assert rate_class(0.95) == 10
+        assert rate_class(1.0) == 10
+
+    def test_band_boundaries(self):
+        assert rate_class(0.05) == 1
+        assert rate_class(0.1499) == 1
+        assert rate_class(0.15) == 2
+        assert rate_class(0.9499) == 9
+
+    def test_middle_band_is_class_5(self):
+        assert rate_class(0.5) == 5
+        assert rate_class(0.45) == 5
+        assert rate_class(0.5499) == 5
+
+    def test_all_classes_reachable(self):
+        centres = [0.0] + [i / 10 for i in range(1, 10)] + [1.0]
+        assert [rate_class(c) for c in centres] == list(range(11))
+
+    def test_out_of_range(self):
+        with pytest.raises(ClassificationError):
+            rate_class(-0.01)
+        with pytest.raises(ClassificationError):
+            rate_class(1.01)
+
+
+class TestRateClassesVectorized:
+    def test_matches_scalar(self):
+        rates = np.linspace(0, 1, 201)
+        vec = rate_classes(rates)
+        scalar = [rate_class(float(r)) for r in rates]
+        assert list(vec) == scalar
+
+    def test_empty(self):
+        assert len(rate_classes(np.array([]))) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ClassificationError):
+            rate_classes(np.array([0.5, 1.5]))
+
+
+class TestClassBounds:
+    def test_bounds_tile_unit_interval(self):
+        edges = [class_bounds(c) for c in range(NUM_CLASSES)]
+        assert edges[0] == (0.0, 0.05)
+        assert edges[10] == (0.95, 1.0)
+        for (_, hi), (lo, _) in zip(edges, edges[1:]):
+            assert hi == pytest.approx(lo)
+
+    def test_labels(self):
+        assert class_label(0) == "0-5%"
+        assert class_label(5) == "45-55%"
+        assert class_label(10) == "95-100%"
+
+    def test_bad_class(self):
+        with pytest.raises(ClassificationError):
+            class_bounds(11)
+        with pytest.raises(ClassificationError):
+            class_bounds(-1)
+
+
+class TestJointClass:
+    def test_construction(self):
+        jc = joint_class(0.5, 0.5)
+        assert jc == JointClass(taken=5, transition=5)
+        assert jc.is_hard
+
+    def test_not_hard(self):
+        assert not joint_class(0.0, 0.0).is_hard
+        assert not joint_class(0.5, 0.0).is_hard
+
+    def test_str(self):
+        assert str(JointClass(taken=3, transition=7)) == "3/7"
+
+    def test_validation(self):
+        with pytest.raises(ClassificationError):
+            JointClass(taken=11, transition=0)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_rate_always_within_its_class_bounds(rate):
+    """Every rate lands in a class whose bounds contain it."""
+    cls = rate_class(rate)
+    low, high = class_bounds(cls)
+    # One-ulp tolerance: band edges like 0.35 are not exactly
+    # representable, so rates exactly at an edge may sit one float
+    # step outside the nominal bound.
+    if cls == 10:
+        assert low - 1e-9 <= rate <= high
+    else:
+        assert low - 1e-9 <= rate < high + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+def test_classification_is_monotone(a, b):
+    """Higher rates never land in lower classes."""
+    if a <= b:
+        assert rate_class(a) <= rate_class(b)

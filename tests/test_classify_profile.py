@@ -1,0 +1,161 @@
+"""Tests for ProfileTable and the dynamic classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classify import DynamicClassifier, ProfileTable
+from repro.errors import ClassificationError
+from repro.trace import Trace
+
+
+def make_profile(pairs):
+    return ProfileTable.from_trace(Trace.from_pairs(pairs))
+
+
+@pytest.fixture
+def mixed_profile():
+    pairs = []
+    pairs += [(1, 1)] * 100              # always taken: classes T10 / X0
+    pairs += [(2, 0)] * 100              # never taken: T0 / X0
+    pairs += [(3, i % 2) for i in range(100)]  # alternating: T5 / X10
+    rng = np.random.default_rng(0)
+    pairs += [(4, int(rng.random() < 0.5)) for _ in range(100)]  # random-ish
+    return make_profile(pairs)
+
+
+class TestProfileTable:
+    def test_always_taken_branch(self, mixed_profile):
+        b = mixed_profile[1]
+        assert b.taken_class == 10
+        assert b.transition_class == 0
+        assert b.taken_rate == 1.0
+
+    def test_never_taken_branch(self, mixed_profile):
+        b = mixed_profile[2]
+        assert b.taken_class == 0
+        assert b.transition_class == 0
+
+    def test_alternating_branch(self, mixed_profile):
+        b = mixed_profile[3]
+        assert b.taken_class == 5
+        assert b.transition_class == 10
+        assert not b.is_hard  # 5/10 is easy, not hard
+
+    def test_hard_branch_detection(self):
+        rng = np.random.default_rng(1)
+        pairs = [(7, int(rng.random() < 0.5)) for _ in range(1000)]
+        profile = make_profile(pairs)
+        assert profile[7].is_hard
+        assert 7 in profile.hard_pcs()
+
+    def test_class_queries(self, mixed_profile):
+        assert 1 in mixed_profile.pcs_in_taken_class(10)
+        assert 3 in mixed_profile.pcs_in_transition_class(10)
+        assert 3 in mixed_profile.pcs_in_joint_class(5, 10)
+
+    def test_mapping(self, mixed_profile):
+        assert len(mixed_profile) == 4
+        assert set(mixed_profile) == {1, 2, 3, 4}
+
+    def test_taken_distribution_sums_to_one(self, mixed_profile):
+        dist = mixed_profile.taken_class_distribution()
+        assert dist.sum() == pytest.approx(1.0)
+        assert len(dist) == 11
+
+    def test_distribution_weighted_by_execution(self):
+        # Branch 1 runs 300 times (always taken), branch 2 once.
+        pairs = [(1, 1)] * 300 + [(2, 0)]
+        dist = make_profile(pairs).taken_class_distribution()
+        assert dist[10] == pytest.approx(300 / 301)
+        assert dist[0] == pytest.approx(1 / 301)
+
+    def test_joint_distribution_matches_marginals(self, mixed_profile):
+        joint = mixed_profile.joint_distribution()
+        assert joint.shape == (11, 11)
+        assert joint.sum() == pytest.approx(1.0)
+        # Row sums (over taken classes) = transition distribution.
+        assert np.allclose(joint.sum(axis=1), mixed_profile.transition_class_distribution())
+        assert np.allclose(joint.sum(axis=0), mixed_profile.taken_class_distribution())
+
+    def test_empty_trace(self):
+        profile = ProfileTable.from_trace(Trace.empty())
+        assert len(profile) == 0
+        assert profile.joint_distribution().sum() == 0.0
+
+    def test_feasibility_arc(self):
+        """Extreme taken rates force low transition rates (Table 2's arc):
+        a branch with taken class 10 can never have transition class 10."""
+        rng = np.random.default_rng(2)
+        pairs = []
+        for pc in range(50):
+            bias = rng.random()
+            pairs += [(pc, int(rng.random() < bias)) for _ in range(200)]
+        profile = make_profile(pairs)
+        for pc in profile:
+            b = profile[pc]
+            # transitions <= 2*min(p, 1-p)*n bounds the transition rate.
+            p = b.taken_rate
+            feasible_max = 2 * min(p, 1 - p) * 200 / 199 + 0.01
+            assert b.transition_rate <= feasible_max
+
+
+class TestDynamicClassifier:
+    def test_tracks_alternating(self):
+        dc = DynamicClassifier(entries=16, window=64)
+        for i in range(100):
+            dc.observe(3, bool(i % 2))
+        assert dc.transition_rate(3) > 0.9
+        assert 0.4 < dc.taken_rate(3) < 0.6
+        assert dc.joint_class(3).transition == 10
+
+    def test_tracks_biased(self):
+        dc = DynamicClassifier(entries=16, window=64)
+        for _ in range(100):
+            dc.observe(2, True)
+        assert dc.taken_rate(2) == 1.0
+        assert dc.transition_rate(2) == 0.0
+        assert dc.joint_class(2).taken == 10
+
+    def test_unseen_branch(self):
+        dc = DynamicClassifier(entries=16)
+        assert dc.taken_rate(9) == 0.0
+        assert dc.transition_rate(9) == 0.0
+
+    def test_window_decay_tracks_phase_change(self):
+        dc = DynamicClassifier(entries=16, window=32)
+        for _ in range(100):
+            dc.observe(1, True)
+        for _ in range(100):
+            dc.observe(1, False)
+        # After a long not-taken phase, the estimate should have moved
+        # well below 50% despite the earlier taken phase.
+        assert dc.taken_rate(1) < 0.2
+
+    def test_agrees_with_profile_on_stationary_branch(self):
+        rng = np.random.default_rng(3)
+        outcomes = [int(rng.random() < 0.7) for _ in range(2000)]
+        dc = DynamicClassifier(entries=4, window=512)
+        for o in outcomes:
+            dc.observe(5, bool(o))
+        profile = make_profile([(5, o) for o in outcomes])
+        assert dc.joint_class(5).taken == profile[5].taken_class
+
+    def test_aliasing(self):
+        dc = DynamicClassifier(entries=4)
+        dc.observe(0, True)
+        assert dc.executions(4) == 1  # 0 and 4 share a slot
+
+    def test_reset(self):
+        dc = DynamicClassifier(entries=8)
+        dc.observe(1, True)
+        dc.reset()
+        assert dc.executions(1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ClassificationError):
+            DynamicClassifier(entries=5)
+        with pytest.raises(ClassificationError):
+            DynamicClassifier(window=1)
+
+    def test_storage_positive(self):
+        assert DynamicClassifier().storage_bits() > 0

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig3", "--scale", "0.5", "--inputs", "all", "--no-cache"]
+        )
+        assert args.experiment == "fig3"
+        assert args.scale == 0.5
+        assert args.inputs == "all"
+        assert args.no_cache
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_inputs_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--inputs", "bogus"])
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig15" in out
+        assert "Figure 13" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99", "--no-cache"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        # table1 needs no sweep, so it is fast at any scale.
+        assert main(["run", "table1", "--no-cache", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+        assert "9stone21.in" in out
+
+    def test_run_small_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "taken rate" in out.lower()
+
+    def test_misclassification_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["misclassification", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "paper 62.90%" in out
+        assert "paper 9.29%" in out

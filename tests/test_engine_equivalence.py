@@ -1,0 +1,165 @@
+"""Exact-equivalence tests: vectorized engine vs reference engine.
+
+These are the load-bearing tests of the repo: every paper experiment
+runs on the vectorized engine, and these tests pin its semantics to the
+step-accurate reference for the full two-level family across history
+kinds, index schemes, history lengths, aliasing regimes and counter
+widths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import simulate_reference, simulate_vectorized
+from repro.predictors import (
+    BimodalPredictor,
+    TwoLevelPredictor,
+    make_gas,
+    make_gshare,
+    make_pas,
+    make_pshare,
+    paper_gas,
+    paper_pas,
+)
+from repro.trace import Trace
+
+
+def random_trace(seed, n, num_pcs, bias=0.5):
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, num_pcs, size=n) * 4 + 0x1000
+    outcomes = (rng.random(n) < bias).astype(np.uint8)
+    return Trace(pcs, outcomes, name=f"rand{seed}")
+
+
+def assert_equivalent(predictor_factory, trace):
+    ref = simulate_reference(predictor_factory(), trace)
+    vec = simulate_vectorized(predictor_factory(), trace)
+    assert ref.total_executions == vec.total_executions
+    assert np.array_equal(ref.pcs, vec.pcs)
+    assert np.array_equal(ref.mispredictions, vec.mispredictions), (
+        f"mismatch for {predictor_factory().name}"
+    )
+
+
+class TestEquivalenceGlobal:
+    @pytest.mark.parametrize("k", [0, 1, 2, 5, 8])
+    def test_gas(self, k):
+        assert_equivalent(lambda: make_gas(k, pht_index_bits=10), random_trace(1, 3000, 40))
+
+    @pytest.mark.parametrize("k", [1, 4, 8])
+    def test_gshare(self, k):
+        assert_equivalent(lambda: make_gshare(k, pht_index_bits=8), random_trace(2, 3000, 40))
+
+    def test_gas_heavy_aliasing(self):
+        # 5-bit PHT with 200 static branches: constant interference.
+        assert_equivalent(
+            lambda: make_gas(2, pht_index_bits=5), random_trace(3, 4000, 200)
+        )
+
+    def test_biased_outcomes(self):
+        assert_equivalent(
+            lambda: make_gas(4, pht_index_bits=10), random_trace(4, 3000, 30, bias=0.9)
+        )
+
+
+class TestEquivalencePerAddress:
+    @pytest.mark.parametrize("k", [1, 2, 6])
+    def test_pas(self, k):
+        assert_equivalent(
+            lambda: make_pas(k, pht_index_bits=10, bht_entries=32),
+            random_trace(5, 3000, 40),
+        )
+
+    def test_pas_bht_aliasing(self):
+        # 8-entry BHT with 50 branches: histories are shared/corrupted,
+        # and the vectorized window must reproduce that corruption.
+        assert_equivalent(
+            lambda: make_pas(4, pht_index_bits=10, bht_entries=8),
+            random_trace(6, 4000, 50),
+        )
+
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_pshare(self, k):
+        assert_equivalent(
+            lambda: make_pshare(k, pht_index_bits=8, bht_entries=16),
+            random_trace(7, 3000, 40),
+        )
+
+    def test_pas_zero_history(self):
+        assert_equivalent(
+            lambda: make_pas(0, pht_index_bits=10), random_trace(8, 2000, 40)
+        )
+
+
+class TestEquivalencePaperConfigs:
+    @pytest.mark.parametrize("k", [0, 1, 8, 16])
+    def test_paper_gas(self, k):
+        assert_equivalent(lambda: paper_gas(k), random_trace(9, 2000, 60))
+
+    @pytest.mark.parametrize("k", [0, 1, 8, 16])
+    def test_paper_pas(self, k):
+        assert_equivalent(lambda: paper_pas(k), random_trace(10, 2000, 60))
+
+
+class TestEquivalenceOther:
+    def test_bimodal(self):
+        assert_equivalent(lambda: BimodalPredictor(entries=64), random_trace(11, 2000, 100))
+
+    def test_three_bit_counters(self):
+        assert_equivalent(
+            lambda: TwoLevelPredictor(
+                history_kind="global", history_bits=3, pht_index_bits=8, counter_bits=3
+            ),
+            random_trace(12, 2000, 30),
+        )
+
+    def test_one_bit_counters(self):
+        assert_equivalent(
+            lambda: TwoLevelPredictor(
+                history_kind="global", history_bits=3, pht_index_bits=8, counter_bits=1
+            ),
+            random_trace(13, 2000, 30),
+        )
+
+    def test_empty_trace(self):
+        trace = Trace.empty()
+        vec = simulate_vectorized(make_gas(4, pht_index_bits=8), trace)
+        assert vec.total_executions == 0
+        assert vec.miss_rate == 0.0
+
+    def test_single_record(self):
+        trace = Trace.from_pairs([(0x40, 1)])
+        ref = simulate_reference(make_gas(2, pht_index_bits=6), trace)
+        vec = simulate_vectorized(make_gas(2, pht_index_bits=6), trace)
+        assert ref.total_mispredictions == vec.total_mispredictions
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 600),
+    num_pcs=st.integers(1, 60),
+    k=st.integers(0, 6),
+    pht_bits=st.integers(6, 10),
+    scheme_global=st.booleans(),
+    xor=st.booleans(),
+)
+def test_equivalence_property(seed, n, num_pcs, k, pht_bits, scheme_global, xor):
+    """Random geometry, random trace: the engines always agree exactly."""
+    trace = random_trace(seed, n, num_pcs)
+    scheme = "xor" if xor else "concat"
+    if scheme == "concat" and k > pht_bits:
+        k = pht_bits
+
+    def factory():
+        return TwoLevelPredictor(
+            history_kind="global" if scheme_global else "per-address",
+            history_bits=k,
+            pht_index_bits=pht_bits,
+            index_scheme=scheme,
+            bht_entries=16 if (not scheme_global and k > 0) else None,
+        )
+
+    assert_equivalent(factory, trace)

@@ -1,0 +1,190 @@
+"""Tests for the paper's extension/future-work features:
+
+* DHLF (dynamic history-length fitting, related work [11]),
+* window classification from existing BHT bits (paper §6),
+* variable-history hybrid from per-class optima (§5.4 + [20]).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import SweepConfig, design_variable_history_hybrid, run_sweep
+from repro.classify import (
+    BhtWindowClassifier,
+    ProfileTable,
+    window_joint_class,
+    window_taken_rate,
+    window_transition_rate,
+)
+from repro.engine import simulate_reference
+from repro.errors import ClassificationError, PredictorError
+from repro.predictors import BranchHistoryTable, DhlfPredictor, make_pas
+from repro.trace import Trace
+from repro.workloads.synthetic import (
+    AlternatingModel,
+    BiasedModel,
+    BranchPopulation,
+    BranchSpec,
+    LoopModel,
+    PatternModel,
+)
+
+
+class TestDhlf:
+    def test_learns_biased_stream(self):
+        p = DhlfPredictor(pht_index_bits=10, interval=64)
+        trace = Trace.from_pairs([(0x10, 1)] * 2000)
+        result = simulate_reference(p, trace)
+        assert result.miss_rate < 0.05
+
+    def test_grows_history_for_patterned_branch(self):
+        """A period-8 pattern needs several history bits; the fitter
+        should wander away from zero and end with decent accuracy."""
+        pattern = [1, 1, 1, 0, 1, 0, 0, 1]
+        pairs = [(0x20, pattern[i % 8]) for i in range(40_000)]
+        p = DhlfPredictor(pht_index_bits=12, interval=512, start_history=0)
+        result = simulate_reference(p, Trace.from_pairs(pairs))
+        assert p.history_length > 0
+        assert result.miss_rate < 0.25
+
+    def test_history_length_stays_in_range(self):
+        p = DhlfPredictor(pht_index_bits=6, interval=32)
+        rng = np.random.default_rng(0)
+        for i in range(5000):
+            p.access(int(rng.integers(0, 50)), bool(rng.integers(0, 2)))
+            assert 0 <= p.history_length <= 6
+
+    def test_reset_restarts_exploration(self):
+        p = DhlfPredictor(pht_index_bits=8, interval=32, start_history=3)
+        for i in range(5000):
+            p.access(1, bool(i % 2))
+        p.reset()
+        # A reset predictor starts its exploration sweep from length 0.
+        assert p.history_length == 0
+
+    def test_validation(self):
+        with pytest.raises(PredictorError):
+            DhlfPredictor(pht_index_bits=0)
+        with pytest.raises(PredictorError):
+            DhlfPredictor(interval=4)
+        with pytest.raises(PredictorError):
+            DhlfPredictor(pht_index_bits=4, start_history=9)
+
+    def test_storage(self):
+        p = DhlfPredictor(pht_index_bits=10)
+        assert p.storage_bits() == (1 << 10) * 2 + 10
+
+
+class TestWindowRates:
+    def test_taken_rate_popcount(self):
+        assert window_taken_rate(0b1011, 4) == 0.75
+        assert window_taken_rate(0, 4) == 0.0
+        assert window_taken_rate(0b1111, 4) == 1.0
+
+    def test_transition_rate_flips(self):
+        assert window_transition_rate(0b1010, 4) == 1.0  # alternating
+        assert window_transition_rate(0b1111, 4) == 0.0
+        assert window_transition_rate(0b1100, 4) == pytest.approx(1 / 3)
+
+    def test_single_bit_window(self):
+        assert window_transition_rate(1, 1) == 0.0
+
+    def test_joint_class(self):
+        jc = window_joint_class(0b10101010, 8)
+        assert jc.transition == 10
+        assert jc.taken == 5
+
+    def test_validation(self):
+        with pytest.raises(ClassificationError):
+            window_taken_rate(0b111, 2)  # does not fit
+        with pytest.raises(ClassificationError):
+            window_taken_rate(1, 0)
+
+    @given(st.integers(min_value=2, max_value=16), st.data())
+    def test_matches_oracle(self, bits, data):
+        """Bit arithmetic agrees with an explicit outcome-list oracle."""
+        history = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        # LSB = most recent; expand to a list (oldest first).
+        outcomes = [(history >> i) & 1 for i in reversed(range(bits))]
+        expected_taken = sum(outcomes) / bits
+        expected_trans = sum(
+            1 for a, b in zip(outcomes, outcomes[1:]) if a != b
+        ) / (bits - 1)
+        assert window_taken_rate(history, bits) == pytest.approx(expected_taken)
+        assert window_transition_rate(history, bits) == pytest.approx(expected_trans)
+
+
+class TestBhtWindowClassifier:
+    def test_classifies_from_live_bht(self):
+        bht = BranchHistoryTable(16, 8)
+        classifier = BhtWindowClassifier(bht)
+        for i in range(20):
+            bht.push(3, bool(i % 2))  # alternating branch
+            bht.push(5, True)  # always-taken branch
+        assert classifier.joint_class(3).transition == 10
+        assert classifier.joint_class(5).taken == 10
+        assert classifier.joint_class(5).transition == 0
+
+    def test_rides_pas_predictor_bht(self):
+        """The classifier consumes the BHT a PAs predictor already has."""
+        predictor = make_pas(8, pht_index_bits=10, bht_entries=32)
+        classifier = BhtWindowClassifier(predictor.bht)
+        for i in range(50):
+            predictor.update(7, bool(i % 2))
+        assert classifier.transition_rate(7) == 1.0
+        assert classifier.storage_bits() == 0  # free-riding
+
+    def test_needs_two_bits(self):
+        with pytest.raises(ClassificationError):
+            BhtWindowClassifier(BranchHistoryTable(4, 1))
+
+    def test_window_bits(self):
+        assert BhtWindowClassifier(BranchHistoryTable(4, 6)).window_bits == 6
+
+
+class TestVariableHistoryHybrid:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        specs = [
+            BranchSpec(pc=0x100, model=PatternModel([1]), weight=4),
+            BranchSpec(pc=0x104, model=AlternatingModel(), weight=3),
+            BranchSpec(pc=0x108, model=LoopModel(10), weight=3),
+            BranchSpec(pc=0x10C, model=BiasedModel(0.5), weight=2, hard=True),
+        ]
+        trace = BranchPopulation(specs, seed=13).generate(30_000)
+        profile = ProfileTable.from_trace(trace)
+        sweep = run_sweep([trace], SweepConfig(history_lengths=(0, 1, 2, 4, 8)))
+        return trace, profile, sweep
+
+    def test_builds_components_per_length(self, workload):
+        _, profile, sweep = workload
+        hybrid, plan = design_variable_history_hybrid(profile, sweep.grid("pas"))
+        assert 1 <= len(hybrid.components) <= 5
+        assert len(plan.routes) == len(profile)
+
+    def test_alternating_gets_short_history(self, workload):
+        _, profile, sweep = workload
+        grid = sweep.grid("pas")
+        hybrid, plan = design_variable_history_hybrid(profile, grid)
+        component = plan.component_names[plan.routes[0x104]]
+        # Transition class 10's optimum is a short nonzero history.
+        optimal = int(grid.optimal_history("transition")[10])
+        assert component == f"PAs-h{optimal}"
+        assert 1 <= optimal <= 4
+
+    def test_hybrid_predicts_workload_well(self, workload):
+        trace, profile, sweep = workload
+        hybrid, _ = design_variable_history_hybrid(profile, sweep.grid("pas"))
+        result = simulate_reference(hybrid, trace)
+        # Hard branch is 1/6 of the stream at ~50% miss; everything else
+        # should be close to free.
+        assert result.miss_rate < 0.20
+
+    def test_taken_metric_routing(self, workload):
+        _, profile, sweep = workload
+        hybrid, _ = design_variable_history_hybrid(
+            profile, sweep.grid("pas"), metric="taken"
+        )
+        assert "taken" in hybrid.name

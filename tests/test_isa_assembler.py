@@ -1,0 +1,101 @@
+"""Tests for the mini-ISA assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Instruction, Opcode, assemble
+
+
+class TestAssembleBasics:
+    def test_simple_program(self):
+        program = assemble("LI r1, 5\nHALT\n")
+        assert len(program) == 2
+        assert program.instructions[0] == Instruction(Opcode.LI, (1, 5))
+        assert program.instructions[1] == Instruction(Opcode.HALT, ())
+
+    def test_case_insensitive_mnemonics(self):
+        program = assemble("li r1, 5\nhalt")
+        assert program.instructions[0].opcode is Opcode.LI
+
+    def test_comments_and_blanks(self):
+        program = assemble(
+            """
+            ; full comment line
+            LI r1, 1   ; trailing comment
+            # hash comment
+            HALT
+            """
+        )
+        assert len(program) == 2
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("LI r1, -7\nLI r2, 0x10\nHALT")
+        assert program.instructions[0].operands == (1, -7)
+        assert program.instructions[1].operands == (2, 16)
+
+    def test_pc_addresses(self):
+        program = assemble("HALT", base_address=0x2000)
+        assert program.pc_of(0) == 0x2000
+        assert program.pc_of(3) == 0x2000 + 12
+
+
+class TestLabels:
+    def test_label_resolution(self):
+        program = assemble(
+            """
+            start:
+                ADDI r1, r1, 1
+                BLT r1, r2, start
+                HALT
+            """
+        )
+        assert program.labels["start"] == 0
+        # Branch target operand is the instruction index.
+        assert program.instructions[1].operands == (1, 2, 0)
+
+    def test_label_on_same_line(self):
+        program = assemble("top: HALT")
+        assert program.labels["top"] == 0
+
+    def test_forward_reference(self):
+        program = assemble("JMP end\nend: HALT")
+        assert program.instructions[0].operands == (1,)
+
+    def test_multiple_labels_one_target(self):
+        program = assemble("a: b: HALT")
+        assert program.labels["a"] == 0
+        assert program.labels["b"] == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("JMP nowhere\nHALT")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x: HALT\nx: HALT")
+
+    def test_bad_label_name(self):
+        with pytest.raises(AssemblyError):
+            assemble("9lives: HALT")
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError):
+            assemble("FROB r1, r2")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError):
+            assemble("ADD r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("LI r16, 0")
+
+    def test_immediate_where_register_required(self):
+        with pytest.raises(AssemblyError):
+            assemble("ADD r1, r2, 5")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError):
+            assemble("LI r1, banana")

@@ -1,0 +1,154 @@
+"""Tests for static, last-outcome, and bimodal predictors."""
+
+import pytest
+
+from repro.errors import PredictorError
+from repro.predictors import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    LastOutcomePredictor,
+    OraclePredictor,
+    ProfileStaticPredictor,
+)
+from repro.trace import Trace, TraceStats
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        p = AlwaysTakenPredictor()
+        assert p.predict(0)
+        p.update(0, False)
+        assert p.predict(0)
+        assert p.storage_bits() == 0
+
+    def test_always_not_taken(self):
+        p = AlwaysNotTakenPredictor()
+        assert not p.predict(123)
+
+    def test_access_returns_correctness(self):
+        p = AlwaysTakenPredictor()
+        assert p.access(0, True) is True
+        assert p.access(0, False) is False
+
+
+class TestProfileStatic:
+    def test_directions(self):
+        p = ProfileStaticPredictor({1: True, 2: False})
+        assert p.predict(1)
+        assert not p.predict(2)
+
+    def test_default_for_cold_branches(self):
+        p = ProfileStaticPredictor({}, default=False)
+        assert not p.predict(99)
+
+    def test_from_stats_majority(self):
+        trace = Trace.from_pairs([(1, 1), (1, 1), (1, 0), (2, 0), (2, 0), (2, 1)])
+        stats = TraceStats.from_trace(trace)
+        p = ProfileStaticPredictor.from_stats(stats)
+        assert p.predict(1)  # 2/3 taken
+        assert not p.predict(2)  # 1/3 taken
+
+    def test_never_learns(self):
+        p = ProfileStaticPredictor({1: True})
+        for _ in range(10):
+            p.update(1, False)
+        assert p.predict(1)
+
+    def test_storage_is_hint_bits(self):
+        assert ProfileStaticPredictor({1: True, 2: False}).storage_bits() == 2
+
+
+class TestOracle:
+    def test_primed_prediction(self):
+        p = OraclePredictor()
+        p.prime(True)
+        assert p.predict(0)
+        p.update(0, True)
+        p.prime(False)
+        assert not p.predict(0)
+
+    def test_unprimed_raises(self):
+        with pytest.raises(PredictorError):
+            OraclePredictor().predict(0)
+
+    def test_reset(self):
+        p = OraclePredictor()
+        p.prime(True)
+        p.reset()
+        with pytest.raises(PredictorError):
+            p.predict(0)
+
+
+class TestLastOutcome:
+    def test_tracks_last(self):
+        p = LastOutcomePredictor(entries=16)
+        p.update(1, False)
+        assert not p.predict(1)
+        p.update(1, True)
+        assert p.predict(1)
+
+    def test_miss_rate_equals_transition_rate(self):
+        """On an alias-free branch, last-outcome misses exactly at transitions."""
+        outcomes = [1, 1, 0, 1, 0, 0, 0, 1, 1, 0]
+        p = LastOutcomePredictor(entries=16, initial=bool(outcomes[0]))
+        misses = sum(0 if p.access(3, bool(o)) else 1 for o in outcomes)
+        transitions = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a != b)
+        # First prediction was primed correct, so misses == transitions.
+        assert misses == transitions
+
+    def test_aliasing(self):
+        p = LastOutcomePredictor(entries=4)
+        p.update(0, False)
+        assert not p.predict(4)  # 0 and 4 collide
+
+    def test_bad_entries(self):
+        with pytest.raises(PredictorError):
+            LastOutcomePredictor(entries=3)
+
+    def test_reset(self):
+        p = LastOutcomePredictor(entries=4, initial=True)
+        p.update(0, False)
+        p.reset()
+        assert p.predict(0)
+
+    def test_storage(self):
+        assert LastOutcomePredictor(entries=64).storage_bits() == 64
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        p = BimodalPredictor(entries=16)
+        for _ in range(3):
+            p.update(5, False)
+        assert not p.predict(5)
+
+    def test_hysteresis(self):
+        p = BimodalPredictor(entries=16)
+        for _ in range(4):
+            p.update(5, True)
+        p.update(5, False)
+        assert p.predict(5)  # strongly taken survives one anomaly
+
+    def test_aliasing_interference(self):
+        p = BimodalPredictor(entries=4)
+        for _ in range(4):
+            p.update(1, False)
+        # PC 5 aliases with PC 1 and inherits its state.
+        assert not p.predict(5)
+
+    def test_paper_budget(self):
+        p = BimodalPredictor(entries=1 << 17, counter_bits=2)
+        assert p.storage_bits() == 2 ** 18  # 32 KB
+        assert p.storage_bytes() == 32 * 1024
+
+    def test_index_of(self):
+        p = BimodalPredictor(entries=16)
+        assert p.index_of(0x12345) == 0x12345 & 15
+
+    def test_reset(self):
+        p = BimodalPredictor(entries=16)
+        for _ in range(4):
+            p.update(0, False)
+        p.reset()
+        assert p.predict(0)

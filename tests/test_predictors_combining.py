@@ -1,0 +1,135 @@
+"""Tests for tournament and class-routed hybrid predictors."""
+
+import random
+
+import pytest
+
+from repro.errors import PredictorError
+from repro.predictors import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    ClassRoutedHybrid,
+    TournamentPredictor,
+    make_gas,
+    make_gshare,
+)
+
+
+class TestTournament:
+    def test_chooser_learns_per_branch(self):
+        """Branch A always taken, branch B always not taken; with
+        always-taken and always-not-taken components the chooser must
+        route each branch to the right component."""
+        p = TournamentPredictor(
+            AlwaysTakenPredictor(), AlwaysNotTakenPredictor(), chooser_index_bits=6
+        )
+        correct_tail = []
+        for i in range(120):
+            ok_a = p.access(0, True)
+            ok_b = p.access(1, False)
+            if i >= 100:
+                correct_tail += [ok_a, ok_b]
+        assert all(correct_tail)
+        assert not p.chooses_second(0)  # A -> always-taken (first)
+        assert p.chooses_second(1)  # B -> always-not-taken (second)
+
+    def test_components_both_train(self):
+        g1 = make_gshare(4, pht_index_bits=6)
+        g2 = make_gas(2, pht_index_bits=6)
+        p = TournamentPredictor(g1, g2)
+        p.update(3, True)
+        assert g1.global_history.value == 1
+        assert g2.global_history.value == 1
+
+    def test_chooser_untouched_when_both_agree(self):
+        p = TournamentPredictor(
+            AlwaysTakenPredictor(), AlwaysTakenPredictor(), chooser_index_bits=4
+        )
+        before = p.chooser.value(0)
+        p.update(0, True)  # both correct
+        p.update(0, False)  # both wrong
+        assert p.chooser.value(0) == before
+
+    def test_beats_worst_component(self):
+        rng = random.Random(5)
+        p = TournamentPredictor(AlwaysTakenPredictor(), AlwaysNotTakenPredictor())
+        events = [(0x10, True)] * 200 + [(0x20, False)] * 200
+        rng.shuffle(events)
+        correct = sum(1 for pc, t in events if p.access(pc, t))
+        assert correct / len(events) > 0.9
+
+    def test_reset(self):
+        p = TournamentPredictor(make_gshare(4), make_gas(2))
+        for i in range(50):
+            p.update(i % 7, bool(i % 2))
+        p.reset()
+        assert p.chooser.value(0) == 2
+
+    def test_storage_sums_components(self):
+        a, b = AlwaysTakenPredictor(), AlwaysNotTakenPredictor()
+        p = TournamentPredictor(a, b, chooser_index_bits=5)
+        assert p.storage_bits() == (1 << 5) * 2
+
+    def test_name(self):
+        p = TournamentPredictor(AlwaysTakenPredictor(), AlwaysNotTakenPredictor())
+        assert "always-taken" in p.name
+
+
+class TestClassRoutedHybrid:
+    def test_routing_by_mapping(self):
+        p = ClassRoutedHybrid(
+            [AlwaysTakenPredictor(), AlwaysNotTakenPredictor()], {1: 0, 2: 1}
+        )
+        assert p.predict(1)
+        assert not p.predict(2)
+
+    def test_unknown_pc_falls_back_to_first(self):
+        p = ClassRoutedHybrid(
+            [AlwaysTakenPredictor(), AlwaysNotTakenPredictor()], {2: 1}
+        )
+        assert p.predict(999)
+
+    def test_routing_by_callable(self):
+        p = ClassRoutedHybrid(
+            [AlwaysTakenPredictor(), AlwaysNotTakenPredictor()],
+            lambda pc: pc % 2,
+        )
+        assert p.predict(4)
+        assert not p.predict(5)
+
+    def test_callable_out_of_range_falls_back(self):
+        p = ClassRoutedHybrid([AlwaysTakenPredictor()], lambda pc: 7)
+        assert p.predict(0)
+
+    def test_only_owner_trains(self):
+        """Interference isolation: updates only reach the owning component."""
+        g1 = make_gshare(4, pht_index_bits=6)
+        g2 = make_gshare(4, pht_index_bits=6)
+        p = ClassRoutedHybrid([g1, g2], {1: 0, 2: 1})
+        p.update(1, True)
+        assert g1.global_history.value == 1
+        assert g2.global_history.value == 0
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(PredictorError):
+            ClassRoutedHybrid([], {})
+
+    def test_bad_mapping_target_rejected(self):
+        with pytest.raises(PredictorError):
+            ClassRoutedHybrid([AlwaysTakenPredictor()], {1: 3})
+
+    def test_reset_resets_all(self):
+        g1 = make_gshare(4, pht_index_bits=6)
+        g2 = make_gshare(4, pht_index_bits=6)
+        p = ClassRoutedHybrid([g1, g2], {1: 0, 2: 1})
+        p.update(1, True)
+        p.update(2, True)
+        p.reset()
+        assert g1.global_history.value == 0
+        assert g2.global_history.value == 0
+
+    def test_storage_sums(self):
+        g1 = make_gshare(4, pht_index_bits=6)
+        g2 = make_gshare(4, pht_index_bits=6)
+        p = ClassRoutedHybrid([g1, g2], {})
+        assert p.storage_bits() == g1.storage_bits() + g2.storage_bits()

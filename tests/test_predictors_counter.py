@@ -1,0 +1,143 @@
+"""Tests for repro.predictors.counter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PredictorError
+from repro.predictors import CounterTable, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_default_initial_is_weakly_taken(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 2
+        assert c.taken
+
+    def test_increment_saturates(self):
+        c = SaturatingCounter(bits=2, value=3)
+        c.update(True)
+        assert c.value == 3
+
+    def test_decrement_saturates(self):
+        c = SaturatingCounter(bits=2, value=0)
+        c.update(False)
+        assert c.value == 0
+
+    def test_threshold(self):
+        assert not SaturatingCounter(bits=2, value=1).taken
+        assert SaturatingCounter(bits=2, value=2).taken
+
+    def test_one_bit_counter(self):
+        c = SaturatingCounter(bits=1, value=0)
+        assert not c.taken
+        c.update(True)
+        assert c.value == 1
+        assert c.taken
+
+    def test_three_bit_counter_range(self):
+        c = SaturatingCounter(bits=3)
+        assert c.value == 4
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 7
+
+    def test_reset(self):
+        c = SaturatingCounter(bits=2, value=1)
+        c.update(True)
+        c.update(True)
+        c.reset()
+        assert c.value == 1
+
+    def test_bad_width(self):
+        with pytest.raises(PredictorError):
+            SaturatingCounter(bits=0)
+
+    def test_bad_value(self):
+        with pytest.raises(PredictorError):
+            SaturatingCounter(bits=2, value=4)
+
+    def test_hysteresis(self):
+        """Strongly-taken counter survives one not-taken outcome."""
+        c = SaturatingCounter(bits=2, value=3)
+        c.update(False)
+        assert c.taken  # still predicts taken
+        c.update(False)
+        assert not c.taken
+
+
+class TestCounterTable:
+    def test_initial_prediction(self):
+        t = CounterTable(8)
+        assert all(t.predict(i) for i in range(8))
+
+    def test_update_localized(self):
+        t = CounterTable(8)
+        t.update(3, False)
+        t.update(3, False)
+        assert not t.predict(3)
+        assert t.predict(2)
+
+    def test_saturation(self):
+        t = CounterTable(4, bits=2)
+        for _ in range(10):
+            t.update(0, True)
+        assert t.value(0) == 3
+        for _ in range(10):
+            t.update(0, False)
+        assert t.value(0) == 0
+
+    def test_strength(self):
+        t = CounterTable(4, bits=2, initial=0)
+        assert t.strength(0) == 1  # strongly not taken
+        t.update(0, True)
+        assert t.strength(0) == 0  # weakly not taken
+        t.update(0, True)
+        assert t.strength(0) == 0  # weakly taken
+        t.update(0, True)
+        assert t.strength(0) == 1  # strongly taken
+
+    def test_reset(self):
+        t = CounterTable(4, initial=1)
+        t.update(0, True)
+        t.reset()
+        assert t.value(0) == 1
+
+    def test_storage_bits(self):
+        assert CounterTable(1 << 17, bits=2).storage_bits() == 2 ** 18
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(PredictorError):
+            CounterTable(12)
+
+    def test_bad_sizes(self):
+        with pytest.raises(PredictorError):
+            CounterTable(0)
+        with pytest.raises(PredictorError):
+            CounterTable(4, bits=9)
+        with pytest.raises(PredictorError):
+            CounterTable(4, initial=7)
+
+    def test_len(self):
+        assert len(CounterTable(16)) == 16
+
+
+@given(st.lists(st.booleans(), max_size=200), st.integers(min_value=1, max_value=4))
+def test_counter_value_always_in_range(outcomes, bits):
+    """A saturating counter never leaves [0, 2^bits - 1]."""
+    c = SaturatingCounter(bits=bits)
+    for taken in outcomes:
+        c.update(taken)
+        assert 0 <= c.value <= (1 << bits) - 1
+
+
+@given(st.lists(st.booleans(), max_size=200))
+def test_table_matches_scalar_counter(outcomes):
+    """CounterTable entry 0 evolves exactly like a SaturatingCounter."""
+    table = CounterTable(4, bits=2)
+    scalar = SaturatingCounter(bits=2)
+    for taken in outcomes:
+        assert table.predict(0) == scalar.taken
+        table.update(0, taken)
+        scalar.update(taken)
+        assert table.value(0) == scalar.value

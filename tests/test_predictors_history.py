@@ -1,0 +1,115 @@
+"""Tests for repro.predictors.history."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PredictorError
+from repro.predictors import BranchHistoryTable, HistoryRegister
+
+
+class TestHistoryRegister:
+    def test_push_order(self):
+        h = HistoryRegister(4)
+        h.push(True)
+        h.push(False)
+        h.push(True)
+        # LSB is most recent: T, N, T -> 0b101
+        assert h.value == 0b101
+
+    def test_masking(self):
+        h = HistoryRegister(2)
+        for _ in range(5):
+            h.push(True)
+        assert h.value == 0b11
+
+    def test_zero_bits(self):
+        h = HistoryRegister(0)
+        h.push(True)
+        assert h.value == 0
+        assert h.storage_bits() == 0
+
+    def test_reset(self):
+        h = HistoryRegister(3)
+        h.push(True)
+        h.reset()
+        assert h.value == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(PredictorError):
+            HistoryRegister(-1)
+
+    def test_storage(self):
+        assert HistoryRegister(12).storage_bits() == 12
+
+
+class TestBranchHistoryTable:
+    def test_per_pc_isolation(self):
+        bht = BranchHistoryTable(8, 4)
+        bht.push(0, True)
+        bht.push(1, False)
+        assert bht.value(0) == 1
+        assert bht.value(1) == 0
+
+    def test_aliasing(self):
+        # PCs 0 and 8 collide in an 8-entry table.
+        bht = BranchHistoryTable(8, 4)
+        bht.push(0, True)
+        assert bht.value(8) == 1
+        assert bht.index_of(0) == bht.index_of(8)
+
+    def test_masking(self):
+        bht = BranchHistoryTable(4, 2)
+        for _ in range(5):
+            bht.push(0, True)
+        assert bht.value(0) == 0b11
+
+    def test_zero_history_bits(self):
+        bht = BranchHistoryTable(4, 0)
+        bht.push(0, True)
+        assert bht.value(0) == 0
+
+    def test_reset(self):
+        bht = BranchHistoryTable(4, 3)
+        bht.push(2, True)
+        bht.reset()
+        assert bht.value(2) == 0
+
+    def test_storage(self):
+        assert BranchHistoryTable(1 << 13, 8).storage_bits() == (1 << 13) * 8
+
+    def test_bad_entries(self):
+        with pytest.raises(PredictorError):
+            BranchHistoryTable(0, 4)
+        with pytest.raises(PredictorError):
+            BranchHistoryTable(12, 4)
+        with pytest.raises(PredictorError):
+            BranchHistoryTable(8, -1)
+
+    def test_index_bits(self):
+        assert BranchHistoryTable(8, 4).index_bits == 3
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=50), st.integers(1, 16))
+def test_history_value_is_window(outcomes, bits):
+    """The register's value equals the last `bits` outcomes, LSB most recent."""
+    h = HistoryRegister(bits)
+    for taken in outcomes:
+        h.push(taken)
+    window = outcomes[-bits:]
+    expected = 0
+    for taken in window:
+        expected = (expected << 1) | (1 if taken else 0)
+    assert h.value == expected
+
+
+@given(st.lists(st.tuples(st.integers(0, 31), st.booleans()), max_size=100))
+def test_bht_matches_independent_registers(events):
+    """A BHT with no aliasing behaves like one register per PC."""
+    bht = BranchHistoryTable(32, 6)
+    registers = {}
+    for pc, taken in events:
+        registers.setdefault(pc, HistoryRegister(6)).push(taken)
+        bht.push(pc, taken)
+    for pc, reg in registers.items():
+        assert bht.value(pc) == reg.value

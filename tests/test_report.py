@@ -1,0 +1,110 @@
+"""Tests for the plain-text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import (
+    SHADES,
+    ascii_colormap,
+    ascii_lineplot,
+    ascii_table,
+    format_percent,
+    format_rate,
+)
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.0872) == "8.72%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    def test_rate(self):
+        assert format_rate(0.15345) == "0.153"
+
+
+class TestAsciiTable:
+    def test_basic_layout(self):
+        out = ascii_table(["A", "B"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| A " in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        out = ascii_table(["A"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        out = ascii_table(["Name", "Val"], [["row", 5]])
+        body = out.splitlines()[3]
+        assert body.startswith("| row")  # left-aligned first column
+        assert body.rstrip().endswith("5 |")  # right-aligned numbers
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = ascii_table(["A"], [])
+        assert "| A |" in out
+
+
+class TestAsciiColormap:
+    def test_shading_monotone(self):
+        m = np.array([[0.0, 0.25], [0.5, 0.5]])
+        out = ascii_colormap(
+            m, row_labels=["r0", "r1"], col_labels=["c0", "c1"], vmax=0.5
+        )
+        # Darkest cell uses a later shade than the lightest.
+        assert SHADES[0] * 2 in out
+        assert SHADES[-1] * 2 in out
+
+    def test_nan_renders_dots(self):
+        m = np.array([[np.nan]])
+        out = ascii_colormap(m, row_labels=["r"], col_labels=["c"])
+        assert "··" in out
+
+    def test_legend_present(self):
+        out = ascii_colormap(
+            np.zeros((1, 1)), row_labels=["0"], col_labels=["0"], vmax=0.5
+        )
+        assert "legend" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_colormap(np.zeros(3), row_labels=[], col_labels=[])
+        with pytest.raises(ConfigurationError):
+            ascii_colormap(np.zeros((2, 2)), row_labels=["a"], col_labels=["b", "c"])
+
+
+class TestAsciiLineplot:
+    def test_series_glyphs_present(self):
+        out = ascii_lineplot(
+            {"a": [0.1, 0.2, 0.3], "b": [0.3, 0.2, 0.1]},
+            x_values=[0, 1, 2],
+        )
+        assert "o" in out and "x" in out
+        assert "legend: o=a  x=b" in out
+
+    def test_higher_values_plot_higher(self):
+        out = ascii_lineplot({"s": [0.0, 1.0]}, x_values=[0, 1], height=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        top_half = "\n".join(lines[: len(lines) // 2])
+        bottom_half = "\n".join(lines[len(lines) // 2 :])
+        # The 1.0 point appears in the top half, the 0.0 in the bottom.
+        assert "o" in top_half
+        assert "o" in bottom_half
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_lineplot({}, x_values=[])
+        with pytest.raises(ConfigurationError):
+            ascii_lineplot({"a": [1, 2]}, x_values=[0])
+        with pytest.raises(ConfigurationError):
+            ascii_lineplot({"a": [1]}, x_values=[0], height=2)
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0.1] for i in range(20)}
+        with pytest.raises(ConfigurationError):
+            ascii_lineplot(series, x_values=[0])

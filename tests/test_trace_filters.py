@@ -1,0 +1,143 @@
+"""Tests for repro.trace.filters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace import (
+    Trace,
+    TraceStats,
+    exclude_pcs,
+    merge_suite,
+    offset_pcs,
+    remap_pcs,
+    sample_every,
+    select_pcs,
+    select_where,
+    window,
+)
+
+
+@pytest.fixture
+def trace():
+    return Trace.from_pairs(
+        [(1, 1), (2, 0), (3, 1), (1, 0), (2, 1), (3, 0), (1, 1)], name="f"
+    )
+
+
+class TestSelection:
+    def test_select_pcs(self, trace):
+        sub = select_pcs(trace, [1, 3])
+        assert set(sub.static_pcs()) == {1, 3}
+        assert len(sub) == 5
+
+    def test_select_preserves_order(self, trace):
+        sub = select_pcs(trace, [1])
+        assert [r.outcome for r in sub] == [1, 0, 1]
+
+    def test_exclude_pcs(self, trace):
+        sub = exclude_pcs(trace, [2])
+        assert 2 not in set(sub.static_pcs())
+        assert len(sub) == 5
+
+    def test_select_where(self, trace):
+        sub = select_where(trace, lambda pc: pc % 2 == 1)
+        assert set(sub.static_pcs()) == {1, 3}
+
+    def test_select_nothing(self, trace):
+        assert len(select_pcs(trace, [])) == 0
+
+
+class TestWindowAndSample:
+    def test_window(self, trace):
+        w = window(trace, 2, 3)
+        assert len(w) == 3
+        assert w[0].pc == 3
+
+    def test_window_clamps(self, trace):
+        assert len(window(trace, 5, 100)) == 2
+
+    def test_window_negative_rejected(self, trace):
+        with pytest.raises(TraceError):
+            window(trace, -1, 2)
+
+    def test_sample_every(self, trace):
+        s = sample_every(trace, 2)
+        assert len(s) == 4
+        assert [r.pc for r in s] == [1, 3, 2, 1]
+
+    def test_sample_with_phase(self, trace):
+        s = sample_every(trace, 3, phase=1)
+        assert [r.pc for r in s] == [2, 2]
+
+    def test_sample_bad_args(self, trace):
+        with pytest.raises(TraceError):
+            sample_every(trace, 0)
+        with pytest.raises(TraceError):
+            sample_every(trace, 2, phase=2)
+
+
+class TestRemap:
+    def test_remap(self, trace):
+        mapped = remap_pcs(trace, lambda pc: pc * 10)
+        assert set(mapped.static_pcs()) == {10, 20, 30}
+        assert [r.outcome for r in mapped] == [r.outcome for r in trace]
+
+    def test_remap_negative_rejected(self, trace):
+        with pytest.raises(TraceError):
+            remap_pcs(trace, lambda pc: -pc)
+
+    def test_offset(self, trace):
+        shifted = offset_pcs(trace, 100)
+        assert set(shifted.static_pcs()) == {101, 102, 103}
+
+    def test_offset_negative_rejected(self, trace):
+        with pytest.raises(TraceError):
+            offset_pcs(trace, -10)
+
+
+class TestMergeSuite:
+    def test_disjoint_pc_spaces(self):
+        a = Trace.from_pairs([(1, 1), (1, 0)], name="a")
+        b = Trace.from_pairs([(1, 0), (1, 1)], name="b")
+        merged = merge_suite([a, b], pc_stride=1000)
+        assert len(merged) == 4
+        assert set(merged.static_pcs()) == {1, 1001}
+
+    def test_stats_survive_merge(self):
+        # Identical PCs in different benchmarks stay distinct branches.
+        a = Trace.from_pairs([(5, 1)] * 4, name="a")
+        b = Trace.from_pairs([(5, 0)] * 4, name="b")
+        stats = TraceStats.from_trace(merge_suite([a, b], pc_stride=100))
+        assert stats[5].taken_rate == 1.0
+        assert stats[105].taken_rate == 0.0
+
+    def test_pc_overflow_rejected(self):
+        big = Trace.from_pairs([(2000, 1)])
+        with pytest.raises(TraceError):
+            merge_suite([big], pc_stride=1000)
+
+    def test_empty_inputs(self):
+        assert len(merge_suite([])) == 0
+
+    def test_bad_stride(self):
+        with pytest.raises(TraceError):
+            merge_suite([Trace.empty()], pc_stride=0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.integers(0, 1)),
+        max_size=100,
+    ),
+    st.sets(st.integers(min_value=0, max_value=30), max_size=10),
+)
+def test_select_exclude_partition(pairs, chosen):
+    """select_pcs and exclude_pcs partition the trace exactly."""
+    t = Trace.from_pairs(pairs)
+    kept = select_pcs(t, chosen)
+    dropped = exclude_pcs(t, chosen)
+    assert len(kept) + len(dropped) == len(t)
+    assert all(r.pc in chosen for r in kept)
+    assert all(r.pc not in chosen for r in dropped)

@@ -1,0 +1,35 @@
+"""Tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace import NOT_TAKEN, TAKEN, BranchRecord
+
+
+class TestBranchRecord:
+    def test_fields(self):
+        rec = BranchRecord(pc=0x400100, taken=True)
+        assert rec.pc == 0x400100
+        assert rec.taken is True
+
+    def test_outcome_taken(self):
+        assert BranchRecord(pc=1, taken=True).outcome == TAKEN
+
+    def test_outcome_not_taken(self):
+        assert BranchRecord(pc=1, taken=False).outcome == NOT_TAKEN
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=-1, taken=True)
+
+    def test_frozen(self):
+        rec = BranchRecord(pc=5, taken=False)
+        with pytest.raises(AttributeError):
+            rec.pc = 6  # type: ignore[misc]
+
+    def test_equality(self):
+        assert BranchRecord(pc=3, taken=True) == BranchRecord(pc=3, taken=True)
+        assert BranchRecord(pc=3, taken=True) != BranchRecord(pc=3, taken=False)
+
+    def test_constants(self):
+        assert TAKEN == 1
+        assert NOT_TAKEN == 0

@@ -1,0 +1,194 @@
+"""Tests for repro.trace.stream."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace import BranchRecord, Trace, TraceBuilder, concat
+
+
+def make_trace(pairs, name=""):
+    return Trace.from_pairs(pairs, name=name)
+
+
+class TestTraceConstruction:
+    def test_from_pairs(self):
+        t = make_trace([(1, 1), (2, 0), (1, 1)])
+        assert len(t) == 3
+        assert list(t.pcs) == [1, 2, 1]
+        assert list(t.outcomes) == [1, 0, 1]
+
+    def test_from_records(self):
+        records = [BranchRecord(pc=7, taken=True), BranchRecord(pc=9, taken=False)]
+        t = Trace.from_records(records, name="r")
+        assert len(t) == 2
+        assert t.name == "r"
+        assert t[0] == records[0]
+        assert t[1] == records[1]
+
+    def test_empty(self):
+        t = Trace.empty(name="e")
+        assert len(t) == 0
+        assert not t
+        assert t.num_static_branches == 0
+        assert t.taken_fraction == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([1, 2], [1])
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([-1], [0])
+
+    def test_bad_outcome_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([1], [2])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_columns_read_only(self):
+        t = make_trace([(1, 1)])
+        with pytest.raises(ValueError):
+            t.pcs[0] = 5
+        with pytest.raises(ValueError):
+            t.outcomes[0] = 0
+
+
+class TestTraceSequence:
+    def test_getitem_record(self):
+        t = make_trace([(10, 1), (20, 0)])
+        assert t[0] == BranchRecord(pc=10, taken=True)
+        assert t[-1] == BranchRecord(pc=20, taken=False)
+
+    def test_getitem_slice_returns_trace(self):
+        t = make_trace([(1, 1), (2, 0), (3, 1)], name="x")
+        sub = t[1:]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 2
+        assert sub.name == "x"
+        assert sub[0].pc == 2
+
+    def test_iter(self):
+        pairs = [(1, 1), (2, 0), (3, 1)]
+        t = make_trace(pairs)
+        assert [(r.pc, r.outcome) for r in t] == pairs
+
+    def test_equality_and_hash(self):
+        a = make_trace([(1, 1), (2, 0)])
+        b = make_trace([(1, 1), (2, 0)])
+        c = make_trace([(1, 1), (2, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a trace"
+
+    def test_head(self):
+        t = make_trace([(1, 1), (2, 0), (3, 1)])
+        assert len(t.head(2)) == 2
+        assert len(t.head(10)) == 3
+        with pytest.raises(TraceError):
+            t.head(-1)
+
+
+class TestTraceSummaries:
+    def test_static_branches(self):
+        t = make_trace([(1, 1), (2, 0), (1, 0), (3, 1)])
+        assert t.num_static_branches == 3
+        assert list(t.static_pcs()) == [1, 2, 3]
+
+    def test_taken_stats(self):
+        t = make_trace([(1, 1), (1, 1), (1, 0), (1, 0)])
+        assert t.num_taken == 2
+        assert t.taken_fraction == 0.5
+
+    def test_with_name(self):
+        t = make_trace([(1, 1)]).with_name("renamed")
+        assert t.name == "renamed"
+
+
+class TestConcat:
+    def test_concat_two(self):
+        a = make_trace([(1, 1)])
+        b = make_trace([(2, 0)])
+        c = a.concat(b)
+        assert [(r.pc, r.outcome) for r in c] == [(1, 1), (2, 0)]
+
+    def test_concat_many(self):
+        parts = [make_trace([(i, i % 2)]) for i in range(5)]
+        merged = concat(parts, name="m")
+        assert len(merged) == 5
+        assert merged.name == "m"
+
+    def test_concat_empty_list(self):
+        assert len(concat([])) == 0
+
+
+class TestTraceBuilder:
+    def test_append_and_build(self):
+        b = TraceBuilder(name="b")
+        b.append(1, True)
+        b.append(2, 0)
+        t = b.build()
+        assert t.name == "b"
+        assert [(r.pc, r.outcome) for r in t] == [(1, 1), (2, 0)]
+
+    def test_len(self):
+        b = TraceBuilder()
+        assert len(b) == 0
+        b.append(1, 1)
+        assert len(b) == 1
+
+    def test_extend_records(self):
+        b = TraceBuilder()
+        b.extend([BranchRecord(pc=1, taken=True), BranchRecord(pc=2, taken=False)])
+        assert len(b.build()) == 2
+
+    def test_extend_pairs(self):
+        b = TraceBuilder()
+        b.extend_pairs([(1, 1), (2, 0), (3, 1)])
+        assert len(b.build()) == 3
+
+    def test_negative_pc_rejected(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceError):
+            b.append(-4, 1)
+
+    def test_build_is_snapshot(self):
+        b = TraceBuilder()
+        b.append(1, 1)
+        t1 = b.build()
+        b.append(2, 0)
+        t2 = b.build()
+        assert len(t1) == 1
+        assert len(t2) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.integers(0, 1)),
+        max_size=200,
+    )
+)
+def test_roundtrip_pairs_property(pairs):
+    """from_pairs followed by iteration reproduces the input exactly."""
+    t = Trace.from_pairs(pairs)
+    assert [(r.pc, r.outcome) for r in t] == pairs
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50), st.integers(0, 1)),
+        max_size=100,
+    ),
+    st.integers(min_value=0, max_value=120),
+)
+def test_slicing_matches_list_semantics(pairs, cut):
+    """Trace slicing behaves exactly like list slicing."""
+    t = Trace.from_pairs(pairs)
+    expected = pairs[:cut]
+    assert [(r.pc, r.outcome) for r in t[:cut]] == expected

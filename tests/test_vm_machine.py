@@ -1,0 +1,182 @@
+"""Tests for the virtual machine."""
+
+import pytest
+
+from repro.errors import VMLimitExceeded, VMRuntimeError
+from repro.isa import assemble
+from repro.vm import Machine, run_traced
+
+
+def run(source, memory=None, **kwargs):
+    return run_traced(assemble(source), memory_image=memory or {}, **kwargs)
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        result = run(
+            """
+            LI r1, 6
+            LI r2, 7
+            MUL r3, r1, r2
+            OUT r3
+            SUB r4, r3, r1
+            OUT r4
+            HALT
+            """
+        )
+        assert result.output == [42, 36]
+
+    def test_div_truncates_toward_zero(self):
+        result = run(
+            """
+            LI r1, -7
+            LI r2, 2
+            DIV r3, r1, r2
+            OUT r3
+            HALT
+            """
+        )
+        assert result.output == [-3]
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(VMRuntimeError):
+            run("LI r1, 1\nDIV r2, r1, r0\nHALT")
+
+    def test_logic_and_shifts(self):
+        result = run(
+            """
+            LI r1, 12
+            LI r2, 10
+            AND r3, r1, r2
+            OUT r3
+            OR r4, r1, r2
+            OUT r4
+            XOR r5, r1, r2
+            OUT r5
+            LI r6, 2
+            SHL r7, r1, r6
+            OUT r7
+            SHR r8, r1, r6
+            OUT r8
+            HALT
+            """
+        )
+        assert result.output == [8, 14, 6, 48, 3]
+
+    def test_slt(self):
+        result = run(
+            "LI r1, 3\nLI r2, 5\nSLT r3, r1, r2\nOUT r3\nSLT r4, r2, r1\nOUT r4\nHALT"
+        )
+        assert result.output == [1, 0]
+
+    def test_r0_hardwired_zero(self):
+        result = run("ADDI r0, r0, 99\nOUT r0\nHALT")
+        assert result.output == [0]
+
+
+class TestMemory:
+    def test_load_store(self):
+        result = run(
+            """
+            LI r1, 5
+            LI r2, 77
+            ST r2, r1, 0
+            LD r3, r1, 0
+            OUT r3
+            HALT
+            """
+        )
+        assert result.output == [77]
+
+    def test_memory_image(self):
+        result = run("LD r1, r0, 3\nOUT r1\nHALT", memory={0: [10, 20, 30, 40]})
+        assert result.output == [40]
+
+    def test_out_of_bounds_load(self):
+        with pytest.raises(VMRuntimeError):
+            run("LI r1, -1\nLD r2, r1, 0\nHALT")
+
+    def test_out_of_bounds_store(self):
+        with pytest.raises(VMRuntimeError):
+            run(
+                "LI r1, 100\nST r1, r1, 0\nHALT",
+                memory_words=50,
+            )
+
+    def test_load_memory_bounds_checked(self):
+        machine = Machine(assemble("HALT"), memory_words=4)
+        with pytest.raises(VMRuntimeError):
+            machine.load_memory(2, [1, 2, 3])
+
+
+class TestControlFlow:
+    def test_loop_with_branch_events(self):
+        result = run(
+            """
+                LI r1, 5
+                LI r2, 0
+            loop:
+                ADDI r2, r2, 1
+                BLT r2, r1, loop
+                OUT r2
+                HALT
+            """
+        )
+        assert result.output == [5]
+        assert result.dynamic_branches == 5
+        # Back-edge taken 4 times, then falls through.
+        assert result.trace.num_taken == 4
+        assert result.trace.num_static_branches == 1
+
+    def test_branch_pc_matches_instruction_address(self):
+        result = run("BEQ r0, r0, end\nend: HALT")
+        assert result.trace[0].pc == 0x1000  # first instruction
+        assert result.trace[0].taken
+
+    def test_call_ret(self):
+        result = run(
+            """
+                LI r1, 10
+                CALL double
+                OUT r1
+                HALT
+            double:
+                ADD r1, r1, r1
+                RET
+            """
+        )
+        assert result.output == [20]
+
+    def test_nested_calls(self):
+        result = run(
+            """
+                LI r1, 1
+                CALL a
+                OUT r1
+                HALT
+            a:
+                ADDI r1, r1, 10
+                CALL b
+                RET
+            b:
+                ADDI r1, r1, 100
+                RET
+            """
+        )
+        assert result.output == [111]
+
+    def test_ret_without_call_traps(self):
+        with pytest.raises(VMRuntimeError):
+            run("RET")
+
+    def test_fall_off_end_traps(self):
+        with pytest.raises(VMRuntimeError):
+            run("LI r1, 1")
+
+    def test_step_budget(self):
+        with pytest.raises(VMLimitExceeded):
+            run("loop: JMP loop", max_steps=100)
+
+    def test_unconditional_jump_not_traced(self):
+        result = run("JMP end\nend: HALT")
+        assert len(result.trace) == 0

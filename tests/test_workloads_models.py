@@ -1,0 +1,195 @@
+"""Tests for synthetic branch outcome models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import (
+    AlternatingModel,
+    BiasedModel,
+    LoopModel,
+    MarkovModel,
+    PatternModel,
+    PhasedModel,
+    pattern_for_rates,
+)
+
+
+def rates_of(outcomes):
+    outcomes = np.asarray(outcomes)
+    taken = outcomes.mean()
+    trans = (outcomes[1:] != outcomes[:-1]).mean() if len(outcomes) > 1 else 0.0
+    return float(taken), float(trans)
+
+
+class TestBiasedModel:
+    def test_rates(self):
+        rng = np.random.default_rng(0)
+        taken, trans = rates_of(BiasedModel(0.8).generate(20_000, rng))
+        assert taken == pytest.approx(0.8, abs=0.02)
+        assert trans == pytest.approx(2 * 0.8 * 0.2, abs=0.02)
+
+    def test_extremes(self):
+        rng = np.random.default_rng(0)
+        assert BiasedModel(1.0).generate(100, rng).all()
+        assert not BiasedModel(0.0).generate(100, rng).any()
+
+    def test_expected_rates(self):
+        m = BiasedModel(0.3)
+        assert m.expected_taken_rate() == 0.3
+        assert m.expected_transition_rate() == pytest.approx(0.42)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BiasedModel(1.5)
+
+
+class TestPatternModel:
+    def test_tiles_pattern(self):
+        m = PatternModel([1, 1, 0], random_phase=False)
+        out = m.generate(7, np.random.default_rng(0))
+        assert list(out) == [1, 1, 0, 1, 1, 0, 1]
+
+    def test_random_phase_is_rotation(self):
+        m = PatternModel([1, 0, 0, 0])
+        out = m.generate(8, np.random.default_rng(3))
+        assert out.sum() == 2  # still one taken per 4
+
+    def test_expected_rates(self):
+        m = PatternModel([1, 1, 0, 0])
+        assert m.expected_taken_rate() == 0.5
+        assert m.expected_transition_rate() == 0.5  # 2 transitions per 4 (cyclic)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PatternModel([])
+        with pytest.raises(ConfigurationError):
+            PatternModel([0, 2])
+
+
+class TestLoopModel:
+    def test_backedge_shape(self):
+        m = LoopModel(5, random_phase=False)
+        out = m.generate(10, np.random.default_rng(0))
+        assert list(out) == [1, 1, 1, 1, 0, 1, 1, 1, 1, 0]
+
+    def test_rates(self):
+        m = LoopModel(10)
+        assert m.expected_taken_rate() == 0.9
+        assert m.expected_transition_rate() == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoopModel(1)
+
+
+class TestAlternating:
+    def test_transition_rate_is_one(self):
+        out = AlternatingModel().generate(100, np.random.default_rng(0))
+        _, trans = rates_of(out)
+        assert trans == 1.0
+
+
+class TestMarkovModel:
+    def test_for_rates_hits_targets(self):
+        rng = np.random.default_rng(1)
+        m = MarkovModel.for_rates(0.7, 0.3)
+        taken, trans = rates_of(m.generate(60_000, rng))
+        assert taken == pytest.approx(0.7, abs=0.03)
+        assert trans == pytest.approx(0.3, abs=0.03)
+
+    def test_low_transition_high_bias(self):
+        rng = np.random.default_rng(2)
+        m = MarkovModel.for_rates(0.5, 0.02)
+        taken, trans = rates_of(m.generate(100_000, rng))
+        assert taken == pytest.approx(0.5, abs=0.08)  # long runs -> slow mixing
+        assert trans == pytest.approx(0.02, abs=0.01)
+
+    def test_infeasible_clamped(self):
+        # taken 0.95 cannot transition 50% of the time.
+        m = MarkovModel.for_rates(0.95, 0.5)
+        assert m.expected_transition_rate() <= 2 * min(
+            m.expected_taken_rate(), 1 - m.expected_taken_rate()
+        ) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarkovModel(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovModel(1.5, 0.5)
+
+    def test_deterministic_given_rng(self):
+        a = MarkovModel(0.3, 0.4).generate(500, np.random.default_rng(7))
+        b = MarkovModel(0.3, 0.4).generate(500, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_length_exact(self):
+        for n in (0, 1, 17, 1000):
+            assert len(MarkovModel(0.2, 0.2).generate(n, np.random.default_rng(0))) == n
+
+
+class TestPhasedModel:
+    def test_phases_concatenate(self):
+        m = PhasedModel(
+            [(PatternModel([1], random_phase=False), 1.0),
+             (PatternModel([0], random_phase=False), 1.0)]
+        )
+        out = m.generate(100, np.random.default_rng(0))
+        assert out[:50].all()
+        assert not out[50:].any()
+
+    def test_length_exact(self):
+        m = PhasedModel([(BiasedModel(0.5), 1.0), (BiasedModel(0.9), 2.0)])
+        assert len(m.generate(101, np.random.default_rng(0))) == 101
+
+    def test_expected_rates_weighted(self):
+        m = PhasedModel([(BiasedModel(0.0), 1.0), (BiasedModel(1.0), 1.0)])
+        assert m.expected_taken_rate() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhasedModel([])
+
+
+class TestPatternForRates:
+    @pytest.mark.parametrize(
+        "p,x",
+        [(0.5, 0.5), (0.9, 0.2), (0.1, 0.2), (0.5, 1.0), (0.3, 0.4), (0.95, 0.06)],
+    )
+    def test_hits_rates(self, p, x):
+        m = pattern_for_rates(p, x, period=40)
+        out = m.generate(4000, np.random.default_rng(0))
+        taken, trans = rates_of(out)
+        assert taken == pytest.approx(p, abs=0.06)
+        assert trans == pytest.approx(min(x, 2 * min(p, 1 - p)), abs=0.07)
+
+    def test_low_transition_extends_period(self):
+        m = pattern_for_rates(0.5, 0.025, period=40)
+        assert len(m.pattern) >= 80
+        _, trans = rates_of(m.generate(8000, np.random.default_rng(0)))
+        assert trans == pytest.approx(0.025, abs=0.01)
+
+    def test_degenerate_all_taken(self):
+        m = pattern_for_rates(1.0, 0.0)
+        assert m.generate(10, np.random.default_rng(0)).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pattern_for_rates(0.5, 0.5, period=1)
+
+
+@settings(max_examples=40)
+@given(
+    p=st.floats(min_value=0.02, max_value=0.98),
+    x=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_pattern_rates_feasible_property(p, x):
+    """Generated patterns always satisfy the transition feasibility bound
+    and roughly match the (clamped) targets."""
+    m = pattern_for_rates(p, x, period=40)
+    pattern = m.pattern
+    taken = pattern.mean()
+    trans = (pattern != np.roll(pattern, 1)).mean()
+    assert trans <= 2 * min(taken, 1 - taken) + 1e-9
