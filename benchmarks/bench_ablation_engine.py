@@ -1,14 +1,33 @@
-"""Ablation: vectorized vs reference engine (throughput + exactness).
+"""Ablation: simulation engines (throughput + exactness).
 
-DESIGN.md commits to an exactly-equivalent fast path; this bench
-measures the speedup and re-checks bit-exactness on a realistic trace.
+DESIGN.md commits to exactly-equivalent fast paths; this bench measures
+the speedups and re-checks bit-exactness on a realistic trace:
+
+* vectorized vs reference, single configuration,
+* batched multi-config sweep vs per-configuration vectorized runs (the
+  tentpole of the batched engine: all 34 paper configurations in one
+  pass),
+* the vectorized combining families (agree / tournament / hybrid) that
+  previously forced the reference engine.
 """
 
 import numpy as np
 import pytest
 
-from repro.engine import simulate_reference, simulate_vectorized
-from repro.predictors import paper_gas, paper_pas
+from repro.engine import (
+    simulate_reference,
+    simulate_sweep,
+    simulate_vectorized,
+)
+from repro.predictors import (
+    AgreePredictor,
+    TournamentPredictor,
+    make_gshare,
+    paper_gas,
+    paper_pas,
+    paper_predictor,
+)
+from repro.predictors.paper_configs import HISTORY_LENGTHS
 from repro.workloads.synthetic import SPEC95_INPUTS, input_trace
 
 
@@ -27,9 +46,57 @@ def test_engines_agree_exactly(trace, kind, history):
     assert np.array_equal(ref.mispredictions, vec.mispredictions)
 
 
+def test_sweep_engines_agree_exactly(trace):
+    sweep = simulate_sweep(trace)
+    for kind in ("pas", "gas"):
+        for k in (0, 4, 12, 16):
+            vec = simulate_vectorized(paper_predictor(kind, k), trace)
+            assert np.array_equal(
+                sweep.result(kind, k).mispredictions, vec.mispredictions
+            )
+
+
 @pytest.mark.parametrize("engine", ["vectorized", "reference"])
 def test_engine_throughput(benchmark, trace, engine):
     simulate = simulate_vectorized if engine == "vectorized" else simulate_reference
     benchmark.group = "engine-throughput"
     result = benchmark(lambda: simulate(paper_gas(8), trace))
     assert result.total_executions == len(trace)
+
+
+@pytest.mark.parametrize("mode", ["batched", "per-config"])
+def test_sweep_throughput(benchmark, trace, mode):
+    """The paper's full 34-configuration sweep over one trace."""
+    benchmark.group = "sweep-throughput"
+    if mode == "batched":
+        result = benchmark(lambda: simulate_sweep(trace))
+        misses = result.result("gas", 8).total_mispredictions
+    else:
+        def per_config():
+            return [
+                simulate_vectorized(paper_predictor(kind, k), trace)
+                for kind in ("pas", "gas")
+                for k in HISTORY_LENGTHS
+            ]
+        results = benchmark(per_config)
+        misses = results[len(HISTORY_LENGTHS) + 8].total_mispredictions
+    assert misses > 0
+
+
+@pytest.mark.parametrize(
+    "family",
+    ["agree", "tournament"],
+)
+def test_combining_family_throughput(benchmark, trace, family):
+    """Vectorized combining predictors (previously reference-only)."""
+    benchmark.group = "combining-throughput"
+    if family == "agree":
+        make = lambda: AgreePredictor(12)
+    else:
+        make = lambda: TournamentPredictor(
+            make_gshare(12, pht_index_bits=13), paper_pas(6)
+        )
+    predictor = make()
+    result = benchmark(lambda: simulate_vectorized(predictor, trace))
+    ref = simulate_reference(make(), trace)
+    assert result.total_mispredictions == ref.total_mispredictions

@@ -90,7 +90,9 @@ from .predictors import (
 from .engine import (
     SimulationResult,
     simulate,
+    simulate_batched,
     simulate_reference,
+    simulate_sweep,
     simulate_vectorized,
 )
 from .analysis import (
@@ -166,6 +168,8 @@ __all__ = [
     "simulate",
     "simulate_reference",
     "simulate_vectorized",
+    "simulate_batched",
+    "simulate_sweep",
     "SimulationResult",
     # analysis
     "run_sweep",

@@ -6,6 +6,11 @@ profile the branches once, and attribute each misprediction to the
 (profiled) taken class, transition class and joint class of the branch
 that caused it.  Results are accumulated across benchmarks weighted by
 dynamic occurrence, exactly like the paper's suite-level graphs.
+
+All configurations of a trace are simulated in one pass through the
+batched multi-config engine (:func:`repro.engine.simulate_sweep`)
+unless the config forces per-configuration ``vectorized``/``reference``
+simulation; the grids are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ import numpy as np
 
 from ..classify.classes import NUM_CLASSES
 from ..classify.profile import ProfileTable
-from ..engine import simulate
+from ..engine import simulate, simulate_sweep
 from ..errors import ConfigurationError
 from ..predictors.paper_configs import HISTORY_LENGTHS, paper_predictor
 from ..trace.stream import Trace
@@ -26,11 +31,19 @@ __all__ = ["SweepConfig", "ClassMissGrid", "SweepResult", "run_sweep"]
 
 PREDICTOR_KINDS = ("pas", "gas")
 METRICS = ("taken", "transition")
+ENGINES = ("auto", "batched", "vectorized", "reference")
 
 
 @dataclass(frozen=True, slots=True)
 class SweepConfig:
-    """Parameters of a history sweep."""
+    """Parameters of a history sweep.
+
+    ``engine="auto"`` (and ``"batched"``) runs every (kind, history
+    length) configuration of a trace through the batched multi-config
+    engine in one pass; ``"vectorized"``/``"reference"`` force
+    per-configuration simulation on that engine (the batched path is
+    bit-exact with both, so the results never differ).
+    """
 
     history_lengths: tuple[int, ...] = tuple(HISTORY_LENGTHS)
     predictor_kinds: tuple[str, ...] = PREDICTOR_KINDS
@@ -44,6 +57,8 @@ class SweepConfig:
                 raise ConfigurationError(
                     f"predictor kind {kind!r} not in {PREDICTOR_KINDS}"
                 )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(f"engine {self.engine!r} not in {ENGINES}")
 
 
 @dataclass
@@ -175,11 +190,28 @@ def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> Swe
             profile.executions.astype(np.float64),
         )
 
-        for kind in config.predictor_kinds:
-            grid = grids[kind]
-            for row, k in enumerate(config.history_lengths):
-                result = simulate(paper_predictor(kind, k), trace, engine=config.engine)
-                _accumulate_row(grid, row, profile, result)
+        if config.engine in ("auto", "batched"):
+            # One batched pass simulates every (kind, history length)
+            # configuration of this trace, sharing histories and scans.
+            batch = simulate_sweep(
+                trace,
+                kinds=config.predictor_kinds,
+                history_lengths=config.history_lengths,
+            )
+            if not np.array_equal(batch.pcs, profile.pcs):  # pragma: no cover - invariant
+                raise ConfigurationError("profile and simulation cover different branches")
+            for kind in config.predictor_kinds:
+                grid = grids[kind]
+                for row, k in enumerate(config.history_lengths):
+                    _accumulate_counts(
+                        grid, row, profile, batch.executions, batch.mispredictions(kind, k)
+                    )
+        else:
+            for kind in config.predictor_kinds:
+                grid = grids[kind]
+                for row, k in enumerate(config.history_lengths):
+                    result = simulate(paper_predictor(kind, k), trace, engine=config.engine)
+                    _accumulate_row(grid, row, profile, result)
 
     if total_dynamic:
         taken_dist /= total_dynamic
@@ -201,10 +233,18 @@ def _accumulate_row(grid: ClassMissGrid, row: int, profile: ProfileTable, result
     # over the same trace, so their columns are aligned by construction.
     if not np.array_equal(result.pcs, profile.pcs):  # pragma: no cover - invariant
         raise ConfigurationError("profile and simulation cover different branches")
+    _accumulate_counts(grid, row, profile, result.executions, result.mispredictions)
+
+
+def _accumulate_counts(
+    grid: ClassMissGrid,
+    row: int,
+    profile: ProfileTable,
+    execs: np.ndarray,
+    misses: np.ndarray,
+) -> None:
     t_cls = profile.taken_classes
     x_cls = profile.transition_classes
-    execs = result.executions
-    misses = result.mispredictions
 
     grid.taken_executions[row] += np.bincount(t_cls, weights=execs, minlength=NUM_CLASSES).astype(np.int64)
     grid.taken_misses[row] += np.bincount(t_cls, weights=misses, minlength=NUM_CLASSES).astype(np.int64)

@@ -63,9 +63,9 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "vectorized", "reference"),
+        choices=("auto", "batched", "vectorized", "reference"),
         default="auto",
-        help="simulation engine (default auto)",
+        help="simulation engine (default auto; see docs/ENGINES.md)",
     )
 
 

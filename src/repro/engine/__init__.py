@@ -1,9 +1,36 @@
 """Predictor simulation engines.
 
-:func:`simulate` is the front door: it dispatches to the vectorized
-engine when the predictor supports it and to the step-accurate
-reference engine otherwise.  Both produce identical
-:class:`SimulationResult` objects.
+:func:`simulate` is the front door: it dispatches to the fastest engine
+that supports the predictor and produces identical
+:class:`SimulationResult` objects whichever engine runs.
+
+Engine-selection guide (see ``docs/ENGINES.md`` for the full story):
+
+``reference`` (:func:`simulate_reference`)
+    Step-accurate Python loop: predict, compare, train — exactly the
+    paper's modified ``sim-bpred``.  Supports **every** predictor
+    (YAGS, bi-mode, filter, DHLF, oracle, …).  The semantic ground
+    truth; ~10⁵ steps/s.
+
+``vectorized`` (:func:`simulate_vectorized`)
+    Array simulation of one predictor via sliding-window histories and
+    segmented counter scans.  Supports the two-level family
+    (PAs/GAs/gshare/gselect/pshare/bimodal), static predictors, the
+    agree predictor, tournament predictors, and class-routed hybrids
+    whose components are themselves supported.  Bit-exact with the
+    reference engine at 50–100× the speed.
+
+``batched`` (:func:`simulate_batched` / :func:`simulate_sweep`)
+    Multi-configuration engine: simulates *many* two-level
+    configurations over one trace in a single pass, sharing history
+    windows, PC encoding, and stacked segmented scans across the batch.
+    This is what :func:`repro.analysis.history_sweep.run_sweep` uses
+    for the paper's 34-configuration sweep (several-fold faster than
+    per-config vectorized runs, still bit-exact).
+
+``auto``
+    Vectorized when supported, reference otherwise.  Sweep-level code
+    additionally upgrades to the batched engine on ``"auto"``.
 """
 
 from __future__ import annotations
@@ -11,6 +38,13 @@ from __future__ import annotations
 from ..errors import ConfigurationError
 from ..predictors.base import BranchPredictor
 from ..trace.stream import Trace
+from .batched import (
+    BatchedSweepResult,
+    predictions_batched,
+    simulate_batched,
+    simulate_sweep,
+    supports_batched,
+)
 from .reference import simulate_reference
 from .results import BranchResult, SimulationResult
 from .scan import counter_step_table, segmented_automaton_scan, segmented_saturating_scan
@@ -20,8 +54,13 @@ __all__ = [
     "simulate",
     "simulate_reference",
     "simulate_vectorized",
+    "simulate_batched",
+    "simulate_sweep",
     "predictions_vectorized",
+    "predictions_batched",
     "supports_vectorized",
+    "supports_batched",
+    "BatchedSweepResult",
     "SimulationResult",
     "BranchResult",
     "segmented_automaton_scan",
@@ -46,7 +85,9 @@ def simulate(
         Branch stream in program order.
     engine:
         ``"auto"`` (vectorized when supported), ``"vectorized"``
-        (error if unsupported), or ``"reference"``.
+        (error if unsupported), ``"batched"`` (two-level family only;
+        single-predictor entry to the multi-config engine), or
+        ``"reference"``.
     """
     if engine == "auto":
         if supports_vectorized(predictor):
@@ -54,8 +95,11 @@ def simulate(
         return simulate_reference(predictor, trace)
     if engine == "vectorized":
         return simulate_vectorized(predictor, trace)
+    if engine == "batched":
+        return simulate_batched([predictor], trace)[0]
     if engine == "reference":
         return simulate_reference(predictor, trace)
     raise ConfigurationError(
-        f"unknown engine {engine!r}; expected 'auto', 'vectorized' or 'reference'"
+        f"unknown engine {engine!r}; expected 'auto', 'vectorized', "
+        "'batched' or 'reference'"
     )

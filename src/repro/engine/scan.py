@@ -16,6 +16,8 @@ in Python.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..errors import ConfigurationError
@@ -24,7 +26,27 @@ __all__ = [
     "segmented_automaton_scan",
     "segmented_saturating_scan",
     "counter_step_table",
+    "stable_key_order",
 ]
+
+
+def stable_key_order(keys: np.ndarray, key_bits: int) -> np.ndarray:
+    """Stable argsort of non-negative integer keys below ``2**key_bits``.
+
+    numpy's stable argsort only uses a radix sort for dtypes of at most
+    16 bits; wider integer keys fall back to an O(n log n) mergesort.
+    Grouping keys (PHT indices, BHT slots, stacked sweep keys) are
+    small bounded integers, so sorting them as one or two explicit
+    16-bit radix passes is several times faster — and exactly
+    equivalent, since LSD radix passes compose stably.
+    """
+    if key_bits <= 16:
+        return np.argsort(keys.astype(np.uint16), kind="stable")
+    if key_bits <= 32:
+        order = np.argsort((keys & 0xFFFF).astype(np.uint16), kind="stable")
+        high = (keys >> 16).astype(np.uint16)
+        return order[np.argsort(high[order], kind="stable")]
+    return np.argsort(keys, kind="stable")
 
 
 def counter_step_table(bits: int) -> np.ndarray:
@@ -90,28 +112,33 @@ def segmented_automaton_scan(
     # initially covering the single step i and doubled outward each pass.
     compositions = step_table[np.asarray(inputs, dtype=np.int64)]
 
-    # boundary[i] = True once compositions[i] already reaches back to its
-    # segment start, so it must not absorb anything further left.
-    boundary = segment_starts.copy()
-    rows = np.arange(n)
+    # done[i] = True once compositions[i] can never change again: it
+    # reaches back to its segment start, or it collapsed into a
+    # *constant* mapping — constants absorb nothing further left, and a
+    # window that absorbs a constant becomes constant itself, so the
+    # stored mapping already equals that of every longer window.
+    done = segment_starts | np.all(compositions == compositions[:, :1], axis=1)
+    active = np.flatnonzero(~done)
 
     offset = 1
-    while offset < n:
-        # Steps whose current composition window does not yet hit a
-        # segment start can absorb the window ending `offset` earlier.
-        can_extend = ~boundary
-        can_extend[:offset] = False
-        idx = rows[can_extend]
-        prev = idx - offset
-        # compose: first apply the earlier window, then the current one.
-        compositions[idx] = np.take_along_axis(
-            compositions[idx], compositions[prev], axis=1
-        )
-        # The extended window now starts where the absorbed window started.
-        boundary[idx] = boundary[prev]
-        offset <<= 1
-        if np.all(boundary):
+    while offset < n and active.size:
+        # Windows at positions < offset have no predecessor window to
+        # absorb; drop them from the working set for good.
+        idx = active[active >= offset]
+        if idx.size == 0:
             break
+        prev = idx - offset
+
+        # Snapshot the earlier windows before writing (Hillis–Steele
+        # reads must all see the previous pass's values), then compose:
+        # first apply the earlier window, then the current one.
+        prev_comp = compositions[prev]
+        prev_done = done[prev]
+        new_comp = np.take_along_axis(compositions[idx], prev_comp, axis=1)
+        compositions[idx] = new_comp
+        done[idx] = prev_done | np.all(new_comp == new_comp[:, :1], axis=1)
+        offset <<= 1
+        active = idx[~done[idx]]
 
     # State after step i = compositions[i][initial]; state before step i is
     # the state after step i-1, or the initial state at a segment start.
@@ -160,20 +187,34 @@ def segmented_saturating_scan(
     if not segment_starts[0]:
         raise ConfigurationError("position 0 must start a segment")
 
+    if max_state <= _MAX_TABLED_STATE:
+        # Narrow counters (every predictor in the paper): compose clamp
+        # functions as interned ids through a precomputed table — one
+        # gather per element per pass instead of the arithmetic below.
+        return _saturating_scan_tabled(taken, segment_starts, initial_state, max_state)
+
     # Window at position i is the clamp x -> min(max(x + add, lo), hi)
     # composed from the steps the window covers; initially just step i.
     add = np.where(np.asarray(taken, dtype=bool), 1, -1).astype(np.int32)
     lo = np.zeros(n, dtype=np.int32)
     hi = np.full(n, max_state, dtype=np.int32)
-    bounded = segment_starts.copy()
+
+    # done[i] = True once window i can never change again: it reached its
+    # segment start, or it saturated into a *constant* function
+    # (lo >= hi).  Constants absorb nothing further left, and any later
+    # window that absorbs a constant becomes constant itself, so the
+    # stored function already equals the function of every longer
+    # window — marking it done early is exact.  For b-bit counters this
+    # caps the effective pass count near log2(2**b) regardless of
+    # segment length.
+    done = segment_starts.copy()
+    active = np.flatnonzero(~done)
 
     offset = 1
-    while offset < n:
-        # Only windows that have not yet reached their segment start can
-        # grow; the working set shrinks geometrically for short segments.
-        can_extend = ~bounded
-        can_extend[:offset] = False
-        idx = np.flatnonzero(can_extend)
+    while offset < n and active.size:
+        # Windows at positions < offset can never have a predecessor
+        # window to absorb; drop them from the working set for good.
+        idx = active[active >= offset]
         if idx.size == 0:
             break
         prev = idx - offset
@@ -181,16 +222,117 @@ def segmented_saturating_scan(
         # Snapshot both operands before writing (Hillis–Steele reads
         # must all see the previous pass's values).
         prev_add, prev_lo, prev_hi = add[prev], lo[prev], hi[prev]
+        prev_done = done[prev]
         cur_add, cur_lo, cur_hi = add[idx], lo[idx], hi[idx]
 
         # Compose: apply the earlier window first, then the current one.
+        new_lo = np.maximum(prev_lo + cur_add, cur_lo)
+        new_hi = np.minimum(np.maximum(prev_hi + cur_add, cur_lo), cur_hi)
         add[idx] = prev_add + cur_add
-        lo[idx] = np.maximum(prev_lo + cur_add, cur_lo)
-        hi[idx] = np.minimum(np.maximum(prev_hi + cur_add, cur_lo), cur_hi)
-        bounded[idx] = bounded[prev]
+        lo[idx] = new_lo
+        hi[idx] = new_hi
+        done[idx] = prev_done | (new_lo >= new_hi)
         offset <<= 1
+        active = idx[~done[idx]]
 
     state_after = np.minimum(np.maximum(initial_state + add, lo), hi).astype(np.uint8)
+    return _states_before(state_after, segment_starts, initial_state)
+
+
+# The clamp functions reachable by composing saturating steps form a
+# small monoid for narrow counters (2 functions for 1-bit, 17 for
+# 2-bit, 147 for 3-bit — it grows ~cubically after that, so wider
+# counters use the arithmetic path above).
+_MAX_TABLED_STATE = 7
+
+
+@lru_cache(maxsize=None)
+def _clamp_monoid(max_state: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Interned clamp-function monoid of an ``max_state``-bounded counter.
+
+    Returns ``(step_ids, compose, values, constant)``:
+
+    * ``step_ids[sym]`` — function id of the decrement (0) / increment
+      (1) step,
+    * ``compose[cur, prev]`` — id of "apply ``prev`` first, then
+      ``cur``",
+    * ``values[id, state]`` — the function's value table,
+    * ``constant[id]`` — True when the function is constant (its window
+      can never change by extending further left).
+    """
+    states = range(max_state + 1)
+    dec = tuple(max(x - 1, 0) for x in states)
+    inc = tuple(min(x + 1, max_state) for x in states)
+
+    # BFS closure under left-composition with the generators; every
+    # inc/dec word is reachable this way, and the word set is closed
+    # under arbitrary composition.
+    ids: dict[tuple[int, ...], int] = {dec: 0, inc: 1}
+    frontier = [dec, inc]
+    while frontier:
+        fresh = []
+        for func in frontier:
+            for gen in (dec, inc):
+                composed = tuple(gen[x] for x in func)
+                if composed not in ids:
+                    ids[composed] = len(ids)
+                    fresh.append(composed)
+        frontier = fresh
+
+    functions = sorted(ids, key=ids.get)
+    size = len(functions)
+    compose = np.empty((size, size), dtype=np.uint8)
+    for prev_tuple, prev_id in ids.items():
+        for cur_tuple, cur_id in ids.items():
+            compose[cur_id, prev_id] = ids[tuple(cur_tuple[x] for x in prev_tuple)]
+    values = np.array(functions, dtype=np.uint8)
+    constant = (values == values[:, :1]).all(axis=1)
+    step_ids = np.array([ids[dec], ids[inc]], dtype=np.uint8)
+    return step_ids, compose, values, constant
+
+
+def _saturating_scan_tabled(
+    taken: np.ndarray,
+    segment_starts: np.ndarray,
+    initial_state: int,
+    max_state: int,
+) -> np.ndarray:
+    """Doubling scan over interned clamp-function ids (narrow counters)."""
+    n = len(taken)
+    step_ids, compose, values, constant = _clamp_monoid(max_state)
+
+    ids = step_ids[np.asarray(taken, dtype=np.uint8)]
+    if constant[step_ids].any():  # 1-bit counters: single steps saturate
+        done = segment_starts | constant[ids]
+    else:
+        done = segment_starts.copy()
+
+    # First doubling pass, specialized: nearly every element is active,
+    # so shifted whole-array operations beat gathering through an index
+    # vector.  Operand snapshots keep the overlapping views read-safe.
+    if n > 1:
+        composed = compose[ids[1:], ids[:-1]]
+        prev_done = done[:-1].copy()
+        extend = ~done[1:]
+        ids[1:] = np.where(extend, composed, ids[1:])
+        done[1:] |= extend & (prev_done | constant[composed])
+    active = np.flatnonzero(~done)
+
+    offset = 2
+    while offset < n and active.size:
+        idx = active[active >= offset]
+        if idx.size == 0:
+            break
+        prev = idx - offset
+        prev_done = done[prev]
+        new_ids = compose[ids[idx], ids[prev]]
+        ids[idx] = new_ids
+        finished = prev_done | constant[new_ids]
+        done[idx] = finished
+        offset <<= 1
+        active = idx[~finished]
+
+    state_after = values[:, initial_state][ids]
     return _states_before(state_after, segment_starts, initial_state)
 
 

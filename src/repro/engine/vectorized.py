@@ -1,4 +1,4 @@
-"""Vectorized two-level predictor simulation.
+"""Vectorized predictor simulation.
 
 The paper's history sweep needs 2 predictors × 17 history lengths over
 every benchmark trace — tens of millions of predictor steps.  This
@@ -16,8 +16,31 @@ degenerate case) by exploiting two structural facts:
    step falls out of a segmented prefix function-composition scan
    (:mod:`repro.engine.scan`).
 
-The result is bit-exact with :func:`repro.engine.reference.simulate_reference`
-(enforced by tests and the ``abl-engine`` benchmark) at 50–100× the speed.
+On top of the two-level core, the same machinery covers the combining
+families that previously forced the reference engine:
+
+* **Static predictors** (always-taken/not-taken, profile-static) are
+  pure per-PC lookups.
+* :class:`~repro.predictors.agree.AgreePredictor` — the biasing bit of
+  every step is the outcome of the *first* step in its bias slot (one
+  grouped gather), and the agree/disagree PHT is another segmented
+  saturating scan whose input symbol is ``outcome == bias``.
+* :class:`~repro.predictors.tournament.TournamentPredictor` — both
+  components are simulated vectorized over the full trace; the
+  PC-indexed chooser is a segmented *three*-symbol automaton scan
+  (decrement / increment / hold, the hold firing when the components
+  agree in correctness).
+* :class:`~repro.predictors.hybrid.ClassRoutedHybrid` — static routing
+  partitions the trace by owning component; each component is simulated
+  vectorized on its own sub-trace (which is exactly what it sees under
+  the reference engine) and predictions are scattered back.
+
+Every path is bit-exact with
+:func:`repro.engine.reference.simulate_reference` (enforced by tests
+and the ``abl-engine`` benchmark) at 6–15× the speed — see
+``docs/ENGINES.md`` for measured numbers.  :mod:`repro.engine.batched`
+builds on the same helpers to simulate many two-level configurations
+in one pass.
 """
 
 from __future__ import annotations
@@ -25,18 +48,43 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..predictors.agree import AgreePredictor
 from ..predictors.bimodal import BimodalPredictor
+from ..predictors.hybrid import ClassRoutedHybrid
+from ..predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    ProfileStaticPredictor,
+)
+from ..predictors.tournament import TournamentPredictor
 from ..predictors.twolevel import TwoLevelPredictor
 from ..trace.stream import Trace
 from .results import SimulationResult
-from .scan import segmented_saturating_scan
+from .scan import (
+    counter_step_table,
+    segmented_automaton_scan,
+    segmented_saturating_scan,
+    stable_key_order,
+)
 
 __all__ = ["simulate_vectorized", "predictions_vectorized", "supports_vectorized"]
+
+_STATIC_TYPES = (AlwaysTakenPredictor, AlwaysNotTakenPredictor, ProfileStaticPredictor)
 
 
 def supports_vectorized(predictor) -> bool:
     """True if ``predictor`` can be simulated by this engine."""
-    return isinstance(predictor, (TwoLevelPredictor, BimodalPredictor))
+    if isinstance(
+        predictor, (TwoLevelPredictor, BimodalPredictor, AgreePredictor) + _STATIC_TYPES
+    ):
+        return True
+    if isinstance(predictor, TournamentPredictor):
+        return supports_vectorized(predictor.first) and supports_vectorized(
+            predictor.second
+        )
+    if isinstance(predictor, ClassRoutedHybrid):
+        return all(supports_vectorized(c) for c in predictor.components)
+    return False
 
 
 def predictions_vectorized(predictor, trace: Trace) -> np.ndarray:
@@ -65,6 +113,14 @@ def predictions_vectorized(predictor, trace: Trace) -> np.ndarray:
             bht_entries=predictor.bht.entries if predictor.bht is not None else None,
             counter_bits=predictor.pht.bits,
         )
+    if isinstance(predictor, AgreePredictor):
+        return _predict_agree(predictor, trace)
+    if isinstance(predictor, TournamentPredictor):
+        return _predict_tournament(predictor, trace)
+    if isinstance(predictor, ClassRoutedHybrid):
+        return _predict_hybrid(predictor, trace)
+    if isinstance(predictor, _STATIC_TYPES):
+        return _predict_static(predictor, trace)
     raise ConfigurationError(
         f"vectorized engine cannot simulate {type(predictor).__name__}; "
         "use simulate_reference"
@@ -91,7 +147,124 @@ def simulate_vectorized(predictor, trace: Trace) -> SimulationResult:
     )
 
 
-# -- internals ---------------------------------------------------------------
+# -- shared building blocks --------------------------------------------------
+
+
+def _global_window(outcomes: np.ndarray, bits: int) -> np.ndarray:
+    """k-bit global history before each step (int64, LSB = most recent)."""
+    n = len(outcomes)
+    hist = np.zeros(n, dtype=np.int64)
+    # history bit j-1 (LSB = most recent) is the outcome j steps ago.
+    for j in range(1, bits + 1):
+        hist[j:] |= outcomes[:-j].astype(np.int64) << (j - 1)
+    return hist
+
+
+def _slot_groups(
+    slots: np.ndarray, slot_bits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(stable order, new-group flags, group-start positions per element).
+
+    Sorting by slot keeps time order within each slot's subsequence;
+    ``group_start_pos[i]`` is the sorted position of the first element
+    sharing sorted element *i*'s slot.
+    """
+    n = len(slots)
+    order = stable_key_order(slots, slot_bits)
+    sorted_slots = slots[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_slots[1:] != sorted_slots[:-1]
+    group_ids = np.cumsum(new_group) - 1
+    group_start_pos = np.flatnonzero(new_group)[group_ids]
+    return order, new_group, group_start_pos
+
+
+def _windows_in_groups(
+    sorted_outcomes: np.ndarray, group_start_pos: np.ndarray, bits: int
+) -> np.ndarray:
+    """Per-slot k-bit history windows over already-grouped outcomes.
+
+    The window is computed as if the groups were one global stream,
+    then every bit that would reach across a group boundary is masked
+    off: element *i* has ``depth`` predecessors in its own group, so
+    exactly its low ``min(depth, bits)`` bits are genuine.
+    """
+    n = len(sorted_outcomes)
+    hist_sorted = _global_window(sorted_outcomes, bits)
+    depth = np.arange(n) - group_start_pos
+    return hist_sorted & ((1 << np.minimum(depth, bits)) - 1)
+
+
+def _bht_window(
+    pcs: np.ndarray, outcomes: np.ndarray, bits: int, bht_entries: int
+) -> np.ndarray:
+    """Per-address history before each step, in original trace order.
+
+    Per-address histories live in BHT slots; branches that collide in
+    the BHT genuinely share a history register, so the window must be
+    computed over each *slot's* subsequence, not each PC's.
+    """
+    slots = pcs & (bht_entries - 1)
+    order, _, group_start_pos = _slot_groups(slots, bht_entries.bit_length() - 1)
+    hist_sorted = _windows_in_groups(outcomes[order], group_start_pos, bits)
+    hist = np.empty(len(pcs), dtype=np.int64)
+    hist[order] = hist_sorted
+    return hist
+
+
+def _pht_indices(
+    pcs: np.ndarray,
+    histories: np.ndarray,
+    *,
+    index_scheme: str,
+    history_bits: int,
+    pht_index_bits: int,
+) -> np.ndarray:
+    """PHT index of every step from its PC and level-1 history."""
+    pht_mask = (1 << pht_index_bits) - 1
+    if index_scheme == "concat":
+        fill_bits = pht_index_bits - history_bits
+        if fill_bits < 0:
+            # A negative fill would silently produce a bogus numpy shift;
+            # the predictor constructors forbid this geometry, so reaching
+            # it means the caller bypassed them.
+            raise ConfigurationError(
+                f"concat indexing needs history_bits ({history_bits}) <= "
+                f"pht_index_bits ({pht_index_bits})"
+            )
+        fill_mask = (1 << fill_bits) - 1
+        return ((histories << fill_bits) | (pcs & fill_mask)) & pht_mask
+    if index_scheme == "xor":
+        return (histories ^ pcs) & pht_mask
+    raise ConfigurationError(f"unknown index scheme {index_scheme!r}")
+
+
+def _counter_states(
+    indices: np.ndarray,
+    taken: np.ndarray,
+    *,
+    index_bits: int,
+    initial: int,
+    max_state: int,
+) -> np.ndarray:
+    """Counter value before each step for index-grouped saturating counters."""
+    n = len(indices)
+    # Group steps by table entry; time order within each group is
+    # preserved by the stable sort, so each group is one counter's input
+    # sequence.
+    order = stable_key_order(indices, index_bits)
+    sorted_indices = indices[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_indices[1:] != sorted_indices[:-1]
+    state_sorted = segmented_saturating_scan(taken[order], starts, initial, max_state)
+    states = np.empty(n, dtype=np.uint8)
+    states[order] = state_sorted
+    return states
+
+
+# -- per-family prediction kernels -------------------------------------------
 
 
 def _predict_twolevel(
@@ -114,33 +287,20 @@ def _predict_twolevel(
         pcs, outcomes, history_kind=history_kind, history_bits=history_bits,
         bht_entries=bht_entries,
     )
-
-    pht_mask = (1 << pht_index_bits) - 1
-    if index_scheme == "concat":
-        fill_bits = pht_index_bits - history_bits
-        fill_mask = (1 << fill_bits) - 1
-        indices = ((histories << fill_bits) | (pcs & fill_mask)) & pht_mask
-    elif index_scheme == "xor":
-        indices = (histories ^ pcs) & pht_mask
-    else:  # pragma: no cover - guarded by TwoLevelPredictor construction
-        raise ConfigurationError(f"unknown index scheme {index_scheme!r}")
-
-    # Group steps by PHT entry; time order within each group is preserved
-    # by the stable sort, so each group is one counter's input sequence.
-    order = np.argsort(indices, kind="stable")
-    sorted_inputs = outcomes[order]
-    sorted_indices = indices[order]
-    starts = np.empty(n, dtype=bool)
-    starts[0] = True
-    starts[1:] = sorted_indices[1:] != sorted_indices[:-1]
+    indices = _pht_indices(
+        pcs,
+        histories,
+        index_scheme=index_scheme,
+        history_bits=history_bits,
+        pht_index_bits=pht_index_bits,
+    )
 
     initial = 1 << (counter_bits - 1)  # weakly taken
     max_state = (1 << counter_bits) - 1
-    state_before = segmented_saturating_scan(sorted_inputs, starts, initial, max_state)
-
-    predictions = np.empty(n, dtype=np.uint8)
-    predictions[order] = (state_before >= initial).astype(np.uint8)
-    return predictions
+    state_before = _counter_states(
+        indices, outcomes, index_bits=pht_index_bits, initial=initial, max_state=max_state
+    )
+    return (state_before >= initial).astype(np.uint8)
 
 
 def _histories(
@@ -155,42 +315,139 @@ def _histories(
     n = len(pcs)
     if history_bits == 0:
         return np.zeros(n, dtype=np.int64)
-
     if history_kind == "global":
-        # history bit j-1 (LSB = most recent) is the outcome j steps ago.
-        hist = np.zeros(n, dtype=np.int64)
-        for j in range(1, history_bits + 1):
-            hist[j:] |= outcomes[:-j] << (j - 1)
-        return hist
-
+        return _global_window(outcomes, history_bits)
     if history_kind != "per-address":  # pragma: no cover - constructor-guarded
         raise ConfigurationError(f"unknown history kind {history_kind!r}")
     if bht_entries is None:
         raise ConfigurationError("per-address history requires bht_entries")
+    return _bht_window(pcs, outcomes, history_bits, bht_entries)
 
-    # Per-address histories live in BHT slots; branches that collide in
-    # the BHT genuinely share a history register, so the window must be
-    # computed over each *slot's* subsequence, not each PC's.
-    slots = pcs & (bht_entries - 1)
-    order = np.argsort(slots, kind="stable")
+
+def _predict_agree(predictor: AgreePredictor, trace: Trace) -> np.ndarray:
+    n = len(trace)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    pcs = trace.pcs
+    outcomes = trace.outcomes.astype(np.int64)
+
+    # Biasing bits: a slot's bit is latched from the outcome of the
+    # first step mapping to it; before that latch the default is taken.
+    slots = pcs & (predictor.bias_entries - 1)
+    order, new_group, group_start_pos = _slot_groups(
+        slots, predictor.bias_entries.bit_length() - 1
+    )
+    first_original = order[group_start_pos]  # original index of each slot's first step
+    bias_after_sorted = outcomes[first_original]  # bias once update() has latched
+    bias_predict_sorted = np.where(new_group, 1, bias_after_sorted)
+    bias_after = np.empty(n, dtype=np.int64)
+    bias_after[order] = bias_after_sorted
+    bias_predict = np.empty(n, dtype=np.int64)
+    bias_predict[order] = bias_predict_sorted
+
+    # The PHT learns agreement, not direction: its input symbol is
+    # "did the branch agree with its (just-latched) bias".
+    agree_inputs = (outcomes == bias_after).astype(np.int64)
+    histories = _global_window(outcomes, predictor.history.bits)
+    indices = _pht_indices(
+        pcs,
+        histories,
+        index_scheme="xor",
+        history_bits=predictor.history.bits,
+        pht_index_bits=predictor.pht.index_bits,
+    )
+    max_state = (1 << predictor.pht.bits) - 1
+    threshold = 1 << (predictor.pht.bits - 1)
+    state_before = _counter_states(
+        indices,
+        agree_inputs,
+        index_bits=predictor.pht.index_bits,
+        initial=predictor.pht.initial,
+        max_state=max_state,
+    )
+    agree = state_before >= threshold
+    return np.where(agree, bias_predict, 1 - bias_predict).astype(np.uint8)
+
+
+def _predict_tournament(predictor: TournamentPredictor, trace: Trace) -> np.ndarray:
+    n = len(trace)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    outcomes = trace.outcomes
+
+    # Both components see (and train on) every branch.
+    first = predictions_vectorized(predictor.first, trace)
+    second = predictions_vectorized(predictor.second, trace)
+    first_correct = first == outcomes
+    second_correct = second == outcomes
+
+    # The chooser is a PC-indexed saturating counter that *holds* when
+    # the components agree in correctness — a three-symbol automaton:
+    # decrement (trust first), increment (trust second), identity.
+    bits = predictor.chooser.bits
+    step_table = np.vstack(
+        [counter_step_table(bits), np.arange(1 << bits, dtype=np.uint8)[None]]
+    )
+    hold = np.uint8(2)
+    symbols = np.where(
+        first_correct == second_correct, hold, second_correct.astype(np.uint8)
+    )
+
+    slots = trace.pcs & (predictor.chooser.entries - 1)
+    order = stable_key_order(slots, predictor.chooser.index_bits)
     sorted_slots = slots[order]
-    sorted_outcomes = outcomes[order]
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_slots[1:] != sorted_slots[:-1]
+    state_sorted = segmented_automaton_scan(
+        step_table, symbols[order], starts, predictor.chooser.initial
+    )
+    chooser_state = np.empty(n, dtype=np.uint8)
+    chooser_state[order] = state_sorted
 
-    # group_start_pos[i] = position of the first step sharing i's slot.
-    new_group = np.empty(n, dtype=bool)
-    new_group[0] = True
-    new_group[1:] = sorted_slots[1:] != sorted_slots[:-1]
-    group_ids = np.cumsum(new_group) - 1
-    start_positions = np.flatnonzero(new_group)
-    group_start_pos = start_positions[group_ids]
+    threshold = 1 << (bits - 1)
+    return np.where(chooser_state >= threshold, second, first).astype(np.uint8)
 
-    positions = np.arange(n)
-    hist_sorted = np.zeros(n, dtype=np.int64)
-    for j in range(1, history_bits + 1):
-        valid = positions - j >= group_start_pos
-        src = positions[valid] - j
-        hist_sorted[valid] |= sorted_outcomes[src] << (j - 1)
 
-    hist = np.empty(n, dtype=np.int64)
-    hist[order] = hist_sorted
-    return hist
+def _predict_hybrid(predictor: ClassRoutedHybrid, trace: Trace) -> np.ndarray:
+    n = len(trace)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    pcs = trace.pcs
+
+    # Static routing: only the owning component sees a branch, so each
+    # component's reference-engine view is exactly its sub-trace.
+    unique_pcs, codes = np.unique(pcs, return_inverse=True)
+    route = np.fromiter(
+        (predictor.route_index(int(pc)) for pc in unique_pcs),
+        dtype=np.int64,
+        count=len(unique_pcs),
+    )
+    component_of_step = route[codes]
+
+    predictions = np.zeros(n, dtype=np.uint8)
+    for index, component in enumerate(predictor.components):
+        mask = component_of_step == index
+        if not np.any(mask):
+            continue
+        sub = Trace(pcs[mask], trace.outcomes[mask], name=trace.name)
+        predictions[mask] = predictions_vectorized(component, sub)
+    return predictions
+
+
+def _predict_static(predictor, trace: Trace) -> np.ndarray:
+    n = len(trace)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if isinstance(predictor, AlwaysTakenPredictor):
+        return np.ones(n, dtype=np.uint8)
+    if isinstance(predictor, AlwaysNotTakenPredictor):
+        return np.zeros(n, dtype=np.uint8)
+    # Profile-static: one Python-level lookup per *static* branch only.
+    unique_pcs, codes = np.unique(trace.pcs, return_inverse=True)
+    directions = np.fromiter(
+        (predictor.predict(int(pc)) for pc in unique_pcs),
+        dtype=np.uint8,
+        count=len(unique_pcs),
+    )
+    return directions[codes]

@@ -45,6 +45,11 @@ class ExperimentContext:
         Directory for the sweep cache; ``None`` disables caching.
     engine:
         Simulation engine selector passed through to the sweep.
+        ``"auto"`` (the default) and ``"batched"`` simulate all sweep
+        configurations of a trace in one batched pass;
+        ``"vectorized"``/``"reference"`` force per-configuration
+        simulation (bit-identical, for cross-checking).  See
+        ``docs/ENGINES.md``.
     """
 
     def __init__(

@@ -53,6 +53,11 @@ class AgreePredictor(BranchPredictor):
         self._bias_set = np.zeros(bias_entries, dtype=bool)
         self.name = f"agree-h{history_bits}"
 
+    @property
+    def bias_entries(self) -> int:
+        """Entries in the biasing-bit table (read by the vectorized engine)."""
+        return len(self._bias)
+
     def _index(self, pc: int) -> int:
         return (self.history.value ^ pc) & self._pht_mask
 

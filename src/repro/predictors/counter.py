@@ -110,6 +110,12 @@ class CounterTable:
         return self.entries.bit_length() - 1
 
     @property
+    def initial(self) -> int:
+        """The reset value every counter starts from (used by the
+        vectorized engine to replay cold-start evolution)."""
+        return self._initial
+
+    @property
     def values(self) -> np.ndarray:
         """The raw counter array (mutable; used by the vectorized engine)."""
         return self._values

@@ -53,12 +53,17 @@ class ClassRoutedHybrid(BranchPredictor):
             self._route = route
         self.name = name or "class-hybrid(" + ",".join(c.name for c in self.components) + ")"
 
-    def component_for(self, pc: int) -> BranchPredictor:
-        """The component that owns the branch at ``pc``."""
+    def route_index(self, pc: int) -> int:
+        """Index of the component that owns ``pc`` (out-of-range routes
+        fall back to component 0)."""
         index = self._route(pc)
         if not 0 <= index < len(self.components):
             index = 0
-        return self.components[index]
+        return index
+
+    def component_for(self, pc: int) -> BranchPredictor:
+        """The component that owns the branch at ``pc``."""
+        return self.components[self.route_index(pc)]
 
     def predict(self, pc: int) -> bool:
         return self.component_for(pc).predict(pc)

@@ -1,0 +1,199 @@
+"""Tests for the batched multi-configuration sweep engine.
+
+The batched engine must be bit-exact with per-configuration simulation
+(and hence with the step-accurate reference engine) for every
+configuration in the batch, across chunk sizes, geometry mixes and
+deduplicated configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    predictions_batched,
+    predictions_vectorized,
+    simulate_batched,
+    simulate_reference,
+    simulate_sweep,
+    supports_batched,
+)
+from repro.errors import ConfigurationError
+from repro.predictors import (
+    BimodalPredictor,
+    YagsPredictor,
+    make_gas,
+    make_gshare,
+    make_pas,
+    make_pshare,
+    paper_predictor,
+)
+from repro.trace import Trace
+
+
+def random_trace(seed, n, num_pcs, bias=0.5):
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, num_pcs, size=n) * 4 + 0x1000
+    outcomes = (rng.random(n) < bias).astype(np.uint8)
+    return Trace(pcs, outcomes, name=f"rand{seed}")
+
+
+def mixed_predictors():
+    """A geometry zoo: histories, schemes, BHT sizes, counter widths."""
+    return [
+        make_gas(0, pht_index_bits=8),
+        make_gas(4, pht_index_bits=10),
+        make_gshare(6, pht_index_bits=8),
+        make_pas(1, pht_index_bits=9, bht_entries=32),
+        make_pas(5, pht_index_bits=9, bht_entries=8),
+        make_pshare(3, pht_index_bits=7, bht_entries=16),
+        BimodalPredictor(entries=64),
+        TwoLevel3Bit(),
+    ]
+
+
+def TwoLevel3Bit():
+    from repro.predictors import TwoLevelPredictor
+
+    return TwoLevelPredictor(
+        history_kind="global", history_bits=3, pht_index_bits=8, counter_bits=3
+    )
+
+
+class TestPredictionsBatched:
+    def test_matches_vectorized_per_config(self):
+        trace = random_trace(1, 3000, 40)
+        predictors = mixed_predictors()
+        batched = predictions_batched(predictors, trace)
+        for predictor, predictions in zip(predictors, batched):
+            assert np.array_equal(predictions, predictions_vectorized(predictor, trace))
+
+    def test_chunking_is_invisible(self):
+        trace = random_trace(2, 2000, 30)
+        predictors = [paper_predictor("gas", k) for k in range(8)]
+        full = predictions_batched(predictors, trace)
+        tiny = predictions_batched(predictors, trace, max_chunk_elements=500)
+        for a, b in zip(full, tiny):
+            assert np.array_equal(a, b)
+
+    def test_duplicate_configs_share_one_simulation(self):
+        trace = random_trace(3, 1500, 20)
+        predictors = [paper_predictor("pas", 0), paper_predictor("gas", 0)]
+        a, b = predictions_batched(predictors, trace)
+        # PAs-h0 and GAs-h0 are the same machine; the engine dedupes
+        # them into one simulation, and both views must agree.
+        assert a is b
+
+    def test_empty_trace(self):
+        results = predictions_batched(
+            [make_gas(2, pht_index_bits=6)], Trace.empty()
+        )
+        assert len(results) == 1 and len(results[0]) == 0
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ConfigurationError):
+            predictions_batched([YagsPredictor()], random_trace(4, 100, 5))
+        assert not supports_batched(YagsPredictor())
+        assert supports_batched(make_gas(2, pht_index_bits=6))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            predictions_batched(
+                [make_gas(2, pht_index_bits=6)],
+                random_trace(5, 100, 5),
+                max_chunk_elements=0,
+            )
+
+
+class TestSimulateBatched:
+    def test_matches_reference(self):
+        trace = random_trace(6, 2500, 50)
+        predictors = mixed_predictors()
+        results = simulate_batched(predictors, trace)
+        for predictor, result in zip(predictors, results):
+            ref = simulate_reference(predictor, trace)
+            assert np.array_equal(result.pcs, ref.pcs)
+            assert np.array_equal(result.executions, ref.executions)
+            assert np.array_equal(result.mispredictions, ref.mispredictions), (
+                f"mismatch for {predictor.name}"
+            )
+            assert result.predictor_name == predictor.name
+
+    def test_empty_batch(self):
+        assert simulate_batched([], random_trace(7, 100, 5)) == []
+
+
+class TestSimulateSweep:
+    def test_matches_reference_every_config(self):
+        trace = random_trace(8, 2000, 40)
+        lengths = tuple(range(0, 7))
+        sweep = simulate_sweep(trace, history_lengths=lengths)
+        for kind in ("pas", "gas"):
+            for k in lengths:
+                ref = simulate_reference(paper_predictor(kind, k), trace)
+                got = sweep.result(kind, k)
+                assert np.array_equal(got.mispredictions, ref.mispredictions), (
+                    f"mismatch for {kind} h{k}"
+                )
+
+    def test_keys_and_shared_columns(self):
+        trace = random_trace(9, 800, 10)
+        sweep = simulate_sweep(trace, kinds=("gas",), history_lengths=(0, 2, 4))
+        assert sweep.keys() == [("gas", 0), ("gas", 2), ("gas", 4)]
+        assert sweep.executions.sum() == len(trace)
+        assert np.array_equal(sweep.pcs, np.unique(trace.pcs))
+
+    def test_unknown_config_raises(self):
+        sweep = simulate_sweep(random_trace(10, 500, 8), history_lengths=(0, 1))
+        with pytest.raises(ConfigurationError):
+            sweep.mispredictions("gas", 9)
+
+    def test_empty_trace(self):
+        sweep = simulate_sweep(Trace.empty(), history_lengths=(0, 1))
+        assert len(sweep.pcs) == 0
+        assert sweep.result("pas", 1).total_executions == 0
+
+
+class TestSweepEngineAgreement:
+    """run_sweep grids are identical whichever engine computes them."""
+
+    @pytest.mark.parametrize("forced", ["vectorized", "reference"])
+    def test_grids_match(self, forced):
+        from repro.analysis import SweepConfig, run_sweep
+
+        trace = random_trace(11, 1200, 25)
+        lengths = tuple(range(0, 5))
+        batched = run_sweep([trace], SweepConfig(history_lengths=lengths))
+        other = run_sweep(
+            [trace], SweepConfig(history_lengths=lengths, engine=forced)
+        )
+        for kind in ("pas", "gas"):
+            assert np.array_equal(
+                batched.grid(kind).taken_misses, other.grid(kind).taken_misses
+            )
+            assert np.array_equal(
+                batched.grid(kind).joint_misses, other.grid(kind).joint_misses
+            )
+
+    def test_bad_engine_rejected(self):
+        from repro.analysis import SweepConfig
+
+        with pytest.raises(ConfigurationError):
+            SweepConfig(engine="quantum")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 400),
+    num_pcs=st.integers(1, 40),
+    chunk=st.integers(64, 4096),
+)
+def test_batched_sweep_property(seed, n, num_pcs, chunk):
+    """Random traces and chunk sizes: batched == per-config, always."""
+    trace = random_trace(seed, n, num_pcs)
+    predictors = [paper_predictor(kind, k) for kind in ("pas", "gas") for k in (0, 1, 3, 8)]
+    batched = predictions_batched(predictors, trace, max_chunk_elements=chunk)
+    for predictor, predictions in zip(predictors, batched):
+        assert np.array_equal(predictions, predictions_vectorized(predictor, trace))

@@ -12,10 +12,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import simulate_reference, simulate_vectorized
+from repro.engine import simulate_reference, simulate_vectorized, supports_vectorized
 from repro.predictors import (
+    AgreePredictor,
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
     BimodalPredictor,
+    ClassRoutedHybrid,
+    ProfileStaticPredictor,
+    TournamentPredictor,
     TwoLevelPredictor,
+    YagsPredictor,
     make_gas,
     make_gshare,
     make_pas,
@@ -134,6 +141,129 @@ class TestEquivalenceOther:
         ref = simulate_reference(make_gas(2, pht_index_bits=6), trace)
         vec = simulate_vectorized(make_gas(2, pht_index_bits=6), trace)
         assert ref.total_mispredictions == vec.total_mispredictions
+
+
+class TestEquivalenceAgree:
+    @pytest.mark.parametrize("k", [0, 4, 8])
+    def test_agree(self, k):
+        assert_equivalent(
+            lambda: AgreePredictor(k, pht_index_bits=8, bias_entries=64),
+            random_trace(20, 3000, 40),
+        )
+
+    def test_agree_bias_aliasing(self):
+        # 8-entry bias table, 50 branches: bias bits are latched by
+        # whichever branch reaches the slot first — the vectorized
+        # first-in-slot gather must reproduce that exactly.
+        assert_equivalent(
+            lambda: AgreePredictor(5, pht_index_bits=6, bias_entries=8),
+            random_trace(21, 4000, 50),
+        )
+
+    def test_agree_biased_outcomes(self):
+        assert_equivalent(
+            lambda: AgreePredictor(6, pht_index_bits=9, bias_entries=32),
+            random_trace(22, 3000, 30, bias=0.85),
+        )
+
+
+class TestEquivalenceTournament:
+    def test_gshare_vs_pas(self):
+        assert_equivalent(
+            lambda: TournamentPredictor(
+                make_gshare(5, pht_index_bits=7),
+                make_pas(3, pht_index_bits=8, bht_entries=16),
+                chooser_index_bits=5,
+            ),
+            random_trace(23, 4000, 40),
+        )
+
+    def test_chooser_aliasing(self):
+        # 2^3-entry chooser with 60 branches: chooser counters are
+        # shared across branches, exactly as in hardware.
+        assert_equivalent(
+            lambda: TournamentPredictor(
+                make_gas(4, pht_index_bits=8),
+                BimodalPredictor(entries=64),
+                chooser_index_bits=3,
+            ),
+            random_trace(24, 4000, 60),
+        )
+
+    def test_nested_tournament(self):
+        assert_equivalent(
+            lambda: TournamentPredictor(
+                TournamentPredictor(
+                    make_gshare(3, pht_index_bits=6),
+                    BimodalPredictor(entries=32),
+                    chooser_index_bits=4,
+                ),
+                make_pas(2, pht_index_bits=7, bht_entries=16),
+                chooser_index_bits=6,
+            ),
+            random_trace(25, 3000, 30),
+        )
+
+    def test_supports_requires_both_components(self):
+        supported = TournamentPredictor(
+            make_gshare(3, pht_index_bits=6), BimodalPredictor(entries=32)
+        )
+        unsupported = TournamentPredictor(
+            make_gshare(3, pht_index_bits=6), YagsPredictor()
+        )
+        assert supports_vectorized(supported)
+        assert not supports_vectorized(unsupported)
+
+
+class TestEquivalenceHybrid:
+    def test_static_routing_partition(self):
+        def factory():
+            components = [
+                ProfileStaticPredictor({0x1000: True, 0x1004: False}),
+                make_pas(2, pht_index_bits=7, bht_entries=16),
+                make_gshare(6, pht_index_bits=8),
+            ]
+            return ClassRoutedHybrid(components, lambda pc: (pc >> 2) % 3)
+        assert_equivalent(factory, random_trace(26, 4000, 50))
+
+    def test_out_of_range_route_falls_back(self):
+        def factory():
+            components = [AlwaysTakenPredictor(), AlwaysNotTakenPredictor()]
+            return ClassRoutedHybrid(components, lambda pc: (pc >> 2) % 5)
+        assert_equivalent(factory, random_trace(27, 2000, 40))
+
+    def test_mapping_route(self):
+        trace = random_trace(28, 3000, 30)
+        pcs = sorted(set(int(p) for p in trace.pcs))
+        routes = {pc: i % 2 for i, pc in enumerate(pcs)}
+
+        def factory():
+            return ClassRoutedHybrid(
+                [make_gas(3, pht_index_bits=7), BimodalPredictor(entries=64)], routes
+            )
+        assert_equivalent(factory, trace)
+
+    def test_designed_hybrid(self):
+        """The paper's §5.4 class-routed hybrid, end to end."""
+        from repro.analysis import design_hybrid
+        from repro.classify.profile import ProfileTable
+
+        trace = random_trace(29, 4000, 40, bias=0.7)
+        profile = ProfileTable.from_trace(trace)
+
+        def factory():
+            hybrid, _ = design_hybrid(profile)
+            return hybrid
+        assert supports_vectorized(factory())
+        assert_equivalent(factory, trace)
+
+    def test_supports_requires_all_components(self):
+        good = ClassRoutedHybrid([make_gas(2, pht_index_bits=6)], lambda pc: 0)
+        bad = ClassRoutedHybrid(
+            [make_gas(2, pht_index_bits=6), YagsPredictor()], lambda pc: pc % 2
+        )
+        assert supports_vectorized(good)
+        assert not supports_vectorized(bad)
 
 
 @settings(max_examples=25, deadline=None)

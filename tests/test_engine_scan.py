@@ -1,4 +1,4 @@
-"""Tests for the segmented automaton prefix scan."""
+"""Tests for the segmented prefix scans and their grouping helper."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.engine import counter_step_table, segmented_automaton_scan
+from repro.engine import (
+    counter_step_table,
+    segmented_automaton_scan,
+    segmented_saturating_scan,
+)
+from repro.engine.scan import stable_key_order
 
 
 class TestCounterStepTable:
@@ -91,6 +96,143 @@ class TestSegmentedScan:
         table = counter_step_table(2)
         result = segmented_automaton_scan(table, inputs, starts, 2)
         assert np.array_equal(result, reference_scan(table, inputs, starts, 2))
+
+
+def reference_saturating(taken, segment_starts, initial, max_state):
+    """Obvious per-step saturating-counter loop used as the oracle."""
+    out = []
+    state = initial
+    for t, is_start in zip(taken, segment_starts):
+        if is_start:
+            state = initial
+        out.append(state)
+        state = min(max(state + (1 if t else -1), 0), max_state)
+    return np.asarray(out, dtype=np.uint8)
+
+
+class TestSegmentedSaturatingScan:
+    """Edge cases for the specialized counter scan, cross-checked
+    against a pure-Python stepper."""
+
+    def test_empty(self):
+        result = segmented_saturating_scan(np.zeros(0, int), np.zeros(0, bool), 2, 3)
+        assert len(result) == 0
+        assert result.dtype == np.uint8
+
+    def test_single_element_segments(self):
+        taken = np.array([1, 0, 1, 1, 0])
+        starts = np.ones(5, dtype=bool)
+        result = segmented_saturating_scan(taken, starts, 2, 3)
+        assert list(result) == [2, 2, 2, 2, 2]
+
+    def test_one_giant_segment(self):
+        rng = np.random.default_rng(7)
+        taken = rng.integers(0, 2, size=5000)
+        starts = np.zeros(5000, dtype=bool)
+        starts[0] = True
+        result = segmented_saturating_scan(taken, starts, 2, 3)
+        assert np.array_equal(result, reference_saturating(taken, starts, 2, 3))
+
+    def test_one_bit_counters(self):
+        """max_state=1: every step saturates immediately."""
+        taken = np.array([1, 1, 0, 1, 0, 0])
+        starts = np.array([True, False, False, True, False, False])
+        for initial in (0, 1):
+            result = segmented_saturating_scan(taken, starts, initial, 1)
+            assert np.array_equal(
+                result, reference_saturating(taken, starts, initial, 1)
+            )
+
+    def test_saturated_runs(self):
+        """Long same-direction runs pin the counter at the rails."""
+        taken = np.array([1] * 20 + [0] * 20)
+        starts = np.zeros(40, dtype=bool)
+        starts[0] = True
+        result = segmented_saturating_scan(taken, starts, 0, 3)
+        assert np.array_equal(result, reference_saturating(taken, starts, 0, 3))
+        assert result[4] == 3  # saturated high after 3 increments
+        assert result[-1] == 0  # and back down to the floor
+
+    def test_wide_counters_use_arithmetic_path(self):
+        """max_state above the tabled bound exercises the clamp-algebra path."""
+        rng = np.random.default_rng(8)
+        taken = rng.integers(0, 2, size=2000)
+        starts = rng.random(2000) < 0.01
+        starts[0] = True
+        for max_state in (15, 63):
+            initial = (max_state + 1) // 2
+            result = segmented_saturating_scan(taken, starts, initial, max_state)
+            assert np.array_equal(
+                result, reference_saturating(taken, starts, initial, max_state)
+            )
+
+    def test_matches_automaton_scan(self):
+        """Same semantics as the generic scan over a counter step table."""
+        rng = np.random.default_rng(9)
+        taken = rng.integers(0, 2, size=1500)
+        starts = rng.random(1500) < 0.05
+        starts[0] = True
+        table = counter_step_table(2)
+        fast = segmented_saturating_scan(taken, starts, 2, 3)
+        generic = segmented_automaton_scan(table, taken, starts, 2)
+        assert np.array_equal(fast, generic)
+
+    def test_first_position_must_start_segment(self):
+        with pytest.raises(ConfigurationError):
+            segmented_saturating_scan(np.array([1]), np.array([False]), 2, 3)
+
+    def test_misaligned_starts(self):
+        with pytest.raises(ConfigurationError):
+            segmented_saturating_scan(np.array([1, 0]), np.array([True]), 2, 3)
+
+    def test_bad_initial_state(self):
+        with pytest.raises(ConfigurationError):
+            segmented_saturating_scan(np.array([1]), np.array([True]), 4, 3)
+
+
+@settings(max_examples=60)
+@given(
+    data=st.data(),
+    bits=st.integers(1, 3),
+    n=st.integers(0, 400),
+)
+def test_saturating_scan_matches_reference_property(data, bits, n):
+    """Random inputs, random segment boundaries, every counter width:
+    the specialized scan agrees with the per-step loop exactly."""
+    max_state = (1 << bits) - 1
+    taken = np.asarray(
+        data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.int64
+    )
+    starts = np.asarray(
+        data.draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    if n:
+        starts[0] = True
+    initial = data.draw(st.integers(0, max_state))
+    got = segmented_saturating_scan(taken, starts, initial, max_state)
+    assert np.array_equal(got, reference_saturating(taken, starts, initial, max_state))
+
+
+class TestStableKeyOrder:
+    @pytest.mark.parametrize("key_bits", [8, 16, 17, 23, 32])
+    def test_matches_argsort(self, key_bits):
+        rng = np.random.default_rng(key_bits)
+        keys = rng.integers(0, 1 << key_bits, size=4000)
+        assert np.array_equal(
+            stable_key_order(keys, key_bits), np.argsort(keys, kind="stable")
+        )
+
+    def test_stability_preserves_time_order(self):
+        keys = np.array([3, 1, 3, 1, 3, 2])
+        order = stable_key_order(keys, 17)
+        assert list(order) == [1, 3, 5, 0, 2, 4]
+
+    def test_wide_keys_fall_back(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1 << 40, size=1000)
+        assert np.array_equal(
+            stable_key_order(keys, 40), np.argsort(keys, kind="stable")
+        )
 
 
 @settings(max_examples=60)
