@@ -114,6 +114,12 @@ def main(argv: list[str] | None = None) -> int:
         "inputs": os.environ.get("REPRO_BENCH_INPUTS"),
         "select": args.select,
     }
+    # Drop the raw per-round timing arrays (thousands of floats per
+    # benchmark, megabytes per snapshot); the summary statistics
+    # (min/max/mean/stddev/median/iqr/ops/rounds) are what trajectory
+    # comparisons read.
+    for bench in data.get("benchmarks", []):
+        bench["stats"].pop("data", None)
     snapshot.write_text(json.dumps(data, indent=1))
 
     benchmarks = data.get("benchmarks", [])
