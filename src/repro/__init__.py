@@ -12,7 +12,11 @@ The package layers, bottom to top:
   and VM workload programs.
 * :mod:`repro.predictors` — the paper's budgeted PAs/GAs plus the
   surveyed predictor families and the §5.4 class-guided hybrid.
+* :mod:`repro.spec` — declarative, serializable predictor
+  specifications (one spec class per family).
 * :mod:`repro.engine` — step-accurate and vectorized simulation.
+* :mod:`repro.session` — the planning/batching front door for many
+  simulation jobs at once (see ``docs/API.md``).
 * :mod:`repro.classify` — the 11-band taken/transition classification.
 * :mod:`repro.analysis` — history sweeps, misclassification accounting,
   distance distributions, confidence, predication/dual-path advisors.
@@ -87,6 +91,27 @@ from .predictors import (
     paper_pas,
     paper_predictor,
 )
+from .predictors.paper_configs import paper_gas_spec, paper_pas_spec, paper_spec
+from .spec import (
+    AgreeSpec,
+    BiModeSpec,
+    BimodalSpec,
+    DhlfSpec,
+    FilterSpec,
+    HybridSpec,
+    LastOutcomeSpec,
+    PredictorSpec,
+    ProfileStaticSpec,
+    StaticSpec,
+    TournamentSpec,
+    TwoLevelSpec,
+    YagsSpec,
+    build_predictor,
+    spec_from_dict,
+    spec_from_json,
+    spec_kinds,
+)
+from .session import Session, SessionPlan, SessionResults, SimulationJob
 from .engine import (
     SimulationResult,
     simulate,
@@ -164,6 +189,32 @@ __all__ = [
     "FilterPredictor",
     "TournamentPredictor",
     "ClassRoutedHybrid",
+    # specs
+    "PredictorSpec",
+    "StaticSpec",
+    "ProfileStaticSpec",
+    "LastOutcomeSpec",
+    "BimodalSpec",
+    "TwoLevelSpec",
+    "AgreeSpec",
+    "TournamentSpec",
+    "HybridSpec",
+    "YagsSpec",
+    "BiModeSpec",
+    "FilterSpec",
+    "DhlfSpec",
+    "spec_kinds",
+    "spec_from_dict",
+    "spec_from_json",
+    "build_predictor",
+    "paper_gas_spec",
+    "paper_pas_spec",
+    "paper_spec",
+    # session
+    "Session",
+    "SessionPlan",
+    "SessionResults",
+    "SimulationJob",
     # engine
     "simulate",
     "simulate_reference",

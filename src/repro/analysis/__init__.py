@@ -33,7 +33,13 @@ from .advisors import (
     predication_candidates,
 )
 from .dualpath_sim import DualPathConfig, DualPathReport, simulate_dual_path
-from .hybrid_design import HybridPlan, design_hybrid, design_variable_history_hybrid
+from .hybrid_design import (
+    HybridPlan,
+    design_hybrid,
+    design_hybrid_spec,
+    design_variable_history_hybrid,
+    design_variable_history_hybrid_spec,
+)
 
 __all__ = [
     "SweepConfig",
@@ -63,7 +69,9 @@ __all__ = [
     "assess_dual_path",
     "HybridPlan",
     "design_hybrid",
+    "design_hybrid_spec",
     "design_variable_history_hybrid",
+    "design_variable_history_hybrid_spec",
     "DualPathConfig",
     "DualPathReport",
     "simulate_dual_path",

@@ -10,6 +10,11 @@ branches deserve non-predictive treatment:
 * **Dual-path execution** (§5.2.1) — feasible when flagged branches
   rarely occur within a few dynamic branches of each other (Figure 15),
   since simultaneous dual paths multiply hardware cost.
+
+The expected-miss-rate input comes from a history sweep — now planned
+and batched by :class:`repro.session.Session` (see ``docs/API.md``) —
+and :func:`predication_candidates` accepts the sweep's
+:class:`~repro.analysis.history_sweep.ClassMissGrid` directly.
 """
 
 from __future__ import annotations
@@ -72,7 +77,10 @@ def predication_candidates(
     profile:
         Joint classification of the program's branches.
     joint_miss_rates:
-        (11, 11) expected miss rate per joint class (rows = transition).
+        (11, 11) expected miss rate per joint class (rows = transition),
+        or a :class:`~repro.analysis.history_sweep.ClassMissGrid` whose
+        :meth:`~repro.analysis.history_sweep.ClassMissGrid.joint_miss_at_optimal`
+        matrix is used.
     miss_threshold:
         Only classes at or above this expected miss rate are considered
         (the paper's "near 50 % taken and transition rates" region).
@@ -81,6 +89,8 @@ def predication_candidates(
     misprediction_penalty:
         Pipeline cycles saved per removed misprediction (benefit).
     """
+    if hasattr(joint_miss_rates, "joint_miss_at_optimal"):
+        joint_miss_rates = joint_miss_rates.joint_miss_at_optimal()
     rates = np.asarray(joint_miss_rates, dtype=np.float64)
     if rates.shape != (11, 11):
         raise ConfigurationError("joint_miss_rates must be 11x11")

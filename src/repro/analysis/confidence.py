@@ -26,6 +26,7 @@ import numpy as np
 from ..classify.profile import ProfileTable
 from ..errors import ConfigurationError
 from ..predictors.base import BranchPredictor
+from ..spec import PredictorSpec, build_predictor
 from ..trace.stream import Trace
 
 __all__ = [
@@ -224,7 +225,7 @@ class ConfidenceQuality:
 
 def evaluate_confidence(
     estimator: ConfidenceEstimator,
-    predictor: BranchPredictor,
+    predictor: BranchPredictor | PredictorSpec,
     trace: Trace,
 ) -> ConfidenceQuality:
     """Drive predictor + estimator over a trace and score the estimator.
@@ -232,7 +233,10 @@ def evaluate_confidence(
     For every dynamic branch: query confidence, let the predictor
     predict and train, then update the estimator with the prediction's
     correctness (the usual speculative-pipeline information order).
+    ``predictor`` may be a stateful predictor or a declarative
+    :class:`~repro.spec.PredictorSpec` (built on entry).
     """
+    predictor = build_predictor(predictor)
     predictor.reset()
     estimator.reset()
     total = low = misses = low_and_miss = high_and_correct = 0

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..predictors.base import BranchPredictor
+from ..spec import PredictorSpec, build_predictor
 from ..trace.stream import Trace
 from .confidence import ConfidenceEstimator
 
@@ -83,7 +84,7 @@ class DualPathReport:
 
 
 def simulate_dual_path(
-    predictor: BranchPredictor,
+    predictor: BranchPredictor | PredictorSpec,
     estimator: ConfidenceEstimator,
     trace: Trace,
     config: DualPathConfig | None = None,
@@ -92,9 +93,11 @@ def simulate_dual_path(
 
     The same predictor drives both the forking and non-forking cycle
     accounts in a single pass, so the comparison is exact rather than a
-    two-run approximation.
+    two-run approximation.  ``predictor`` may be a stateful predictor
+    or a declarative :class:`~repro.spec.PredictorSpec`.
     """
     config = config or DualPathConfig()
+    predictor = build_predictor(predictor)
     predictor.reset()
     estimator.reset()
 

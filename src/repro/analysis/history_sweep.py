@@ -7,10 +7,12 @@ profile the branches once, and attribute each misprediction to the
 that caused it.  Results are accumulated across benchmarks weighted by
 dynamic occurrence, exactly like the paper's suite-level graphs.
 
-All configurations of a trace are simulated in one pass through the
-batched multi-config engine (:func:`repro.engine.simulate_sweep`)
-unless the config forces per-configuration ``vectorized``/``reference``
-simulation; the grids are bit-identical either way.
+Every (kind, history length) configuration is expressed as a
+declarative :class:`~repro.spec.TwoLevelSpec` job and planned by
+:class:`repro.session.Session`: with ``engine="auto"`` (or
+``"batched"``) all configurations of a trace collapse into one batched
+multi-config pass, while ``"vectorized"``/``"reference"`` force
+per-configuration simulation; the grids are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -22,9 +24,9 @@ import numpy as np
 
 from ..classify.classes import NUM_CLASSES
 from ..classify.profile import ProfileTable
-from ..engine import simulate, simulate_sweep
 from ..errors import ConfigurationError
-from ..predictors.paper_configs import HISTORY_LENGTHS, paper_predictor
+from ..predictors.paper_configs import HISTORY_LENGTHS, paper_spec
+from ..session import Session
 from ..trace.stream import Trace
 
 __all__ = ["SweepConfig", "ClassMissGrid", "SweepResult", "run_sweep"]
@@ -162,7 +164,13 @@ class SweepResult:
 
 
 def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> SweepResult:
-    """Run the full history sweep over a set of benchmark traces."""
+    """Run the full history sweep over a set of benchmark traces.
+
+    All (kind, history length) configurations of a trace are submitted
+    to one :class:`~repro.session.Session` as spec jobs; the session
+    planner groups them into a single batched-engine invocation per
+    trace (or forces the configured engine per job).
+    """
     config = config or SweepConfig()
     grids = {
         kind: ClassMissGrid(history_lengths=config.history_lengths)
@@ -190,28 +198,20 @@ def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> Swe
             profile.executions.astype(np.float64),
         )
 
-        if config.engine in ("auto", "batched"):
-            # One batched pass simulates every (kind, history length)
-            # configuration of this trace, sharing histories and scans.
-            batch = simulate_sweep(
-                trace,
-                kinds=config.predictor_kinds,
-                history_lengths=config.history_lengths,
-            )
-            if not np.array_equal(batch.pcs, profile.pcs):  # pragma: no cover - invariant
-                raise ConfigurationError("profile and simulation cover different branches")
-            for kind in config.predictor_kinds:
-                grid = grids[kind]
-                for row, k in enumerate(config.history_lengths):
-                    _accumulate_counts(
-                        grid, row, profile, batch.executions, batch.mispredictions(kind, k)
-                    )
-        else:
-            for kind in config.predictor_kinds:
-                grid = grids[kind]
-                for row, k in enumerate(config.history_lengths):
-                    result = simulate(paper_predictor(kind, k), trace, engine=config.engine)
-                    _accumulate_row(grid, row, profile, result)
+        # One session per trace: "auto"/"batched" collapse the trace's
+        # whole (kind, history length) grid into one batched pass, and
+        # the session memo (34 per-PC result columns) is dropped as
+        # soon as the rows are accumulated instead of pinning every
+        # trace's results until the suite finishes.
+        session = Session(engine=config.engine)
+        jobs = [
+            (kind, row, session.submit(trace, paper_spec(kind, k)))
+            for kind in config.predictor_kinds
+            for row, k in enumerate(config.history_lengths)
+        ]
+        results = session.run()
+        for kind, row, job in jobs:
+            _accumulate_row(grids[kind], row, profile, results[job])
 
     if total_dynamic:
         taken_dist /= total_dynamic

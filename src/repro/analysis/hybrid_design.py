@@ -12,6 +12,13 @@ routes every branch to the component its class predicts best:
   (one or two bits suffice for alternation),
 * everything else → a **long-history** component; per-address if the
   branch's own pattern dominates, global otherwise.
+
+The designers emit declarative :class:`~repro.spec.HybridSpec` values
+(``design_hybrid_spec`` / ``design_variable_history_hybrid_spec``), so
+a designed hybrid is serializable, hashable and schedulable through
+:class:`repro.session.Session`; the legacy ``design_hybrid`` /
+``design_variable_history_hybrid`` entry points build the stateful
+predictor from the spec.
 """
 
 from __future__ import annotations
@@ -20,10 +27,15 @@ from dataclasses import dataclass
 
 from ..classify.profile import ProfileTable
 from ..predictors.hybrid import ClassRoutedHybrid
-from ..predictors.static import ProfileStaticPredictor
-from ..predictors.twolevel import make_gshare, make_pas
+from ..spec import HybridSpec, ProfileStaticSpec, TwoLevelSpec
 
-__all__ = ["HybridPlan", "design_hybrid", "design_variable_history_hybrid"]
+__all__ = [
+    "HybridPlan",
+    "design_hybrid",
+    "design_hybrid_spec",
+    "design_variable_history_hybrid",
+    "design_variable_history_hybrid_spec",
+]
 
 # Component slots in the constructed hybrid.
 STATIC, SHORT_PAS, LONG_PAS, LONG_GLOBAL = range(4)
@@ -44,6 +56,47 @@ class HybridPlan:
         return counts
 
 
+def design_hybrid_spec(
+    profile: ProfileTable,
+    *,
+    short_history: int = 2,
+    long_history: int = 10,
+    pht_index_bits: int = 12,
+) -> tuple[HybridSpec, HybridPlan]:
+    """Design a class-routed hybrid from a branch profile, as a spec.
+
+    Returns the declarative :class:`~repro.spec.HybridSpec` and the
+    :class:`HybridPlan` documenting where every branch went (useful for
+    reports and the ablation bench).
+    """
+    static = ProfileStaticSpec.from_profile(profile)
+    short_pas = TwoLevelSpec.pas(
+        short_history, pht_index_bits=pht_index_bits, bht_entries=1 << 12
+    )
+    long_pas = TwoLevelSpec.pas(
+        min(long_history, pht_index_bits),
+        pht_index_bits=pht_index_bits,
+        bht_entries=1 << 12,
+    )
+    long_global = TwoLevelSpec.gshare(long_history, pht_index_bits=pht_index_bits)
+    components = (static, short_pas, long_pas, long_global)
+
+    routes: dict[int, int] = {}
+    for pc in profile:
+        branch = profile[pc]
+        routes[pc] = _route_for(branch.taken_class, branch.transition_class)
+
+    spec = HybridSpec(
+        components=components,
+        routes=tuple(routes.items()),
+        name="paper-class-hybrid",
+    )
+    plan = HybridPlan(
+        routes=routes, component_names=_component_names(components)
+    )
+    return spec, plan
+
+
 def design_hybrid(
     profile: ProfileTable,
     *,
@@ -53,31 +106,16 @@ def design_hybrid(
 ) -> tuple[ClassRoutedHybrid, HybridPlan]:
     """Build a class-routed hybrid from a branch profile.
 
-    Returns the predictor and the :class:`HybridPlan` documenting where
-    every branch went (useful for reports and the ablation bench).
+    Legacy entry point: :func:`design_hybrid_spec` plus
+    :meth:`~repro.spec.PredictorSpec.build`.
     """
-    static = _profile_static_from_profile(profile)
-    short_pas = make_pas(
-        short_history, pht_index_bits=pht_index_bits, bht_entries=1 << 12
-    )
-    long_pas = make_pas(
-        min(long_history, pht_index_bits),
+    spec, plan = design_hybrid_spec(
+        profile,
+        short_history=short_history,
+        long_history=long_history,
         pht_index_bits=pht_index_bits,
-        bht_entries=1 << 12,
     )
-    long_global = make_gshare(long_history, pht_index_bits=pht_index_bits)
-    components: tuple = (static, short_pas, long_pas, long_global)
-
-    routes: dict[int, int] = {}
-    for pc in profile:
-        branch = profile[pc]
-        routes[pc] = _route_for(branch.taken_class, branch.transition_class)
-
-    hybrid = ClassRoutedHybrid(list(components), routes, name="paper-class-hybrid")
-    plan = HybridPlan(
-        routes=routes, component_names=tuple(c.name for c in components)
-    )
-    return hybrid, plan
+    return spec.build(), plan
 
 
 def _route_for(taken_class: int, transition_class: int) -> int:
@@ -94,28 +132,28 @@ def _route_for(taken_class: int, transition_class: int) -> int:
     return LONG_PAS
 
 
-def design_variable_history_hybrid(
+def design_variable_history_hybrid_spec(
     profile: ProfileTable,
     grid,
     *,
     metric: str = "transition",
     pht_index_bits: int = 12,
-) -> tuple[ClassRoutedHybrid, HybridPlan]:
+) -> tuple[HybridSpec, HybridPlan]:
     """Per-branch history-length fitting via classes (paper §5.4 + [20]).
 
     Stark et al. profile the best history length per branch; the paper
-    suggests classes make that practical.  This builder reads the
+    suggests classes make that practical.  This designer reads the
     per-class optimal history lengths from a sweep's
     :class:`~repro.analysis.history_sweep.ClassMissGrid`, creates one
-    per-address component per distinct optimal length, and routes each
-    branch to the component matching its class's optimum.
+    per-address component spec per distinct optimal length, and routes
+    each branch to the component matching its class's optimum.
     """
     optimal = grid.optimal_history(metric)
     lengths = sorted({min(int(k), pht_index_bits) for k in optimal})
-    components = [
-        make_pas(k, pht_index_bits=pht_index_bits, bht_entries=1 << 12)
+    components = tuple(
+        TwoLevelSpec.pas(k, pht_index_bits=pht_index_bits, bht_entries=1 << 12)
         for k in lengths
-    ]
+    )
     slot_of_length = {k: i for i, k in enumerate(lengths)}
 
     routes: dict[int, int] = {}
@@ -126,13 +164,35 @@ def design_variable_history_hybrid(
         )
         routes[pc] = slot_of_length[min(int(optimal[cls]), pht_index_bits)]
 
-    hybrid = ClassRoutedHybrid(
-        components, routes, name=f"variable-history-hybrid-{metric}"
+    spec = HybridSpec(
+        components=components,
+        routes=tuple(routes.items()),
+        name=f"variable-history-hybrid-{metric}",
     )
-    plan = HybridPlan(routes=routes, component_names=tuple(c.name for c in components))
-    return hybrid, plan
+    plan = HybridPlan(routes=routes, component_names=_component_names(components))
+    return spec, plan
 
 
-def _profile_static_from_profile(profile: ProfileTable) -> ProfileStaticPredictor:
-    directions = {int(pc): profile[pc].taken_rate >= 0.5 for pc in profile}
-    return ProfileStaticPredictor(directions)
+def design_variable_history_hybrid(
+    profile: ProfileTable,
+    grid,
+    *,
+    metric: str = "transition",
+    pht_index_bits: int = 12,
+) -> tuple[ClassRoutedHybrid, HybridPlan]:
+    """Legacy entry point: :func:`design_variable_history_hybrid_spec`
+    plus :meth:`~repro.spec.PredictorSpec.build`."""
+    spec, plan = design_variable_history_hybrid_spec(
+        profile, grid, metric=metric, pht_index_bits=pht_index_bits
+    )
+    return spec.build(), plan
+
+
+def _component_names(components: tuple) -> tuple[str, ...]:
+    """Built-predictor names of the component specs (for reports)."""
+    return tuple(
+        component.name
+        if getattr(component, "name", None)
+        else component.build().name
+        for component in components
+    )

@@ -6,22 +6,31 @@
     python -m repro run fig3 [options]        # one table/figure
     python -m repro run all [options]         # everything, paper order
     python -m repro misclassification         # the headline §4.2 numbers
+    python -m repro specs                     # predictor spec schema
+    python -m repro simulate --spec S [opts]  # simulate a JSON spec
 
 Options: ``--scale`` (trace length multiplier), ``--inputs primary|all``
-(one input set per benchmark vs all 34), ``--no-cache``, ``--engine``.
+(one input set per benchmark vs all 34), ``--cache-dir``, ``--no-cache``,
+``--engine``.  ``--spec`` accepts inline JSON or a path to a JSON file;
+see ``docs/API.md`` for the spec schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .analysis.misclassification import misclassification_report
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .experiments import ExperimentContext, all_experiment_ids, get_experiment
+from .spec import PredictorSpec, spec_class, spec_from_json, spec_kinds
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +54,28 @@ def build_parser() -> argparse.ArgumentParser:
         "misclassification", help="print the section 4.2 headline numbers"
     )
     _add_context_options(mis)
+
+    sub.add_parser("specs", help="list predictor spec kinds and their fields")
+
+    sim = sub.add_parser(
+        "simulate", help="simulate a declarative predictor spec over the suite"
+    )
+    sim.add_argument(
+        "--spec",
+        required=True,
+        help="predictor spec: inline JSON or a path to a JSON file (see docs/API.md)",
+    )
+    sim.add_argument(
+        "--benchmark",
+        default=None,
+        help="restrict to one benchmark (e.g. compress); default: whole suite",
+    )
+    sim.add_argument(
+        "--show-plan",
+        action="store_true",
+        help="print the session execution plan before the results",
+    )
+    _add_context_options(sim)
     return parser
 
 
@@ -57,6 +88,11 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
         choices=("primary", "all"),
         default="primary",
         help="one input set per benchmark, or all 34 from Table 1",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"directory for the sweep cache (default {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="do not read/write the sweep cache"
@@ -73,9 +109,76 @@ def _context_from(args: argparse.Namespace) -> ExperimentContext:
     return ExperimentContext(
         inputs=args.inputs,
         scale=args.scale,
-        cache_dir=None if args.no_cache else ".repro-cache",
+        cache_dir=None if args.no_cache else args.cache_dir,
         engine=args.engine,
     )
+
+
+def _load_spec(text: str) -> PredictorSpec:
+    """Parse ``--spec``: inline JSON if it looks like an object, else a file."""
+    candidate = text.strip()
+    if candidate.startswith("{"):
+        return spec_from_json(candidate)
+    path = Path(candidate)
+    if not path.exists():
+        raise ConfigurationError(
+            f"spec file {candidate!r} not found (inline specs must start with '{{')"
+        )
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {candidate!r}: {exc}") from None
+    return spec_from_json(text)
+
+
+def _run_specs() -> int:
+    for kind in spec_kinds():
+        cls = spec_class(kind)
+        print(f"{kind}:")
+        for f in dataclasses.fields(cls):
+            if f.default is not dataclasses.MISSING:
+                default = f.default
+            elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                default = f.default_factory()  # type: ignore[misc]
+            else:
+                default = "<required>"
+            print(f"  {f.name} (default {default!r})")
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    context = _context_from(args)
+    traces = context.traces
+    if args.benchmark is not None:
+        traces = [t for t in traces if t.name.split("/", 1)[0] == args.benchmark]
+        if not traces:
+            known = sorted({t.name.split("/", 1)[0] for t in context.traces})
+            raise ConfigurationError(
+                f"no traces for benchmark {args.benchmark!r}; available: {known}"
+            )
+
+    session = context.session()
+    jobs = [session.submit(trace, spec) for trace in traces]
+    if args.show_plan:
+        print(session.plan().describe())
+        print()
+    results = session.run()
+
+    built_name = results[jobs[0]].predictor_name or spec.kind
+    print(f"predictor: {built_name} (kind {spec.kind}, {spec.storage_bits()} bits)")
+    total_execs = total_misses = 0
+    for job in jobs:
+        result = results[job]
+        total_execs += result.total_executions
+        total_misses += result.total_mispredictions
+        print(
+            f"{result.trace_name:24s} {result.miss_rate:8.4%}  "
+            f"({result.total_mispredictions}/{result.total_executions})"
+        )
+    if total_execs:
+        print(f"{'suite':24s} {total_misses / total_execs:8.4%}  ({total_misses}/{total_execs})")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -111,6 +214,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"misclassified (GAs view):    {report.gas_misclassified:.2f}% (paper 8.72%)")
             print(f"misclassified (PAs view):    {report.pas_misclassified:.2f}% (paper 9.29%)")
             return 0
+
+        if args.command == "specs":
+            return _run_specs()
+
+        if args.command == "simulate":
+            return _run_simulate(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

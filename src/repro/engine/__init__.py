@@ -31,12 +31,19 @@ Engine-selection guide (see ``docs/ENGINES.md`` for the full story):
 ``auto``
     Vectorized when supported, reference otherwise.  Sweep-level code
     additionally upgrades to the batched engine on ``"auto"``.
+
+Callers can pass either a stateful
+:class:`~repro.predictors.base.BranchPredictor` or a declarative
+:class:`~repro.spec.PredictorSpec` — specs are built on the way in.
+For many jobs at once, prefer :class:`repro.session.Session`, which
+plans spec jobs into batched invocations (see ``docs/API.md``).
 """
 
 from __future__ import annotations
 
 from ..errors import ConfigurationError
 from ..predictors.base import BranchPredictor
+from ..spec import PredictorSpec, build_predictor
 from ..trace.stream import Trace
 from .batched import (
     BatchedSweepResult,
@@ -70,7 +77,7 @@ __all__ = [
 
 
 def simulate(
-    predictor: BranchPredictor,
+    predictor: BranchPredictor | PredictorSpec,
     trace: Trace,
     *,
     engine: str = "auto",
@@ -80,7 +87,8 @@ def simulate(
     Parameters
     ----------
     predictor:
-        Any branch predictor.
+        Any branch predictor, or a declarative
+        :class:`~repro.spec.PredictorSpec` (built on entry).
     trace:
         Branch stream in program order.
     engine:
@@ -89,6 +97,7 @@ def simulate(
         single-predictor entry to the multi-config engine), or
         ``"reference"``.
     """
+    predictor = build_predictor(predictor)
     if engine == "auto":
         if supports_vectorized(predictor):
             return simulate_vectorized(predictor, trace)

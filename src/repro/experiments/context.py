@@ -10,6 +10,7 @@ sweep.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -19,13 +20,14 @@ from ..analysis.history_sweep import ClassMissGrid, SweepConfig, SweepResult, ru
 from ..classify.profile import ProfileTable
 from ..errors import ConfigurationError
 from ..predictors.paper_configs import HISTORY_LENGTHS
+from ..session import Session
 from ..trace.filters import merge_suite
 from ..trace.stream import Trace
 from ..workloads.synthetic.spec95 import suite_traces
 
 __all__ = ["ExperimentContext"]
 
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 
 
 class ExperimentContext:
@@ -112,12 +114,28 @@ class ExperimentContext:
     def _sweep_config(self) -> SweepConfig:
         return SweepConfig(history_lengths=self.history_lengths, engine=self.engine)
 
+    def session(self) -> Session:
+        """A :class:`~repro.session.Session` on this context's engine.
+
+        Experiment code that simulates ad-hoc spec jobs (beyond the
+        cached sweep) should route them through one of these so jobs on
+        the same trace share batched passes.
+        """
+        return Session(engine=self.engine)
+
     def _cache_path(self) -> Path | None:
         if self.cache_dir is None:
             return None
+        # The filename must key on the *full* history tuple: encoding
+        # only the endpoints made distinct non-contiguous sweeps (e.g.
+        # (0, 2, 4) vs (0, 1, 2, 3, 4)) collide on one file and thrash
+        # the cache.  Endpoints stay in the name for humans; the digest
+        # disambiguates.
+        lengths = ",".join(str(k) for k in self.history_lengths)
+        digest = hashlib.sha256(lengths.encode("ascii")).hexdigest()[:12]
         key = (
             f"sweep-v{_CACHE_VERSION}-{self.inputs}-s{self.scale:g}"
-            f"-h{self.history_lengths[0]}to{self.history_lengths[-1]}"
+            f"-h{self.history_lengths[0]}to{self.history_lengths[-1]}-{digest}"
         )
         return self.cache_dir / f"{key}.npz"
 

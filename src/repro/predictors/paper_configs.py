@@ -13,8 +13,13 @@ Section 3 of the paper fixes, for every history length k in 0..16:
 * **k = 0** — both degenerate to a single table of 2^17 2-bit counters
   indexed by 17 bits of branch address.
 
-These factories are what every experiment driver uses, so the index
-arithmetic matches the paper in one auditable place.
+The configurations are expressed as declarative
+:class:`~repro.spec.TwoLevelSpec` values (``paper_gas_spec`` /
+``paper_pas_spec`` / ``paper_spec``), so sweeps can be planned,
+serialized and batched by :class:`repro.session.Session`; the legacy
+``paper_gas`` / ``paper_pas`` / ``paper_predictor`` factories build the
+stateful predictors from those specs and remain the single auditable
+place where the index arithmetic matches the paper.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from __future__ import annotations
 import math
 
 from ..errors import ConfigurationError
+from ..spec import TwoLevelSpec
 from .twolevel import TwoLevelPredictor
 
 __all__ = [
@@ -30,6 +36,9 @@ __all__ = [
     "paper_gas",
     "paper_pas",
     "paper_predictor",
+    "paper_gas_spec",
+    "paper_pas_spec",
+    "paper_spec",
     "pas_bht_entries",
 ]
 
@@ -54,10 +63,10 @@ def pas_bht_entries(history_bits: int) -> int:
     return 1 << int(math.floor(math.log2((1 << 17) / history_bits)))
 
 
-def paper_gas(history_bits: int) -> TwoLevelPredictor:
-    """The paper's GAs configuration for history length ``history_bits``."""
+def paper_gas_spec(history_bits: int) -> TwoLevelSpec:
+    """Declarative spec of the paper's GAs at history length ``history_bits``."""
     _check_history(history_bits)
-    return TwoLevelPredictor(
+    return TwoLevelSpec(
         history_kind="global",
         history_bits=history_bits,
         pht_index_bits=_GAS_PHT_BITS,
@@ -67,15 +76,16 @@ def paper_gas(history_bits: int) -> TwoLevelPredictor:
     )
 
 
-def paper_pas(history_bits: int) -> TwoLevelPredictor:
-    """The paper's PAs configuration for history length ``history_bits``.
+def paper_pas_spec(history_bits: int) -> TwoLevelSpec:
+    """Declarative spec of the paper's PAs at history length ``history_bits``.
 
     History length 0 degenerates to the shared 2^17-counter bimodal
-    table (identical to ``paper_gas(0)``), as the paper specifies.
+    table (identical geometry to ``paper_gas_spec(0)``), as the paper
+    specifies.
     """
     _check_history(history_bits)
     if history_bits == 0:
-        return TwoLevelPredictor(
+        return TwoLevelSpec(
             history_kind="per-address",
             history_bits=0,
             pht_index_bits=_GAS_PHT_BITS,
@@ -83,7 +93,7 @@ def paper_pas(history_bits: int) -> TwoLevelPredictor:
             counter_bits=2,
             name="PAs-h0",
         )
-    return TwoLevelPredictor(
+    return TwoLevelSpec(
         history_kind="per-address",
         history_bits=history_bits,
         pht_index_bits=_PAS_PHT_BITS,
@@ -94,14 +104,29 @@ def paper_pas(history_bits: int) -> TwoLevelPredictor:
     )
 
 
-def paper_predictor(kind: str, history_bits: int) -> TwoLevelPredictor:
-    """Factory keyed by the paper's predictor names: ``"pas"`` or ``"gas"``."""
+def paper_spec(kind: str, history_bits: int) -> TwoLevelSpec:
+    """Spec factory keyed by the paper's predictor names: ``"pas"`` or ``"gas"``."""
     kind = kind.lower()
     if kind == "gas":
-        return paper_gas(history_bits)
+        return paper_gas_spec(history_bits)
     if kind == "pas":
-        return paper_pas(history_bits)
+        return paper_pas_spec(history_bits)
     raise ConfigurationError(f"unknown paper predictor kind {kind!r} (want 'pas' or 'gas')")
+
+
+def paper_gas(history_bits: int) -> TwoLevelPredictor:
+    """The paper's GAs configuration for history length ``history_bits``."""
+    return paper_gas_spec(history_bits).build()
+
+
+def paper_pas(history_bits: int) -> TwoLevelPredictor:
+    """The paper's PAs configuration for history length ``history_bits``."""
+    return paper_pas_spec(history_bits).build()
+
+
+def paper_predictor(kind: str, history_bits: int) -> TwoLevelPredictor:
+    """Factory keyed by the paper's predictor names: ``"pas"`` or ``"gas"``."""
+    return paper_spec(kind, history_bits).build()
 
 
 def _check_history(history_bits: int) -> None:

@@ -168,16 +168,19 @@ class TwoLevelPredictor(BranchPredictor):
         return self._global_history
 
 
+# The named family members are defined declaratively on
+# repro.spec.TwoLevelSpec (the single place that knows each member's
+# geometry and defaults); these factories build the stateful predictor
+# from those specs.
+
+
 def make_gas(history_bits: int, *, pht_index_bits: int = 17, counter_bits: int = 2) -> TwoLevelPredictor:
     """Global-history predictor with concatenated PC fill bits (paper's GAs)."""
-    return TwoLevelPredictor(
-        history_kind="global",
-        history_bits=history_bits,
-        pht_index_bits=pht_index_bits,
-        index_scheme="concat",
-        counter_bits=counter_bits,
-        name=f"GAs-h{history_bits}",
-    )
+    from ..spec import TwoLevelSpec
+
+    return TwoLevelSpec.gas(
+        history_bits, pht_index_bits=pht_index_bits, counter_bits=counter_bits
+    ).build()
 
 
 def make_pas(
@@ -188,41 +191,32 @@ def make_pas(
     counter_bits: int = 2,
 ) -> TwoLevelPredictor:
     """Per-address-history predictor with concatenated PC fill bits (paper's PAs)."""
-    return TwoLevelPredictor(
-        history_kind="per-address",
-        history_bits=history_bits,
+    from ..spec import TwoLevelSpec
+
+    return TwoLevelSpec.pas(
+        history_bits,
         pht_index_bits=pht_index_bits,
-        index_scheme="concat",
-        bht_entries=bht_entries if history_bits > 0 else None,
+        bht_entries=bht_entries,
         counter_bits=counter_bits,
-        name=f"PAs-h{history_bits}",
-    )
+    ).build()
 
 
 def make_gshare(history_bits: int, *, pht_index_bits: int | None = None, counter_bits: int = 2) -> TwoLevelPredictor:
     """McFarling's gshare: global history XORed with the branch address."""
-    if pht_index_bits is None:
-        pht_index_bits = max(history_bits, 1)
-    return TwoLevelPredictor(
-        history_kind="global",
-        history_bits=history_bits,
-        pht_index_bits=pht_index_bits,
-        index_scheme="xor",
-        counter_bits=counter_bits,
-        name=f"gshare-h{history_bits}",
-    )
+    from ..spec import TwoLevelSpec
+
+    return TwoLevelSpec.gshare(
+        history_bits, pht_index_bits=pht_index_bits, counter_bits=counter_bits
+    ).build()
 
 
 def make_gselect(history_bits: int, *, pht_index_bits: int, counter_bits: int = 2) -> TwoLevelPredictor:
     """gselect: global history concatenated with branch address bits."""
-    return TwoLevelPredictor(
-        history_kind="global",
-        history_bits=history_bits,
-        pht_index_bits=pht_index_bits,
-        index_scheme="concat",
-        counter_bits=counter_bits,
-        name=f"gselect-h{history_bits}",
-    )
+    from ..spec import TwoLevelSpec
+
+    return TwoLevelSpec.gselect(
+        history_bits, pht_index_bits=pht_index_bits, counter_bits=counter_bits
+    ).build()
 
 
 def make_pshare(
@@ -233,14 +227,11 @@ def make_pshare(
     counter_bits: int = 2,
 ) -> TwoLevelPredictor:
     """pshare: per-address history XORed with the branch address."""
-    if pht_index_bits is None:
-        pht_index_bits = max(history_bits, 1)
-    return TwoLevelPredictor(
-        history_kind="per-address",
-        history_bits=history_bits,
+    from ..spec import TwoLevelSpec
+
+    return TwoLevelSpec.pshare(
+        history_bits,
         pht_index_bits=pht_index_bits,
-        index_scheme="xor",
-        bht_entries=bht_entries if history_bits > 0 else None,
+        bht_entries=bht_entries,
         counter_bits=counter_bits,
-        name=f"pshare-h{history_bits}",
-    )
+    ).build()

@@ -1,0 +1,370 @@
+"""Unified simulation session: submit jobs, plan, batch, execute.
+
+Every consumer of the simulator used to hand-build stateful predictors
+and call :func:`repro.engine.simulate` one job at a time, so only the
+hard-coded paper sweep benefited from the batched multi-configuration
+engine.  :class:`Session` is the declarative front door that fixes
+that: callers submit ``(trace, spec)`` *jobs* (specs are the frozen
+:class:`~repro.spec.PredictorSpec` descriptions) and the session
+
+1. **deduplicates** — identical jobs (same trace, spec and engine
+   request) are simulated once and every duplicate handle receives the
+   shared result;
+2. **plans** — jobs on the same trace whose specs belong to the
+   two-level family are grouped into a *single*
+   :func:`~repro.engine.simulate_batched` invocation (shared history
+   windows, one PC encoding, stacked scans), while the remaining specs
+   route to the vectorized engine when supported and the reference
+   engine otherwise;
+3. **memoizes** — results are cached for the lifetime of the session,
+   so resubmitting a job after :meth:`Session.run` costs nothing.
+
+The plan is inspectable before execution (:meth:`Session.plan`), and
+results come back keyed by the job handles that :meth:`Session.submit`
+returned.  See ``docs/API.md`` for the lifecycle walk-through.
+
+Every routing decision preserves bit-exactness: the batched, vectorized
+and reference engines produce identical
+:class:`~repro.engine.results.SimulationResult` objects for the
+predictors they share, so the planner is free to pick the fastest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from .engine import simulate, simulate_batched
+from .engine.batched import DEFAULT_MAX_CHUNK_ELEMENTS
+from .engine.results import SimulationResult
+from .errors import ConfigurationError
+from .spec import (
+    AgreeSpec,
+    BimodalSpec,
+    HybridSpec,
+    PredictorSpec,
+    ProfileStaticSpec,
+    StaticSpec,
+    TournamentSpec,
+    TwoLevelSpec,
+)
+from .trace.stream import Trace
+
+__all__ = [
+    "SimulationJob",
+    "PlanEntry",
+    "PlannedBatch",
+    "SessionPlan",
+    "SessionResults",
+    "Session",
+    "batchable_spec",
+    "vectorizable_spec",
+]
+
+ENGINES = ("auto", "batched", "vectorized", "reference")
+
+# These spec-level capability predicates mirror the engines'
+# supports_batched/supports_vectorized so the planner can route without
+# building predictors.  When engine support widens, extend them too —
+# tests/test_session.py pins the two layers against each other over the
+# full spec catalogue, so drift fails loudly instead of silently
+# degrading jobs to the reference engine.
+
+#: Spec families the batched multi-configuration engine accepts.
+_BATCHABLE_SPECS = (TwoLevelSpec, BimodalSpec)
+
+
+def batchable_spec(spec: PredictorSpec) -> bool:
+    """True if ``spec`` can join a batched multi-configuration pass."""
+    return isinstance(spec, _BATCHABLE_SPECS)
+
+
+def vectorizable_spec(spec: PredictorSpec) -> bool:
+    """True if ``spec`` builds a predictor the vectorized engine supports.
+
+    Mirrors :func:`repro.engine.supports_vectorized` at the spec level,
+    so the planner can route without building anything.
+    """
+    if isinstance(spec, (TwoLevelSpec, BimodalSpec, AgreeSpec, StaticSpec, ProfileStaticSpec)):
+        return True
+    if isinstance(spec, TournamentSpec):
+        return vectorizable_spec(spec.first) and vectorizable_spec(spec.second)
+    if isinstance(spec, HybridSpec):
+        return all(vectorizable_spec(component) for component in spec.components)
+    return False
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class SimulationJob:
+    """Handle for one submitted ``(trace, spec)`` simulation request.
+
+    Jobs compare and hash by *identity* (each :meth:`Session.submit`
+    call returns a distinct handle, even for duplicate requests), so
+    they are cheap dictionary keys; the planner deduplicates the
+    underlying work separately, by spec equality.
+    """
+
+    index: int
+    trace: Trace
+    spec: PredictorSpec
+    engine: str
+
+
+@dataclass(frozen=True, slots=True)
+class PlanEntry:
+    """One unit of unique work: a spec plus every job it satisfies."""
+
+    spec: PredictorSpec
+    jobs: tuple[SimulationJob, ...]
+    cached: bool
+
+    @property
+    def duplicates(self) -> int:
+        """Jobs beyond the first that share this entry's result."""
+        return len(self.jobs) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedBatch:
+    """One engine invocation the session will make for one trace.
+
+    ``engine == "batched"`` means all entries run in a *single*
+    multi-configuration pass; other engines run one entry at a time.
+    """
+
+    engine: str
+    trace: Trace
+    entries: tuple[PlanEntry, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SessionPlan:
+    """The execution plan for a session's pending jobs."""
+
+    batches: tuple[PlannedBatch, ...]
+
+    @property
+    def num_jobs(self) -> int:
+        """Pending jobs covered by this plan (including duplicates)."""
+        return sum(len(e.jobs) for b in self.batches for e in b.entries)
+
+    @property
+    def num_unique(self) -> int:
+        """Distinct simulations the plan will reference (cached or not)."""
+        return sum(len(b.entries) for b in self.batches)
+
+    @property
+    def num_to_run(self) -> int:
+        """Simulations that actually execute (not satisfied by the memo)."""
+        return sum(1 for b in self.batches for e in b.entries if not e.cached)
+
+    def describe(self) -> str:
+        """Human-readable plan summary (used by ``repro simulate``)."""
+        lines = [
+            f"plan: {self.num_jobs} job(s) -> {self.num_unique} unique, "
+            f"{self.num_to_run} to run"
+        ]
+        for batch in self.batches:
+            label = batch.trace.name or f"<trace len={len(batch.trace)}>"
+            lines.append(f"  [{batch.engine}] {label}: {len(batch.entries)} config(s)")
+        return "\n".join(lines)
+
+
+class SessionResults(Mapping[SimulationJob, SimulationResult]):
+    """Results of one :meth:`Session.run`, keyed by job handle.
+
+    Also iterable in submission order via :meth:`items`, with an
+    :meth:`of` positional accessor for convenience.
+    """
+
+    __slots__ = ("_jobs", "_results")
+
+    def __init__(self, jobs: list[SimulationJob], results: dict[SimulationJob, SimulationResult]) -> None:
+        self._jobs = list(jobs)
+        self._results = results
+
+    def __getitem__(self, job: SimulationJob) -> SimulationResult:
+        return self._results[job]
+
+    def __iter__(self) -> Iterator[SimulationJob]:
+        return iter(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def of(self, index: int) -> SimulationResult:
+        """Result of the ``index``-th job in this run (submission order)."""
+        return self._results[self._jobs[index]]
+
+
+class Session:
+    """Facade that plans and executes many simulation jobs.
+
+    Parameters
+    ----------
+    engine:
+        Default engine request for submitted jobs.  ``"auto"`` lets the
+        planner choose (batched for two-level-family specs, vectorized
+        when supported, reference otherwise); ``"batched"``,
+        ``"vectorized"`` and ``"reference"`` force that engine.
+    max_chunk_elements:
+        Memory bound forwarded to the batched engine.
+
+    Lifecycle: :meth:`submit` any number of jobs, optionally inspect
+    :meth:`plan`, then :meth:`run` — which returns a
+    :class:`SessionResults` for the pending jobs and retains every
+    result in the session memo for later resubmissions.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: str = "auto",
+        max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
+    ) -> None:
+        if engine not in ENGINES:
+            raise ConfigurationError(f"engine {engine!r} not in {ENGINES}")
+        if max_chunk_elements < 1:
+            raise ConfigurationError("max_chunk_elements must be positive")
+        self.engine = engine
+        self.max_chunk_elements = max_chunk_elements
+        self._pending: list[SimulationJob] = []
+        self._submitted = 0
+        # Traces are grouped by identity (not content) so planning never
+        # pays an O(n) content hash per job; slot order is first-seen.
+        self._trace_slots: dict[int, int] = {}
+        self._traces: list[Trace] = []
+        self._memo: dict[tuple[int, PredictorSpec, str], SimulationResult] = {}
+
+    # -- job intake ---------------------------------------------------------
+
+    def submit(self, trace: Trace, spec: PredictorSpec, *, engine: str | None = None) -> SimulationJob:
+        """Queue one simulation request; returns its job handle."""
+        if not isinstance(trace, Trace):
+            raise ConfigurationError(f"expected a Trace, got {type(trace).__name__}")
+        if not isinstance(spec, PredictorSpec):
+            raise ConfigurationError(
+                f"expected a PredictorSpec, got {type(spec).__name__} "
+                "(build stateful predictors with repro.engine.simulate instead)"
+            )
+        requested = self.engine if engine is None else engine
+        if requested not in ENGINES:
+            raise ConfigurationError(f"engine {requested!r} not in {ENGINES}")
+        slot = self._trace_slots.get(id(trace))
+        if slot is None:
+            slot = len(self._traces)
+            self._trace_slots[id(trace)] = slot
+            self._traces.append(trace)
+        job = SimulationJob(self._submitted, trace, spec, requested)
+        self._submitted += 1
+        self._pending.append(job)
+        return job
+
+    def submit_many(
+        self,
+        jobs: Iterable[tuple[Trace, PredictorSpec]],
+        *,
+        engine: str | None = None,
+    ) -> list[SimulationJob]:
+        """Queue many ``(trace, spec)`` pairs; returns their handles in order."""
+        return [self.submit(trace, spec, engine=engine) for trace, spec in jobs]
+
+    # -- planning -----------------------------------------------------------
+
+    def _resolve_engine(self, job: SimulationJob) -> str:
+        if job.engine == "auto":
+            if batchable_spec(job.spec):
+                return "batched"
+            return "vectorized" if vectorizable_spec(job.spec) else "reference"
+        if job.engine == "batched" and not batchable_spec(job.spec):
+            raise ConfigurationError(
+                f"spec kind {job.spec.kind!r} cannot use the batched engine "
+                "(two-level family only)"
+            )
+        return job.engine
+
+    def _work_key(self, job: SimulationJob, engine: str) -> tuple[int, PredictorSpec, str]:
+        return (self._trace_slots[id(job.trace)], job.spec, engine)
+
+    def plan(self) -> SessionPlan:
+        """Group the pending jobs into engine invocations.
+
+        Jobs are grouped per trace (first-submission order); within a
+        trace, unique (spec, engine) work items are deduplicated, all
+        batched-engine items form one :class:`PlannedBatch`, and the
+        rest get per-engine batches executed one spec at a time.
+        """
+        # (trace slot, engine) -> {work key -> [jobs]}, insertion ordered.
+        grouped: dict[tuple[int, str], dict[tuple[int, PredictorSpec, str], list[SimulationJob]]] = {}
+        for job in self._pending:
+            engine = self._resolve_engine(job)
+            key = self._work_key(job, engine)
+            slot = key[0]
+            grouped.setdefault((slot, engine), {}).setdefault(key, []).append(job)
+
+        batches = []
+        for (slot, engine), entries in grouped.items():
+            batches.append(
+                PlannedBatch(
+                    engine=engine,
+                    trace=self._traces[slot],
+                    entries=tuple(
+                        PlanEntry(
+                            spec=key[1],
+                            jobs=tuple(jobs),
+                            cached=key in self._memo,
+                        )
+                        for key, jobs in entries.items()
+                    ),
+                )
+            )
+        return SessionPlan(batches=tuple(batches))
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> SessionResults:
+        """Execute the pending jobs and return their results.
+
+        Duplicate jobs share one simulation; work already in the
+        session memo is not recomputed.  After the call the pending
+        queue is empty, but the memo persists, so resubmitting any
+        job is free.
+        """
+        plan = self.plan()
+        for batch in plan.batches:
+            slot = self._trace_slots[id(batch.trace)]
+            fresh = [e for e in batch.entries if (slot, e.spec, batch.engine) not in self._memo]
+            if not fresh:
+                continue
+            if batch.engine == "batched":
+                # One multi-configuration pass covers every entry.
+                results = simulate_batched(
+                    [entry.spec.build() for entry in fresh],
+                    batch.trace,
+                    max_chunk_elements=self.max_chunk_elements,
+                )
+                for entry, result in zip(fresh, results):
+                    self._memo[(slot, entry.spec, batch.engine)] = result
+            else:
+                for entry in fresh:
+                    self._memo[(slot, entry.spec, batch.engine)] = simulate(
+                        entry.spec.build(), batch.trace, engine=batch.engine
+                    )
+
+        jobs = self._pending
+        self._pending = []
+        results = {
+            job: self._memo[self._work_key(job, self._resolve_engine(job))]
+            for job in jobs
+        }
+        return SessionResults(jobs, results)
+
+    def simulate(self, trace: Trace, spec: PredictorSpec, *, engine: str | None = None) -> SimulationResult:
+        """One-shot convenience: submit one job, run, return its result.
+
+        Pending jobs submitted earlier run in the same pass (they stay
+        planned together), so interleaving ``submit`` and ``simulate``
+        does not lose batching.
+        """
+        job = self.submit(trace, spec, engine=engine)
+        return self.run()[job]

@@ -27,6 +27,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig1", "--inputs", "bogus"])
 
+    def test_cache_dir_option(self):
+        args = build_parser().parse_args(["run", "fig3", "--cache-dir", "/tmp/my-cache"])
+        assert args.cache_dir == "/tmp/my-cache"
+
+    def test_cache_dir_default(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.cache_dir == ".repro-cache"
+
+    def test_simulate_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--spec", "{}", "--benchmark", "compress", "--show-plan"]
+        )
+        assert args.spec == "{}"
+        assert args.benchmark == "compress"
+        assert args.show_plan
+
 
 class TestMain:
     def test_list_prints_all(self, capsys):
@@ -59,3 +79,58 @@ class TestMain:
         out = capsys.readouterr().out
         assert "paper 62.90%" in out
         assert "paper 9.29%" in out
+
+    def test_cache_dir_threaded_through_context(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = tmp_path / "custom-cache"
+        assert main(["run", "fig1", "--scale", "0.01", "--cache-dir", str(cache)]) == 0
+        assert list(cache.glob("*.npz"))
+        assert not (tmp_path / ".repro-cache").exists()
+
+
+class TestSpecCommands:
+    def test_specs_lists_every_kind(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("two-level", "yags", "bimode", "filter", "dhlf", "tournament", "hybrid"):
+            assert f"{kind}:" in out
+        assert "history_kind" in out
+
+    def test_simulate_inline_spec(self, capsys):
+        spec = '{"kind": "two-level", "history_bits": 4, "pht_index_bits": 10, "index_scheme": "xor"}'
+        assert main(
+            ["simulate", "--spec", spec, "--scale", "0.005", "--benchmark",
+             "compress", "--no-cache", "--show-plan"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "[batched]" in out
+        assert "compress" in out
+        assert "suite" in out
+
+    def test_simulate_spec_from_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text('{"kind": "bimodal", "entries": 256}')
+        assert main(
+            ["simulate", "--spec", str(spec_file), "--scale", "0.005",
+             "--benchmark", "go", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bimodal" in out
+        assert "go/" in out
+
+    def test_simulate_missing_spec_file(self, capsys):
+        assert main(["simulate", "--spec", "/nonexistent/spec.json", "--no-cache"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_simulate_bad_spec_json(self, capsys):
+        assert main(["simulate", "--spec", '{"kind": "bogus"}', "--no-cache"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_simulate_unknown_benchmark(self, capsys):
+        spec = '{"kind": "bimodal", "entries": 256}'
+        assert main(
+            ["simulate", "--spec", spec, "--scale", "0.005", "--benchmark",
+             "doom", "--no-cache"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err

@@ -157,3 +157,42 @@ class TestContextCaching:
             inputs="primary", scale=0.02, history_lengths=(0, 4), cache_dir=tmp_path
         )
         assert b.sweep.grid("pas").history_lengths == (0, 4)
+
+    def test_cache_path_keys_on_full_history_tuple(self, tmp_path):
+        # Distinct non-contiguous sweeps share endpoints; encoding only
+        # history_lengths[0]/[-1] made them collide on one .npz file.
+        sparse = ExperimentContext(
+            inputs="primary", scale=0.02, history_lengths=(0, 2, 4), cache_dir=tmp_path
+        )
+        dense = ExperimentContext(
+            inputs="primary", scale=0.02, history_lengths=(0, 1, 2, 3, 4), cache_dir=tmp_path
+        )
+        assert sparse._cache_path() != dense._cache_path()
+        # Same tuple still maps to the same file (the cache still hits).
+        again = ExperimentContext(
+            inputs="primary", scale=0.02, history_lengths=(0, 2, 4), cache_dir=tmp_path
+        )
+        assert sparse._cache_path() == again._cache_path()
+
+    def test_colliding_sweeps_no_longer_thrash(self, tmp_path):
+        sparse = ExperimentContext(
+            inputs="primary", scale=0.02, history_lengths=(0, 4), cache_dir=tmp_path
+        )
+        _ = sparse.sweep
+        dense = ExperimentContext(
+            inputs="primary", scale=0.02, history_lengths=(0, 2, 4), cache_dir=tmp_path
+        )
+        _ = dense.sweep
+        # Both cache files coexist now; neither overwrote the other.
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        reloaded = ExperimentContext(
+            inputs="primary", scale=0.02, history_lengths=(0, 4), cache_dir=tmp_path
+        )
+        assert reloaded.sweep.grid("gas").history_lengths == (0, 4)
+
+
+class TestContextSession:
+    def test_session_uses_context_engine(self):
+        context = ExperimentContext(cache_dir=None, engine="reference")
+        session = context.session()
+        assert session.engine == "reference"

@@ -1,0 +1,232 @@
+"""Tests for the Session planning/batching facade (repro/session.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SweepConfig, run_sweep
+from repro.engine import simulate_reference, simulate_sweep
+from repro.errors import ConfigurationError
+from repro.predictors.paper_configs import HISTORY_LENGTHS, paper_spec
+from repro.session import Session, batchable_spec, vectorizable_spec
+from repro.spec import (
+    AgreeSpec,
+    BimodalSpec,
+    DhlfSpec,
+    HybridSpec,
+    StaticSpec,
+    TournamentSpec,
+    TwoLevelSpec,
+    YagsSpec,
+)
+from repro.trace import Trace
+
+
+def random_trace(n=800, seed=11, name="t"):
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, 96, size=n) * 4 + 0x2000
+    outcomes = rng.integers(0, 2, size=n)
+    return Trace(pcs, outcomes, name=name)
+
+
+PAPER_JOB_KEYS = [(kind, k) for kind in ("pas", "gas") for k in HISTORY_LENGTHS]
+
+
+class TestPlanning:
+    def test_full_sweep_plans_into_one_batched_invocation(self):
+        trace = random_trace()
+        session = Session()
+        for kind, k in PAPER_JOB_KEYS:
+            session.submit(trace, paper_spec(kind, k))
+        plan = session.plan()
+        assert plan.num_jobs == 34
+        assert plan.num_unique == 34
+        assert len(plan.batches) == 1
+        assert plan.batches[0].engine == "batched"
+        assert len(plan.batches[0].entries) == 34
+
+    def test_duplicate_jobs_deduplicated(self):
+        trace = random_trace()
+        session = Session()
+        a = session.submit(trace, TwoLevelSpec.gshare(6, pht_index_bits=8))
+        b = session.submit(trace, TwoLevelSpec.gshare(6, pht_index_bits=8))
+        assert a is not b  # distinct handles ...
+        plan = session.plan()
+        assert plan.num_jobs == 2
+        assert plan.num_unique == 1  # ... one simulation
+        results = session.run()
+        assert results[a] is results[b]
+
+    def test_mixed_specs_route_per_engine(self):
+        trace = random_trace()
+        session = Session()
+        session.submit(trace, TwoLevelSpec.gas(4))
+        session.submit(trace, BimodalSpec(entries=1 << 8))
+        session.submit(trace, AgreeSpec(history_bits=5, pht_index_bits=7, bias_entries=1 << 6))
+        session.submit(trace, YagsSpec(history_bits=5, cache_index_bits=5, choice_index_bits=6))
+        plan = session.plan()
+        engines = {b.engine: len(b.entries) for b in plan.batches}
+        assert engines == {"batched": 2, "vectorized": 1, "reference": 1}
+
+    def test_jobs_grouped_per_trace(self):
+        t1, t2 = random_trace(seed=1, name="a"), random_trace(seed=2, name="b")
+        session = Session()
+        session.submit(t1, TwoLevelSpec.gas(2))
+        session.submit(t2, TwoLevelSpec.gas(2))
+        session.submit(t1, TwoLevelSpec.gas(3))
+        plan = session.plan()
+        assert len(plan.batches) == 2  # one batched invocation per trace
+        by_trace = {b.trace.name: len(b.entries) for b in plan.batches}
+        assert by_trace == {"a": 2, "b": 1}
+
+    def test_forced_engine_respected(self):
+        trace = random_trace()
+        session = Session(engine="reference")
+        session.submit(trace, TwoLevelSpec.gas(2))
+        plan = session.plan()
+        assert plan.batches[0].engine == "reference"
+
+    def test_per_job_engine_overrides_default(self):
+        trace = random_trace()
+        session = Session()
+        session.submit(trace, TwoLevelSpec.gas(2), engine="vectorized")
+        assert session.plan().batches[0].engine == "vectorized"
+
+    def test_batched_engine_rejects_unsupported_spec(self):
+        session = Session(engine="batched")
+        session.submit(random_trace(), YagsSpec())
+        with pytest.raises(ConfigurationError):
+            session.plan()
+
+    def test_describe_mentions_batching(self):
+        session = Session()
+        session.submit(random_trace(), TwoLevelSpec.gas(2))
+        text = session.plan().describe()
+        assert "batched" in text
+        assert "1 job(s)" in text
+
+
+class TestExecution:
+    def test_sweep_results_bit_exact_with_run_sweep_engines(self):
+        """The acceptance check: 34 individual jobs == the legacy sweep."""
+        trace = random_trace(n=2000)
+        session = Session()
+        jobs = {key: session.submit(trace, paper_spec(*key)) for key in PAPER_JOB_KEYS}
+        results = session.run()
+
+        sweep = simulate_sweep(trace)
+        for key, job in jobs.items():
+            expected = sweep.result(*key)
+            got = results[job]
+            assert np.array_equal(got.pcs, expected.pcs)
+            assert np.array_equal(got.mispredictions, expected.mispredictions)
+            assert got.predictor_name == expected.predictor_name
+
+    @pytest.mark.parametrize("key", [("pas", 0), ("pas", 3), ("gas", 0), ("gas", 7)])
+    def test_session_matches_reference_engine(self, key):
+        trace = random_trace(n=600)
+        session = Session()
+        result = session.simulate(trace, paper_spec(*key))
+        expected = simulate_reference(paper_spec(*key).build(), trace)
+        assert np.array_equal(result.mispredictions, expected.mispredictions)
+
+    def test_run_sweep_through_session_matches_forced_engines(self):
+        trace = random_trace(n=1500, name="suite-trace")
+        lengths = tuple(range(0, 5))
+        auto = run_sweep([trace], SweepConfig(history_lengths=lengths, engine="auto"))
+        ref = run_sweep([trace], SweepConfig(history_lengths=lengths, engine="reference"))
+        for kind in ("pas", "gas"):
+            assert np.array_equal(
+                auto.grid(kind).taken_misses, ref.grid(kind).taken_misses
+            )
+            assert np.array_equal(
+                auto.grid(kind).joint_misses, ref.grid(kind).joint_misses
+            )
+
+    def test_memoization_across_runs(self):
+        trace = random_trace()
+        spec = TwoLevelSpec.gas(4)
+        session = Session()
+        first = session.simulate(trace, spec)
+        job = session.submit(trace, spec)
+        plan = session.plan()
+        assert plan.num_to_run == 0  # already in the memo
+        second = session.run()[job]
+        assert second is first
+
+    def test_results_in_submission_order(self):
+        trace = random_trace()
+        session = Session()
+        jobs = [session.submit(trace, TwoLevelSpec.gas(k)) for k in (1, 2, 3)]
+        results = session.run()
+        assert list(results) == jobs
+        assert results.of(1) is results[jobs[1]]
+        assert len(results) == 3
+
+    def test_vectorized_and_reference_agree_through_session(self):
+        trace = random_trace(n=500)
+        spec = AgreeSpec(history_bits=5, pht_index_bits=7, bias_entries=1 << 6)
+        vec = Session(engine="vectorized").simulate(trace, spec)
+        ref = Session(engine="reference").simulate(trace, spec)
+        assert np.array_equal(vec.mispredictions, ref.mispredictions)
+
+    def test_unsupported_spec_falls_back_to_reference(self):
+        trace = random_trace(n=300)
+        session = Session()
+        job = session.submit(trace, DhlfSpec(pht_index_bits=7, interval=64))
+        assert session.plan().batches[0].engine == "reference"
+        result = session.run()[job]
+        assert result.total_executions == 300
+
+
+class TestSubmitValidation:
+    def test_rejects_stateful_predictor(self):
+        session = Session()
+        with pytest.raises(ConfigurationError):
+            session.submit(random_trace(), TwoLevelSpec.gas(2).build())
+
+    def test_rejects_non_trace(self):
+        session = Session()
+        with pytest.raises(ConfigurationError):
+            session.submit([(1, 0)], TwoLevelSpec.gas(2))
+
+    def test_rejects_bad_engine(self):
+        with pytest.raises(ConfigurationError):
+            Session(engine="warp")
+        session = Session()
+        with pytest.raises(ConfigurationError):
+            session.submit(random_trace(), TwoLevelSpec.gas(2), engine="warp")
+
+    def test_submit_many(self):
+        trace = random_trace()
+        session = Session()
+        jobs = session.submit_many((trace, TwoLevelSpec.gas(k)) for k in range(3))
+        assert len(jobs) == 3
+        assert session.plan().num_unique == 3
+
+
+class TestSpecRouting:
+    def test_predicates_pinned_to_engine_capabilities(self):
+        # The planner's spec-level routing must agree with the engines'
+        # own capability checks for every family; widening one layer
+        # without the other silently degrades jobs to the reference
+        # engine, which this test turns into a loud failure.
+        from repro.engine import supports_batched, supports_vectorized
+        from test_spec import SPEC_CATALOGUE
+
+        for spec in SPEC_CATALOGUE:
+            predictor = spec.build()
+            assert batchable_spec(spec) == supports_batched(predictor), spec.kind
+            assert vectorizable_spec(spec) == supports_vectorized(predictor), spec.kind
+
+    def test_batchable(self):
+        assert batchable_spec(TwoLevelSpec.gas(2))
+        assert batchable_spec(BimodalSpec(entries=1 << 8))
+        assert not batchable_spec(YagsSpec())
+
+    def test_vectorizable_recurses_components(self):
+        good = TournamentSpec(first=BimodalSpec(entries=1 << 8), second=TwoLevelSpec.gshare(5))
+        assert vectorizable_spec(good)
+        bad = TournamentSpec(first=BimodalSpec(entries=1 << 8), second=YagsSpec())
+        assert not vectorizable_spec(bad)
+        hybrid = HybridSpec(components=(StaticSpec(), DhlfSpec()), routes=())
+        assert not vectorizable_spec(hybrid)
