@@ -1,0 +1,33 @@
+"""Pipeline benchmarks: cold vs warm ``run all`` through the artifact DAG.
+
+``cold`` plans and executes every artifact of all 17 experiments into a
+fresh store — the full price of one reproduction.  ``warm`` repeats the
+run against the populated store, measuring pure pipeline overhead
+(planning, cache probing, loading the 17 render leaves): the
+reuse-over-recompute headroom the DAG buys.
+"""
+
+from conftest import BENCH_INPUTS, BENCH_SCALE
+
+from repro.experiments import ExperimentContext, all_experiment_ids
+
+
+def _run_all(cache_dir) -> None:
+    context = ExperimentContext(
+        inputs=BENCH_INPUTS, scale=BENCH_SCALE, cache_dir=cache_dir
+    )
+    report = context.pipeline.run_experiments(all_experiment_ids())
+    assert report.ok, report.failures
+
+
+def test_run_all_cold(benchmark, tmp_path_factory):
+    def fresh_store():
+        return (tmp_path_factory.mktemp("pipeline-cold"),), {}
+
+    benchmark.pedantic(_run_all, setup=fresh_store, rounds=3, iterations=1)
+
+
+def test_run_all_warm(benchmark, tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("pipeline-warm")
+    _run_all(store_dir)  # populate once
+    benchmark(_run_all, store_dir)

@@ -10,12 +10,16 @@ identified as cheap.
 Run:  python examples/classify_spec95.py
 """
 
+import os
+
 from repro import ProfileTable, merge_suite, misclassification_report
 from repro.report import ascii_table
 from repro.workloads.synthetic import suite_traces
 
 # One input set per benchmark at reduced scale (see Table 1 in the paper).
-traces = suite_traces(inputs="primary", scale=0.5)
+# REPRO_EXAMPLE_SCALE shrinks the run further (CI smoke uses a tiny value).
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
+traces = suite_traces(inputs="primary", scale=SCALE)
 print("generated:")
 for trace in traces:
     print(f"  {trace.name:25s} {len(trace):>8,} dynamic branches")

@@ -12,6 +12,8 @@ Shows the paper's three applications of joint classification:
 Run:  python examples/confidence_and_dualpath.py
 """
 
+import os
+
 import numpy as np
 
 from repro import ProfileTable
@@ -29,7 +31,8 @@ from repro.workloads.synthetic import SPEC95_INPUTS, input_trace
 go = next(i for i in SPEC95_INPUTS if i.benchmark == "go")
 ijpeg = next(i for i in SPEC95_INPUTS if i.benchmark == "ijpeg")
 
-trace = input_trace(go, scale=0.5)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
+trace = input_trace(go, scale=SCALE)
 profile = ProfileTable.from_trace(trace)
 print(f"workload: {trace.name} - {len(trace):,} dynamic branches\n")
 
@@ -63,7 +66,7 @@ print("its confidence comes straight from the taken/transition class.\n")
 # --- 2. dual-path feasibility (Figure 15's question) ------------------------
 print("dual-path feasibility:")
 for input_set in (go, ijpeg):
-    bench_trace = input_trace(input_set, scale=1.0)
+    bench_trace = input_trace(input_set, scale=2 * SCALE)
     assessment = assess_dual_path(bench_trace)
     fractions = assessment.distances.fractions
     print(

@@ -8,12 +8,15 @@ similar budget.
 Run:  python examples/hybrid_design.py
 """
 
+import os
+
 from repro import ProfileTable, design_hybrid, simulate_reference
 from repro.predictors import TournamentPredictor, make_gas, make_gshare, make_pas
 from repro.workloads.synthetic import SPEC95_INPUTS, input_trace
 
 gcc = next(i for i in SPEC95_INPUTS if i.input_name == "cccp.i")
-trace = input_trace(gcc, scale=0.5)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
+trace = input_trace(gcc, scale=SCALE)
 profile = ProfileTable.from_trace(trace)
 print(f"workload: {trace.name} - {len(trace):,} dynamic, {len(profile)} static branches\n")
 

@@ -20,6 +20,8 @@ The package layers, bottom to top:
 * :mod:`repro.classify` — the 11-band taken/transition classification.
 * :mod:`repro.analysis` — history sweeps, misclassification accounting,
   distance distributions, confidence, predication/dual-path advisors.
+* :mod:`repro.pipeline` — the declarative experiment pipeline: typed
+  artifact DAG, content-addressed store, planner, parallel executor.
 * :mod:`repro.experiments` — one runner per paper table/figure.
 * :mod:`repro.report` — plain-text tables, colormaps, line plots.
 
@@ -129,6 +131,14 @@ from .analysis import (
     misclassification_report,
     run_sweep,
 )
+from .pipeline import (
+    ArtifactStore,
+    ExecutionReport,
+    Pipeline,
+    PipelineConfig,
+    Plan,
+    Planner,
+)
 from .experiments import ExperimentContext, run_experiment
 
 __version__ = "1.0.0"
@@ -230,6 +240,13 @@ __all__ = [
     "hard_branch_distances",
     "evaluate_confidence",
     "design_hybrid",
+    # pipeline
+    "ArtifactStore",
+    "ExecutionReport",
+    "Pipeline",
+    "PipelineConfig",
+    "Plan",
+    "Planner",
     # experiments
     "ExperimentContext",
     "run_experiment",

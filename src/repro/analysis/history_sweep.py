@@ -29,7 +29,15 @@ from ..predictors.paper_configs import HISTORY_LENGTHS, paper_spec
 from ..session import Session
 from ..trace.stream import Trace
 
-__all__ = ["SweepConfig", "ClassMissGrid", "SweepResult", "run_sweep"]
+__all__ = [
+    "SweepConfig",
+    "ClassMissGrid",
+    "SweepResult",
+    "TraceSweep",
+    "sweep_trace",
+    "accumulate_sweep",
+    "run_sweep",
+]
 
 PREDICTOR_KINDS = ("pas", "gas")
 METRICS = ("taken", "transition")
@@ -163,15 +171,78 @@ class SweepResult:
             raise ConfigurationError(f"sweep did not include predictor {kind!r}") from None
 
 
-def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> SweepResult:
-    """Run the full history sweep over a set of benchmark traces.
+@dataclass
+class TraceSweep:
+    """One trace's raw contribution to a suite-level sweep.
 
-    All (kind, history length) configurations of a trace are submitted
-    to one :class:`~repro.session.Session` as spec jobs; the session
-    planner groups them into a single batched-engine invocation per
-    trace (or forces the configured engine per job).
+    Grids hold per-(history, class) execution/miss counts exactly as in
+    :class:`SweepResult`; the ``*_counts`` arrays are dynamic-weighted
+    class occurrence counts (*not* normalized — divide by the suite's
+    ``total_dynamic`` after accumulation).  This is the unit of work the
+    experiment pipeline schedules per trace; :func:`run_sweep` is the
+    in-process accumulation of these parts in trace order.
+    """
+
+    trace_name: str
+    grids: dict[str, ClassMissGrid]
+    taken_counts: np.ndarray
+    transition_counts: np.ndarray
+    joint_counts: np.ndarray
+    total_dynamic: int
+
+
+def sweep_trace(trace: Trace, config: SweepConfig | None = None) -> TraceSweep:
+    """Sweep one trace over every (kind, history length) configuration.
+
+    All configurations are submitted to one
+    :class:`~repro.session.Session` as spec jobs; with ``"auto"``/
+    ``"batched"`` the planner collapses them into a single batched
+    multi-config pass (``"vectorized"``/``"reference"`` force
+    per-configuration simulation; the counts are bit-identical).
     """
     config = config or SweepConfig()
+    part = TraceSweep(
+        trace_name=trace.name,
+        grids={
+            kind: ClassMissGrid(history_lengths=config.history_lengths)
+            for kind in config.predictor_kinds
+        },
+        taken_counts=np.zeros(NUM_CLASSES, dtype=np.float64),
+        transition_counts=np.zeros(NUM_CLASSES, dtype=np.float64),
+        joint_counts=np.zeros((NUM_CLASSES, NUM_CLASSES), dtype=np.float64),
+        total_dynamic=0,
+    )
+    if len(trace) == 0:
+        return part
+
+    profile = ProfileTable.from_trace(trace)
+    part.total_dynamic = profile.total_dynamic
+    part.taken_counts += np.bincount(
+        profile.taken_classes, weights=profile.executions, minlength=NUM_CLASSES
+    )
+    part.transition_counts += np.bincount(
+        profile.transition_classes, weights=profile.executions, minlength=NUM_CLASSES
+    )
+    np.add.at(
+        part.joint_counts,
+        (profile.transition_classes, profile.taken_classes),
+        profile.executions.astype(np.float64),
+    )
+
+    session = Session(engine=config.engine)
+    jobs = [
+        (kind, row, session.submit(trace, paper_spec(kind, k)))
+        for kind in config.predictor_kinds
+        for row, k in enumerate(config.history_lengths)
+    ]
+    results = session.run()
+    for kind, row, job in jobs:
+        _accumulate_row(part.grids[kind], row, profile, results[job])
+    return part
+
+
+def accumulate_sweep(parts: Sequence[TraceSweep], config: SweepConfig) -> SweepResult:
+    """Combine per-trace sweep parts (in the given order) into a suite result."""
     grids = {
         kind: ClassMissGrid(history_lengths=config.history_lengths)
         for kind in config.predictor_kinds
@@ -180,38 +251,13 @@ def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> Swe
     transition_dist = np.zeros(NUM_CLASSES, dtype=np.float64)
     joint_dist = np.zeros((NUM_CLASSES, NUM_CLASSES), dtype=np.float64)
     total_dynamic = 0
-
-    for trace in traces:
-        if len(trace) == 0:
-            continue
-        profile = ProfileTable.from_trace(trace)
-        total_dynamic += profile.total_dynamic
-        taken_dist += np.bincount(
-            profile.taken_classes, weights=profile.executions, minlength=NUM_CLASSES
-        )
-        transition_dist += np.bincount(
-            profile.transition_classes, weights=profile.executions, minlength=NUM_CLASSES
-        )
-        np.add.at(
-            joint_dist,
-            (profile.transition_classes, profile.taken_classes),
-            profile.executions.astype(np.float64),
-        )
-
-        # One session per trace: "auto"/"batched" collapse the trace's
-        # whole (kind, history length) grid into one batched pass, and
-        # the session memo (34 per-PC result columns) is dropped as
-        # soon as the rows are accumulated instead of pinning every
-        # trace's results until the suite finishes.
-        session = Session(engine=config.engine)
-        jobs = [
-            (kind, row, session.submit(trace, paper_spec(kind, k)))
-            for kind in config.predictor_kinds
-            for row, k in enumerate(config.history_lengths)
-        ]
-        results = session.run()
-        for kind, row, job in jobs:
-            _accumulate_row(grids[kind], row, profile, results[job])
+    for part in parts:
+        for kind in config.predictor_kinds:
+            grids[kind].accumulate(part.grids[kind])
+        taken_dist += part.taken_counts
+        transition_dist += part.transition_counts
+        joint_dist += part.joint_counts
+        total_dynamic += part.total_dynamic
 
     if total_dynamic:
         taken_dist /= total_dynamic
@@ -226,6 +272,19 @@ def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> Swe
         joint_distribution=joint_dist,
         total_dynamic=total_dynamic,
     )
+
+
+def run_sweep(traces: Sequence[Trace], config: SweepConfig | None = None) -> SweepResult:
+    """Run the full history sweep over a set of benchmark traces.
+
+    Each trace is swept independently (:func:`sweep_trace`: one session
+    per trace, so the memo's per-PC result columns are dropped as soon
+    as the rows are accumulated) and the parts are combined in trace
+    order — the same decomposition the experiment pipeline executes as
+    explicit per-trace artifacts, possibly in parallel.
+    """
+    config = config or SweepConfig()
+    return accumulate_sweep([sweep_trace(trace, config) for trace in traces], config)
 
 
 def _accumulate_row(grid: ClassMissGrid, row: int, profile: ProfileTable, result) -> None:

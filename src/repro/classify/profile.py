@@ -48,6 +48,7 @@ class ProfileTable(Mapping[int, BranchProfile]):
     """Per-PC taken/transition classification of a whole trace."""
 
     __slots__ = (
+        "stats",
         "_pcs",
         "_executions",
         "_taken_rates",
@@ -59,6 +60,11 @@ class ProfileTable(Mapping[int, BranchProfile]):
     )
 
     def __init__(self, stats: TraceStats) -> None:
+        #: The raw per-PC counts this profile was classified from.  Kept
+        #: so the profile can be serialized exactly (the experiment
+        #: pipeline's artifact store round-trips the integer counts, not
+        #: the derived float rates).
+        self.stats = stats
         self._pcs = stats.pcs
         self._executions = stats.executions
         self._taken_rates = stats.taken_rates()

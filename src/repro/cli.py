@@ -4,15 +4,27 @@
 
     python -m repro list                      # experiments available
     python -m repro run fig3 [options]        # one table/figure
-    python -m repro run all [options]         # everything, paper order
+    python -m repro run all --jobs 4          # everything, paper order,
+                                              #   parallel artifact DAG
+    python -m repro plan fig5                 # print the artifact DAG
+    python -m repro plan all                  # (shared nodes deduped)
+    python -m repro artifacts list            # what the store holds
+    python -m repro artifacts gc              # drop unreachable objects
     python -m repro misclassification         # the headline §4.2 numbers
     python -m repro specs                     # predictor spec schema
     python -m repro simulate --spec S [opts]  # simulate a JSON spec
 
+Experiments run through the artifact pipeline (see ``docs/API.md``,
+*Pipeline & artifacts*): expensive artifacts are content-addressed in
+the ``--cache-dir`` store and shared across tables/figures, ``--jobs N``
+fans independent artifacts out over worker processes, and ``run all``
+runs every experiment even when some fail, summarizing pass/fail at the
+end (non-zero exit only then).
+
 Options: ``--scale`` (trace length multiplier), ``--inputs primary|all``
 (one input set per benchmark vs all 34), ``--cache-dir``, ``--no-cache``,
-``--engine``.  ``--spec`` accepts inline JSON or a path to a JSON file;
-see ``docs/API.md`` for the spec schema.
+``--engine``, ``--jobs``.  ``--spec`` accepts inline JSON or a path to a
+JSON file; see ``docs/API.md`` for the spec schema.
 """
 
 from __future__ import annotations
@@ -23,7 +35,6 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from .analysis.misclassification import misclassification_report
 from .errors import ConfigurationError, ReproError
 from .experiments import ExperimentContext, all_experiment_ids, get_experiment
 from .spec import PredictorSpec, spec_class, spec_from_json, spec_kinds
@@ -49,6 +60,35 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id (e.g. fig3, table2) or 'all'")
     _add_context_options(run)
+
+    plan = sub.add_parser(
+        "plan", help="print the artifact DAG for an experiment (or 'all')"
+    )
+    plan.add_argument("experiment", help="experiment id (e.g. fig3, table2) or 'all'")
+    _add_context_options(plan)
+
+    artifacts = sub.add_parser(
+        "artifacts", help="inspect or garbage-collect the artifact store"
+    )
+    artifacts_sub = artifacts.add_subparsers(dest="artifacts_command", required=True)
+    art_list = artifacts_sub.add_parser(
+        "list", help="list stored artifacts (manifest order, newest first)"
+    )
+    _add_context_options(art_list)
+    art_gc = artifacts_sub.add_parser(
+        "gc",
+        help=(
+            "delete objects the current configuration's full DAG cannot "
+            "reach — pass the SAME --scale/--inputs you run with, or "
+            "that configuration's warm artifacts are collected too"
+        ),
+    )
+    art_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    _add_context_options(art_gc)
 
     mis = sub.add_parser(
         "misclassification", help="print the section 4.2 headline numbers"
@@ -92,16 +132,22 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
-        help=f"directory for the sweep cache (default {DEFAULT_CACHE_DIR})",
+        help=f"directory for the artifact store (default {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
-        "--no-cache", action="store_true", help="do not read/write the sweep cache"
+        "--no-cache", action="store_true", help="do not read/write the artifact store"
     )
     parser.add_argument(
         "--engine",
         choices=("auto", "batched", "vectorized", "reference"),
         default="auto",
         help="simulation engine (default auto; see docs/ENGINES.md)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent artifacts (default 1)",
     )
 
 
@@ -111,6 +157,7 @@ def _context_from(args: argparse.Namespace) -> ExperimentContext:
         scale=args.scale,
         cache_dir=None if args.no_cache else args.cache_dir,
         engine=args.engine,
+        jobs=args.jobs,
     )
 
 
@@ -129,6 +176,95 @@ def _load_spec(text: str) -> PredictorSpec:
     except OSError as exc:
         raise ConfigurationError(f"cannot read spec file {candidate!r}: {exc}") from None
     return spec_from_json(text)
+
+
+def _experiment_ids(selector: str) -> list[str]:
+    """Resolve 'all' or a single id (validating it exists)."""
+    if selector == "all":
+        return all_experiment_ids()
+    return [get_experiment(selector).experiment_id]
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    context = _context_from(args)
+    ids = _experiment_ids(args.experiment)
+
+    # One experiment per pipeline call, so output streams as results
+    # land: shared artifacts (the sweep) are computed once by whichever
+    # experiment needs them first and served from the store/memo after,
+    # and a failed shared artifact fails fast on the rest (the executor
+    # remembers broken addresses) instead of recomputing per figure.
+    passed: list[str] = []
+    failed: list[str] = []
+    for experiment_id in ids:
+        report = context.pipeline.run_experiments([experiment_id])
+        key = f"render:{experiment_id}"
+        if key in report.values:
+            result = report.values[key]
+            print(result.rendered)
+            if result.paper_note:
+                print(f"[paper] {result.paper_note}")
+            print(flush=True)
+            passed.append(experiment_id)
+        else:
+            failed.append(experiment_id)
+            causes = "; ".join(f.summary() for f in report.failures)
+            print(
+                f"error: {experiment_id}: {causes or 'upstream artifact failed'}",
+                file=sys.stderr,
+            )
+    if len(ids) > 1:
+        status = "ok" if not failed else "FAILED"
+        print(
+            f"run all: {len(passed)}/{len(ids)} experiments succeeded [{status}]"
+            + (f" — failed: {', '.join(failed)}" if failed else "")
+        )
+    return 0 if not failed else 1
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    context = _context_from(args)
+    ids = _experiment_ids(args.experiment)
+    print(context.pipeline.plan_experiments(ids).describe())
+    return 0
+
+
+def _run_artifacts(args: argparse.Namespace) -> int:
+    context = _context_from(args)
+    store = context.store
+    if store.root is None:
+        print("artifact store is disabled (--no-cache)", file=sys.stderr)
+        return 1
+
+    if args.artifacts_command == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"artifact store at {store.root} is empty")
+            return 0
+        print(f"artifact store at {store.root}: {len(entries)} object(s)")
+        for entry in entries:
+            # Tolerate schema drift (records from other store versions,
+            # hand-edits): show what is there instead of crashing.
+            size = entry.get("bytes")
+            print(
+                f"  {entry.digest[:12]}  {entry.get('kind', '?'):18s} "
+                f"{entry.get('key', '?'):28s} "
+                f"{size if isinstance(size, int) else 0:>10,} B  "
+                f"{entry.get('created', '?')}"
+            )
+        return 0
+
+    config = context.config
+    live = context.pipeline.planner.live_digests(store)
+    removed, reclaimed = store.gc(live, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"gc: keeping artifacts reachable at inputs={config.inputs} "
+        f"scale={config.scale:g} histories={config.history_lengths[0]}"
+        f"..{config.history_lengths[-1]}"
+    )
+    print(f"gc: {verb} {removed} object(s), {reclaimed:,} B")
+    return 0
 
 
 def _run_specs() -> int:
@@ -192,22 +328,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
 
         if args.command == "run":
-            context = _context_from(args)
-            ids = all_experiment_ids() if args.experiment == "all" else [args.experiment]
-            for experiment_id in ids:
-                result = get_experiment(experiment_id).run(context)
-                print(result.rendered)
-                if result.paper_note:
-                    print(f"[paper] {result.paper_note}")
-                print()
-            return 0
+            return _run_experiments(args)
+
+        if args.command == "plan":
+            return _run_plan(args)
+
+        if args.command == "artifacts":
+            return _run_artifacts(args)
 
         if args.command == "misclassification":
-            context = _context_from(args)
-            report = misclassification_report(
-                context.sweep.taken_distribution,
-                context.sweep.transition_distribution,
-            )
+            report = _context_from(args).misclassification()
             print(f"taken-rate identified:       {report.taken_identified:.2f}% (paper 62.90%)")
             print(f"transition identified (GAs): {report.gas_transition_identified:.2f}% (paper 71.62%)")
             print(f"transition identified (PAs): {report.pas_transition_identified:.2f}% (paper 72.19%)")

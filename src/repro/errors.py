@@ -50,3 +50,7 @@ class ClassificationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner failed or was asked for an unknown id."""
+
+
+class PipelineError(ReproError):
+    """The experiment pipeline failed to plan or execute an artifact."""

@@ -1,8 +1,14 @@
 """Experiment runners: one per table/figure in the paper's evaluation."""
 
-from .base import Experiment, ExperimentResult
+from .base import Experiment, ExperimentResult, artifact_inputs
 from .context import ExperimentContext
-from .registry import EXPERIMENTS, all_experiment_ids, get_experiment, run_experiment
+from .registry import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    default_context,
+    get_experiment,
+    run_experiment,
+)
 
 __all__ = [
     "Experiment",
@@ -10,6 +16,8 @@ __all__ = [
     "ExperimentContext",
     "EXPERIMENTS",
     "all_experiment_ids",
+    "artifact_inputs",
+    "default_context",
     "get_experiment",
     "run_experiment",
 ]

@@ -1,10 +1,21 @@
 """Experiment abstractions.
 
 An *experiment* regenerates exactly one table or figure of the paper.
-Each runner takes the shared :class:`~repro.experiments.context.ExperimentContext`
-and returns an :class:`ExperimentResult` carrying both machine-readable
-data (for tests and EXPERIMENTS.md comparisons) and a rendered
-plain-text artefact (the table/plot itself).
+Each runner declares the pipeline artifacts it consumes with
+:func:`artifact_inputs` and receives an object exposing them
+(:class:`~repro.pipeline.artifacts.ArtifactView` when run by the
+pipeline executor, or the
+:class:`~repro.experiments.context.ExperimentContext` facade — both
+present the same attributes: ``traces``, ``profiles``,
+``merged_profile``, ``sweep``, ``scale``, ``history_lengths``,
+``session()``).  It returns an :class:`ExperimentResult` carrying both
+machine-readable data (for tests and EXPERIMENTS.md comparisons) and a
+rendered plain-text artefact (the table/plot itself).
+
+The declared inputs are what the
+:class:`~repro.pipeline.planner.Planner` wires into the experiment's
+render node, so shared artifacts (the PAs/GAs sweep behind fig3–fig14
+and table2) appear once in any multi-experiment plan.
 """
 
 from __future__ import annotations
@@ -13,9 +24,38 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import ExperimentError
-from .context import ExperimentContext
 
-__all__ = ["Experiment", "ExperimentResult"]
+__all__ = ["Experiment", "ExperimentResult", "artifact_inputs"]
+
+#: Artifact roles a runner may declare (planner wiring in
+#: :meth:`repro.pipeline.planner.Planner._render_deps`).
+ARTIFACT_ROLES = ("traces", "profiles", "merged_profile", "sweep", "misclassification")
+
+
+def artifact_inputs(*roles: str) -> Callable:
+    """Declare which pipeline artifacts an experiment runner consumes.
+
+    ::
+
+        @artifact_inputs("sweep")
+        def run_fig3(context): ...
+
+    An undeclared artifact accessed at run time raises
+    :class:`~repro.errors.PipelineError` instead of silently computing.
+    Runners with no declaration (``@artifact_inputs()``) depend only on
+    the plan configuration (e.g. table1 prints scaled trace lengths).
+    """
+    for role in roles:
+        if role not in ARTIFACT_ROLES:
+            raise ExperimentError(
+                f"unknown artifact role {role!r}; expected one of {ARTIFACT_ROLES}"
+            )
+
+    def decorate(runner: Callable) -> Callable:
+        runner.requires = tuple(roles)
+        return runner
+
+    return decorate
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,11 +79,27 @@ class Experiment:
     experiment_id: str
     title: str
     paper_artifact: str
-    runner: Callable[[ExperimentContext], ExperimentResult]
+    runner: Callable
+    requires: tuple[str, ...] = ()
 
-    def run(self, context: ExperimentContext) -> ExperimentResult:
-        """Execute the experiment against a context."""
-        result = self.runner(context)
+    def run(self, context) -> ExperimentResult:
+        """Execute the experiment.
+
+        Registered experiments route through the context's pipeline, so
+        the render artifact is content-addressed like everything else
+        and a warm store returns the stored rendering without
+        recomputing (or even loading the sweep grids).  An
+        :class:`Experiment` constructed outside the registry (a custom
+        runner under a registered id, say) cannot be resolved by the
+        pipeline's render node, so it executes its own runner directly.
+        """
+        from .registry import EXPERIMENTS  # runtime import: avoid cycle
+
+        render = getattr(context, "render", None)
+        if render is not None and EXPERIMENTS.get(self.experiment_id) is self:
+            result = render(self.experiment_id)
+        else:
+            result = self.runner(context)
         if result.experiment_id != self.experiment_id:
             raise ExperimentError(
                 f"runner for {self.experiment_id} returned result for "

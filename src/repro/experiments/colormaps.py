@@ -6,8 +6,7 @@ import numpy as np
 
 from ..classify.classes import NUM_CLASSES
 from ..report.colormap import ascii_colormap
-from .base import ExperimentResult
-from .context import ExperimentContext
+from .base import ExperimentResult, artifact_inputs
 
 __all__ = [
     "run_fig5",
@@ -27,7 +26,7 @@ _FIG_TO_GRID = {
 
 
 def _class_history_colormap(
-    experiment_id: str, context: ExperimentContext, paper_note: str
+    experiment_id: str, context, paper_note: str
 ) -> ExperimentResult:
     kind, metric = _FIG_TO_GRID[experiment_id]
     grid = context.sweep.grid(kind)
@@ -56,7 +55,8 @@ def _class_history_colormap(
     )
 
 
-def run_fig5(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig5(context) -> ExperimentResult:
     """Figure 5: PAs miss rates by taken class × history length."""
     return _class_history_colormap(
         "fig5", context,
@@ -64,7 +64,8 @@ def run_fig5(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig6(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig6(context) -> ExperimentResult:
     """Figure 6: PAs miss rates by transition class × history length."""
     return _class_history_colormap(
         "fig6", context,
@@ -72,7 +73,8 @@ def run_fig6(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig7(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig7(context) -> ExperimentResult:
     """Figure 7: GAs miss rates by taken class × history length."""
     return _class_history_colormap(
         "fig7", context,
@@ -80,7 +82,8 @@ def run_fig7(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig8(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig8(context) -> ExperimentResult:
     """Figure 8: GAs miss rates by transition class × history length."""
     return _class_history_colormap(
         "fig8", context,
@@ -89,7 +92,7 @@ def run_fig8(context: ExperimentContext) -> ExperimentResult:
 
 
 def _joint_colormap(
-    experiment_id: str, kind: str, context: ExperimentContext, paper_note: str
+    experiment_id: str, kind: str, context, paper_note: str
 ) -> ExperimentResult:
     grid = context.sweep.grid(kind)
     rates = grid.joint_miss_rates().min(axis=0)  # optimal history per cell
@@ -120,7 +123,8 @@ def _joint_colormap(
     )
 
 
-def run_fig13(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig13(context) -> ExperimentResult:
     """Figure 13: PAs joint-class miss rates at optimal history."""
     return _joint_colormap(
         "fig13", "pas", context,
@@ -128,7 +132,8 @@ def run_fig13(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig14(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig14(context) -> ExperimentResult:
     """Figure 14: GAs joint-class miss rates at optimal history."""
     return _joint_colormap(
         "fig14", "gas", context,

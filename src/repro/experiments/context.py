@@ -1,37 +1,34 @@
-"""Shared experiment state: suite traces, profiles and the history sweep.
+"""Shared experiment state, as a thin facade over the artifact pipeline.
 
 Every table/figure reproduction consumes the same expensive artefacts —
 the benchmark traces, their profiles, and the PAs/GAs history sweep.
-:class:`ExperimentContext` computes each lazily, shares them across
-experiments in one process, and persists the sweep grids to an ``.npz``
-cache so re-running a figure costs milliseconds instead of the full
-sweep.
+:class:`ExperimentContext` presents them context-style
+(``context.sweep``, ``context.traces``, …) while delegating all
+computation, caching and invalidation to a
+:class:`~repro.pipeline.executor.Pipeline`: artifacts are
+content-addressed in an on-disk :class:`~repro.pipeline.store.ArtifactStore`
+(hash-keyed files + JSON manifest under ``cache_dir``), deduplicated
+across experiments, and — with ``jobs > 1`` — computed in parallel
+across worker processes.  See ``docs/API.md`` (*Pipeline & artifacts*).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from pathlib import Path
 
-import numpy as np
-
-from ..analysis.history_sweep import ClassMissGrid, SweepConfig, SweepResult, run_sweep
 from ..classify.profile import ProfileTable
-from ..errors import ConfigurationError
+from ..analysis.history_sweep import SweepResult
+from ..analysis.misclassification import MisclassificationReport
+from ..pipeline import ArtifactStore, Pipeline, PipelineConfig
 from ..predictors.paper_configs import HISTORY_LENGTHS
 from ..session import Session
-from ..trace.filters import merge_suite
 from ..trace.stream import Trace
-from ..workloads.synthetic.spec95 import suite_traces
 
 __all__ = ["ExperimentContext"]
 
-_CACHE_VERSION = 3
-
 
 class ExperimentContext:
-    """Lazily-computed shared state for experiment runners.
+    """Facade over one pipeline: experiment state by attribute access.
 
     Parameters
     ----------
@@ -44,14 +41,18 @@ class ExperimentContext:
     history_lengths:
         Histories swept (the paper uses 0..16).
     cache_dir:
-        Directory for the sweep cache; ``None`` disables caching.
+        Directory for the artifact store; ``None`` keeps artifacts in
+        memory only for this context's lifetime.
     engine:
-        Simulation engine selector passed through to the sweep.
+        Simulation engine selector passed through to sweep artifacts.
         ``"auto"`` (the default) and ``"batched"`` simulate all sweep
         configurations of a trace in one batched pass;
         ``"vectorized"``/``"reference"`` force per-configuration
-        simulation (bit-identical, for cross-checking).  See
-        ``docs/ENGINES.md``.
+        simulation (bit-identical, for cross-checking).  The engine is
+        *not* part of artifact content addresses.  See ``docs/ENGINES.md``.
+    jobs:
+        Worker processes for independent artifacts (per-trace sweeps);
+        1 (the default) runs everything inline.
     """
 
     def __init__(
@@ -62,135 +63,90 @@ class ExperimentContext:
         history_lengths: tuple[int, ...] = tuple(HISTORY_LENGTHS),
         cache_dir: str | Path | None = ".repro-cache",
         engine: str = "auto",
+        jobs: int = 1,
     ) -> None:
-        if scale <= 0:
-            raise ConfigurationError("scale must be positive")
-        self.inputs = inputs
-        self.scale = scale
-        self.history_lengths = tuple(history_lengths)
-        self.engine = engine
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self._traces: list[Trace] | None = None
-        self._profiles: dict[str, ProfileTable] | None = None
-        self._merged_profile: ProfileTable | None = None
-        self._sweep: SweepResult | None = None
+        config = PipelineConfig(
+            inputs=inputs,
+            scale=scale,
+            history_lengths=tuple(history_lengths),
+            engine=engine,
+        )
+        self.pipeline = Pipeline(config, ArtifactStore(cache_dir), jobs=jobs)
 
-    # -- traces and profiles ----------------------------------------------
+    # -- configuration passthrough ----------------------------------------
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self.pipeline.config
+
+    @property
+    def store(self) -> ArtifactStore:
+        return self.pipeline.store
+
+    @property
+    def inputs(self) -> str:
+        return self.config.inputs
+
+    @property
+    def scale(self) -> float:
+        return self.config.scale
+
+    @property
+    def history_lengths(self) -> tuple[int, ...]:
+        return self.config.history_lengths
+
+    @property
+    def engine(self) -> str:
+        return self.config.engine
+
+    @property
+    def cache_dir(self) -> Path | None:
+        return self.store.root
+
+    # -- artifacts ---------------------------------------------------------
 
     @property
     def traces(self) -> list[Trace]:
-        """Per-benchmark traces (generated once per context)."""
-        if self._traces is None:
-            self._traces = suite_traces(inputs=self.inputs, scale=self.scale)
-        return self._traces
+        """Per-benchmark traces (the ``traces`` artifact)."""
+        return self.pipeline.value("traces")
 
     @property
     def profiles(self) -> dict[str, ProfileTable]:
-        """Per-trace profiles keyed by trace label."""
-        if self._profiles is None:
-            self._profiles = {
-                trace.name: ProfileTable.from_trace(trace) for trace in self.traces
-            }
-        return self._profiles
+        """Per-trace profiles keyed by trace label (``profile:*`` artifacts).
+
+        Planned as one multi-target execution, so with ``jobs > 1`` the
+        per-trace profile nodes fan out across the process pool.
+        """
+        trace_names = self.pipeline.planner.trace_names()
+        plan = self.pipeline.plan([f"profile:{name}" for name in trace_names])
+        report = self.pipeline.execute(plan)
+        return {
+            name: report.value(f"profile:{name}") for name in trace_names
+        }
 
     @property
     def merged_profile(self) -> ProfileTable:
         """Profile of the whole suite with disjoint PC spaces."""
-        if self._merged_profile is None:
-            self._merged_profile = ProfileTable.from_trace(
-                merge_suite(self.traces, name="suite")
-            )
-        return self._merged_profile
-
-    # -- sweep (with disk cache) -----------------------------------------
+        return self.pipeline.value("profile:suite")
 
     @property
     def sweep(self) -> SweepResult:
-        """The PAs/GAs history sweep over the suite (cached on disk)."""
-        if self._sweep is None:
-            self._sweep = self._load_sweep() or self._run_and_store_sweep()
-        return self._sweep
+        """The PAs/GAs history sweep over the suite (the ``sweep`` artifact)."""
+        return self.pipeline.value("sweep")
 
-    def _sweep_config(self) -> SweepConfig:
-        return SweepConfig(history_lengths=self.history_lengths, engine=self.engine)
+    def misclassification(self) -> MisclassificationReport:
+        """The §4.2 headline numbers (the ``misclassification`` artifact)."""
+        return self.pipeline.value("misclassification")
+
+    def render(self, experiment_id: str):
+        """One experiment's rendered result (the ``render:*`` artifact)."""
+        return self.pipeline.value(f"render:{experiment_id}")
 
     def session(self) -> Session:
         """A :class:`~repro.session.Session` on this context's engine.
 
         Experiment code that simulates ad-hoc spec jobs (beyond the
-        cached sweep) should route them through one of these so jobs on
-        the same trace share batched passes.
+        pipeline's sweep artifacts) should route them through one of
+        these so jobs on the same trace share batched passes.
         """
         return Session(engine=self.engine)
-
-    def _cache_path(self) -> Path | None:
-        if self.cache_dir is None:
-            return None
-        # The filename must key on the *full* history tuple: encoding
-        # only the endpoints made distinct non-contiguous sweeps (e.g.
-        # (0, 2, 4) vs (0, 1, 2, 3, 4)) collide on one file and thrash
-        # the cache.  Endpoints stay in the name for humans; the digest
-        # disambiguates.
-        lengths = ",".join(str(k) for k in self.history_lengths)
-        digest = hashlib.sha256(lengths.encode("ascii")).hexdigest()[:12]
-        key = (
-            f"sweep-v{_CACHE_VERSION}-{self.inputs}-s{self.scale:g}"
-            f"-h{self.history_lengths[0]}to{self.history_lengths[-1]}-{digest}"
-        )
-        return self.cache_dir / f"{key}.npz"
-
-    def _run_and_store_sweep(self) -> SweepResult:
-        result = run_sweep(self.traces, self._sweep_config())
-        path = self._cache_path()
-        if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            arrays: dict[str, np.ndarray] = {
-                "taken_distribution": result.taken_distribution,
-                "transition_distribution": result.transition_distribution,
-                "joint_distribution": result.joint_distribution,
-            }
-            for kind, grid in result.grids.items():
-                arrays[f"{kind}_taken_executions"] = grid.taken_executions
-                arrays[f"{kind}_taken_misses"] = grid.taken_misses
-                arrays[f"{kind}_transition_executions"] = grid.transition_executions
-                arrays[f"{kind}_transition_misses"] = grid.transition_misses
-                arrays[f"{kind}_joint_executions"] = grid.joint_executions
-                arrays[f"{kind}_joint_misses"] = grid.joint_misses
-            meta = {
-                "kinds": sorted(result.grids),
-                "history_lengths": list(self.history_lengths),
-                "total_dynamic": result.total_dynamic,
-            }
-            np.savez_compressed(path, meta=json.dumps(meta), **arrays)
-        return result
-
-    def _load_sweep(self) -> SweepResult | None:
-        path = self._cache_path()
-        if path is None or not path.exists():
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                meta = json.loads(str(data["meta"]))
-                if tuple(meta["history_lengths"]) != self.history_lengths:
-                    return None
-                grids = {}
-                for kind in meta["kinds"]:
-                    grids[kind] = ClassMissGrid(
-                        history_lengths=self.history_lengths,
-                        taken_executions=data[f"{kind}_taken_executions"],
-                        taken_misses=data[f"{kind}_taken_misses"],
-                        transition_executions=data[f"{kind}_transition_executions"],
-                        transition_misses=data[f"{kind}_transition_misses"],
-                        joint_executions=data[f"{kind}_joint_executions"],
-                        joint_misses=data[f"{kind}_joint_misses"],
-                    )
-                return SweepResult(
-                    config=self._sweep_config(),
-                    grids=grids,
-                    taken_distribution=data["taken_distribution"],
-                    transition_distribution=data["transition_distribution"],
-                    joint_distribution=data["joint_distribution"],
-                    total_dynamic=int(meta["total_dynamic"]),
-                )
-        except (OSError, KeyError, ValueError, json.JSONDecodeError):
-            return None  # stale/corrupt cache: recompute

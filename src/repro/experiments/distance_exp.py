@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from ..analysis.distance import MAX_TRACKED_DISTANCE, hard_branch_distances
 from ..report.table import ascii_table
-from .base import ExperimentResult
-from .context import ExperimentContext
+from .base import ExperimentResult, artifact_inputs
 
 __all__ = ["run_fig15"]
 
 
-def run_fig15(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("traces", "profiles")
+def run_fig15(context) -> ExperimentResult:
     """Figure 15: per-benchmark distance between consecutive 5/5 branches.
 
     The paper's point: except for ijpeg, hard branches rarely occur

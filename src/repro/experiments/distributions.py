@@ -6,8 +6,7 @@ import numpy as np
 
 from ..classify.classes import NUM_CLASSES, class_label
 from ..report.table import ascii_table
-from .base import ExperimentResult
-from .context import ExperimentContext
+from .base import ExperimentResult, artifact_inputs
 
 __all__ = ["run_fig1", "run_fig2"]
 
@@ -39,7 +38,8 @@ def _distribution_result(
     )
 
 
-def run_fig1(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig1(context) -> ExperimentResult:
     """Figure 1: percent of dynamic branches per taken-rate class."""
     return _distribution_result(
         "fig1",
@@ -49,7 +49,8 @@ def run_fig1(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig2(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig2(context) -> ExperimentResult:
     """Figure 2: percent of dynamic branches per transition-rate class."""
     return _distribution_result(
         "fig2",

@@ -7,8 +7,7 @@ import numpy as np
 from ..classify.classes import NUM_CLASSES
 from ..report.lineplot import ascii_lineplot
 from ..report.table import ascii_table
-from .base import ExperimentResult
-from .context import ExperimentContext
+from .base import ExperimentResult, artifact_inputs
 
 __all__ = [
     "run_fig3",
@@ -24,7 +23,7 @@ LINEPLOT_CLASSES = (0, 1, 9, 10)
 
 
 def _optimal_result(
-    experiment_id: str, metric: str, context: ExperimentContext, paper_note: str
+    experiment_id: str, metric: str, context, paper_note: str
 ) -> ExperimentResult:
     pas = context.sweep.grid("pas")
     gas = context.sweep.grid("gas")
@@ -63,7 +62,8 @@ def _optimal_result(
     )
 
 
-def run_fig3(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig3(context) -> ExperimentResult:
     """Figure 3: miss rate by taken-rate class at optimal history."""
     return _optimal_result(
         "fig3",
@@ -73,7 +73,8 @@ def run_fig3(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig4(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig4(context) -> ExperimentResult:
     """Figure 4: miss rate by transition-rate class at optimal history."""
     return _optimal_result(
         "fig4",
@@ -87,7 +88,7 @@ def _lineplot_result(
     experiment_id: str,
     kind: str,
     metric: str,
-    context: ExperimentContext,
+    context,
     paper_note: str,
 ) -> ExperimentResult:
     grid = context.sweep.grid(kind)
@@ -116,7 +117,8 @@ def _lineplot_result(
     )
 
 
-def run_fig9(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig9(context) -> ExperimentResult:
     """Figure 9: PAs miss rate vs history, taken classes 0/1/9/10."""
     return _lineplot_result(
         "fig9", "pas", "taken", context,
@@ -124,7 +126,8 @@ def run_fig9(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig10(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig10(context) -> ExperimentResult:
     """Figure 10: PAs miss rate vs history, transition classes 0/1/9/10."""
     return _lineplot_result(
         "fig10", "pas", "transition", context,
@@ -132,7 +135,8 @@ def run_fig10(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig11(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig11(context) -> ExperimentResult:
     """Figure 11: GAs miss rate vs history, taken classes 0/1/9/10."""
     return _lineplot_result(
         "fig11", "gas", "taken", context,
@@ -140,7 +144,8 @@ def run_fig11(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig12(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_fig12(context) -> ExperimentResult:
     """Figure 12: GAs miss rate vs history, transition classes 0/1/9/10."""
     return _lineplot_result(
         "fig12", "gas", "transition", context,

@@ -1,4 +1,9 @@
-"""The experiment registry: one entry per paper table/figure."""
+"""The experiment registry: one entry per paper table/figure.
+
+Each entry records the runner *and* the artifacts it declared via
+``@artifact_inputs`` — the :class:`~repro.pipeline.planner.Planner`
+reads :attr:`Experiment.requires` to wire render nodes into the DAG.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +16,13 @@ from .distributions import run_fig1, run_fig2
 from .missrates import run_fig3, run_fig4, run_fig9, run_fig10, run_fig11, run_fig12
 from .tables import run_table1, run_table2
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "all_experiment_ids"]
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "all_experiment_ids",
+    "default_context",
+]
 
 _DEFINITIONS = [
     ("table1", "Benchmarks and input sets", "Table 1", run_table1),
@@ -39,6 +50,7 @@ EXPERIMENTS: dict[str, Experiment] = {
         title=title,
         paper_artifact=artifact,
         runner=runner,
+        requires=getattr(runner, "requires", ()),
     )
     for experiment_id, title, artifact, runner in _DEFINITIONS
 }
@@ -59,8 +71,24 @@ def get_experiment(experiment_id: str) -> Experiment:
         ) from None
 
 
+_default_context: ExperimentContext | None = None
+
+
+def default_context() -> ExperimentContext:
+    """The process-wide shared default context.
+
+    Created once (default configuration, ``.repro-cache`` store) and
+    reused, so repeated :func:`run_experiment` calls share one pipeline
+    and hit its store instead of recomputing full sweeps per call.
+    """
+    global _default_context
+    if _default_context is None:
+        _default_context = ExperimentContext()
+    return _default_context
+
+
 def run_experiment(
     experiment_id: str, context: ExperimentContext | None = None
 ) -> ExperimentResult:
-    """Run one experiment (creating a default context if none given)."""
-    return get_experiment(experiment_id).run(context or ExperimentContext())
+    """Run one experiment (through the shared default context if none given)."""
+    return get_experiment(experiment_id).run(context or default_context())

@@ -8,13 +8,13 @@ from ..analysis.misclassification import misclassification_report
 from ..classify.classes import NUM_CLASSES
 from ..report.table import ascii_table
 from ..workloads.synthetic.spec95 import SPEC95_INPUTS, scaled_length
-from .base import ExperimentResult
-from .context import ExperimentContext
+from .base import ExperimentResult, artifact_inputs
 
 __all__ = ["run_table1", "run_table2"]
 
 
-def run_table1(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs()
+def run_table1(context) -> ExperimentResult:
     """Table 1: benchmarks, input sets and dynamic branch counts.
 
     Reports the paper's counts alongside this reproduction's reduced
@@ -54,7 +54,8 @@ def run_table1(context: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_table2(context: ExperimentContext) -> ExperimentResult:
+@artifact_inputs("sweep")
+def run_table2(context) -> ExperimentResult:
     """Table 2: dynamic % per joint taken/transition class, plus the
     §4.2 misclassification numbers derived from it."""
     joint = context.sweep.joint_distribution * 100

@@ -1,0 +1,60 @@
+"""Declarative experiment pipeline: artifact DAG, store, planner, executor.
+
+The experiment layer's reuse-over-recompute machinery (see
+``docs/API.md``, section *Pipeline & artifacts*):
+
+* :mod:`repro.pipeline.artifacts` — typed artifact nodes with
+  content addresses chained through upstream hashes.
+* :mod:`repro.pipeline.store` — the on-disk hash-keyed
+  :class:`ArtifactStore` with its JSON run manifest.
+* :mod:`repro.pipeline.planner` — expands experiment ids into a
+  deduped, topologically scheduled :class:`Plan`.
+* :mod:`repro.pipeline.executor` — runs ready nodes (optionally across
+  a process pool), isolates faults, and reports.
+
+:class:`Pipeline` is the bundled front door;
+:class:`~repro.experiments.context.ExperimentContext` is a thin facade
+over one.
+"""
+
+from .artifacts import (
+    STORE_VERSION,
+    ArtifactNode,
+    ArtifactView,
+    MergedProfileNode,
+    MisclassificationNode,
+    PipelineConfig,
+    ProfileNode,
+    RenderNode,
+    SuiteTracesNode,
+    SweepNode,
+    TraceSweepNode,
+    node_digest,
+)
+from .executor import ExecutionReport, Executor, NodeFailure, Pipeline
+from .planner import Plan, PlannedNode, Planner
+from .store import ArtifactStore, ManifestEntry
+
+__all__ = [
+    "STORE_VERSION",
+    "ArtifactNode",
+    "ArtifactView",
+    "ArtifactStore",
+    "ManifestEntry",
+    "PipelineConfig",
+    "SuiteTracesNode",
+    "ProfileNode",
+    "MergedProfileNode",
+    "TraceSweepNode",
+    "SweepNode",
+    "MisclassificationNode",
+    "RenderNode",
+    "node_digest",
+    "Plan",
+    "PlannedNode",
+    "Planner",
+    "Executor",
+    "ExecutionReport",
+    "NodeFailure",
+    "Pipeline",
+]

@@ -1,0 +1,314 @@
+"""Plan execution: cache resolution, process-pool fan-out, fault isolation.
+
+The :class:`Executor` takes a :class:`~repro.pipeline.planner.Plan` and
+materializes its targets:
+
+1. **Cache resolution** (main process).  Cached nodes whose value some
+   downstream computation (or the caller) actually needs are loaded
+   from the store; cached nodes nobody needs are left untouched on
+   disk.  A cached object that turns out corrupt reads as a miss and
+   the node joins the run set — recovery is automatic, never an error.
+2. **Execution.**  Run-set nodes execute when their dependencies are
+   ready.  With ``jobs=1`` everything runs inline in plan order; with
+   ``jobs>1`` ready nodes fan out across a process pool — the per-trace
+   sweep artifacts are the wide tier this is built for.  Results are
+   identical either way: every aggregation follows declared dependency
+   order, never completion order.
+3. **Fault isolation.**  A failing node records a
+   :class:`NodeFailure`, its dependents are skipped, and every
+   independent subgraph keeps running — ``repro run all`` reports all
+   failures at the end instead of aborting on the first.
+
+:class:`Pipeline` bundles config + store + planner + executor behind
+the two calls everything else uses: ``value(key)`` for one artifact and
+``run_experiments(ids)`` for rendered tables/figures.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError, PipelineError
+from .artifacts import ArtifactNode, PipelineConfig
+from .planner import Plan, Planner
+from .store import ArtifactStore
+
+__all__ = ["NodeFailure", "ExecutionReport", "Executor", "Pipeline"]
+
+
+def _compute_node(
+    node: ArtifactNode, config: PipelineConfig, dep_values: dict[str, Any]
+) -> tuple[bool, Any]:
+    """Worker entry point: never raises, so failures cross process
+    boundaries as data rather than as maybe-unpicklable exceptions."""
+    try:
+        return (True, node.compute(config, dep_values))
+    except Exception as exc:  # noqa: BLE001 - isolate any node fault
+        return (False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """One failed artifact computation."""
+
+    key: str
+    error: str
+
+    def summary(self) -> str:
+        return f"{self.key}: {self.error.splitlines()[0]}"
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`Executor.run` did and produced."""
+
+    values: dict[str, Any] = field(default_factory=dict)
+    computed: list[str] = field(default_factory=list)
+    cached: list[str] = field(default_factory=list)
+    failures: list[NodeFailure] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def value(self, key: str) -> Any:
+        """The materialized value for ``key``; raises with the causing
+        failure when it (or an ancestor) did not complete."""
+        if key in self.values:
+            return self.values[key]
+        for failure in self.failures:
+            if failure.key == key:
+                raise PipelineError(f"artifact {key} failed: {failure.error}")
+        if key in self.skipped:
+            causes = "; ".join(f.summary() for f in self.failures) or "unknown"
+            raise PipelineError(f"artifact {key} skipped (upstream failed: {causes})")
+        raise PipelineError(f"artifact {key} was not materialized by this run")
+
+
+class Executor:
+    """Executes plans against a store, optionally across processes."""
+
+    def __init__(self, store: ArtifactStore, *, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.store = store
+        self.jobs = jobs
+        # Content addresses that failed in this executor's lifetime: a
+        # known-broken artifact fails fast on resubmission instead of
+        # recomputing (e.g. 16 more times during a streamed `run all`).
+        self._failed: dict[str, str] = {}
+
+    def run(self, plan: Plan) -> ExecutionReport:
+        """Materialize the plan's targets; see the module docstring."""
+        try:
+            return self._run(plan)
+        finally:
+            self.store.flush_manifest()
+
+    def _run(self, plan: Plan) -> ExecutionReport:
+        report = ExecutionReport()
+        values = report.values
+        run_set: set[str] = set()
+        targets = set(plan.targets)
+
+        def prepare(key: str) -> None:
+            """Ensure ``key`` has a loaded value or joins the run set."""
+            if key in values or key in run_set:
+                return
+            planned = plan.nodes[key]
+            if planned.cached:
+                value = self.store.get(planned.digest, planned.node)
+                if value is not None:
+                    values[key] = value
+                    report.cached.append(key)
+                    return
+                # Corrupt/truncated object: recompute (its upstreams may
+                # themselves be idle-cached, so prepare them too).
+            run_set.add(key)
+            for dep in planned.node.deps:
+                prepare(dep)
+
+        # A node's value is needed iff it's a target or some consumer will
+        # actually run — decided transitively in reverse dependency order,
+        # so a non-cached node whose consumers are all served from cache
+        # does not drag its (possibly expensive) ancestors into memory.
+        will_run: dict[str, bool] = {}
+        needs_value: dict[str, bool] = {}
+        for key in reversed(list(plan.nodes)):
+            planned = plan.nodes[key]
+            needs_value[key] = key in targets or any(
+                will_run[consumer] for consumer in planned.consumers
+            )
+            will_run[key] = needs_value[key] and not planned.cached
+        for key in plan.nodes:
+            if needs_value[key]:
+                prepare(key)
+
+        ordered_run = [key for key in plan.nodes if key in run_set]
+        if not ordered_run:
+            return report
+
+        dead: set[str] = set()
+
+        def mark_dead(key: str) -> None:
+            for consumer in plan.nodes[key].consumers:
+                if consumer in run_set and consumer not in dead:
+                    dead.add(consumer)
+                    report.skipped.append(consumer)
+                    mark_dead(consumer)
+
+        def finish(key: str, ok: bool, payload: Any) -> None:
+            if ok:
+                planned = plan.nodes[key]
+                try:
+                    self.store.put(
+                        planned.digest,
+                        planned.node,
+                        payload,
+                        plan.config,
+                        {dep: plan.digest_of(dep) for dep in planned.node.deps},
+                    )
+                except Exception as exc:  # noqa: BLE001 - encode/disk faults
+                    # Persistence failures (unencodable value, full disk)
+                    # are node failures like any other: recorded and
+                    # isolated, never a crashed `run all`.
+                    ok = False
+                    payload = (
+                        f"storing artifact failed: {type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}"
+                    )
+                else:
+                    values[key] = payload
+                    report.computed.append(key)
+            if not ok:
+                self._failed[plan.nodes[key].digest] = payload
+                report.failures.append(NodeFailure(key=key, error=payload))
+                dead.add(key)
+                mark_dead(key)
+
+        if self.jobs == 1 or len(ordered_run) == 1:
+            for key in ordered_run:
+                if key in dead:
+                    continue
+                prior = self._failed.get(plan.nodes[key].digest)
+                if prior is not None:
+                    finish(key, False, prior)
+                    continue
+                node = plan.nodes[key].node
+                ok, payload = _compute_node(
+                    node,
+                    plan.config,
+                    node.narrow({dep: values[dep] for dep in node.deps}),
+                )
+                finish(key, ok, payload)
+            return report
+
+        self._run_pool(plan, ordered_run, values, dead, finish)
+        return report
+
+    def _run_pool(self, plan, ordered_run, values, dead, finish) -> None:
+        remaining = {
+            key: {dep for dep in plan.nodes[key].node.deps if dep in set(ordered_run)}
+            for key in ordered_run
+        }
+        ready = [key for key in ordered_run if not remaining[key]]
+        launched: set[str] = set()
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(ordered_run))) as pool:
+            inflight: dict[Any, str] = {}
+            while ready or inflight:
+                for key in ready:
+                    if key in dead:
+                        launched.add(key)
+                        continue
+                    prior = self._failed.get(plan.nodes[key].digest)
+                    if prior is not None:
+                        finish(key, False, prior)
+                        launched.add(key)
+                        continue
+                    node = plan.nodes[key].node
+                    # narrow() trims dep values to what the node consumes,
+                    # so wide tiers don't pickle the whole suite per task.
+                    future = pool.submit(
+                        _compute_node,
+                        node,
+                        plan.config,
+                        node.narrow({dep: values[dep] for dep in node.deps}),
+                    )
+                    inflight[future] = key
+                    launched.add(key)
+                ready = []
+                if not inflight:
+                    break
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = inflight.pop(future)
+                    exc = future.exception()
+                    if exc is not None:  # pool infrastructure fault
+                        ok, payload = False, f"{type(exc).__name__}: {exc}"
+                    else:
+                        ok, payload = future.result()
+                    finish(key, ok, payload)
+                    for consumer in plan.nodes[key].consumers:
+                        pending = remaining.get(consumer)
+                        if pending is None or consumer in launched:
+                            continue
+                        pending.discard(key)
+                        if not pending:
+                            ready.append(consumer)
+
+
+class Pipeline:
+    """Config + store + planner + executor, behind two calls.
+
+    ``value(key)`` materializes one artifact (raising on failure);
+    ``run_experiments(ids)`` materializes render artifacts with fault
+    isolation and returns the full :class:`ExecutionReport`.  All
+    values are memoized in the store's in-process cache, so repeated
+    calls — and every consumer sharing this pipeline — reuse rather
+    than recompute.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        store: ArtifactStore | None = None,
+        *,
+        jobs: int = 1,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.store = store if store is not None else ArtifactStore(None)
+        self.planner = Planner(self.config)
+        self.executor = Executor(self.store, jobs=jobs)
+
+    @property
+    def jobs(self) -> int:
+        return self.executor.jobs
+
+    def plan(self, targets: list[str]) -> Plan:
+        """Plan (but do not run) the given artifact keys."""
+        return self.planner.plan(targets, self.store)
+
+    def plan_experiments(self, experiment_ids: list[str]) -> Plan:
+        """Plan (but do not run) the given experiments' renders."""
+        return self.planner.plan_experiments(experiment_ids, self.store)
+
+    def execute(self, plan: Plan) -> ExecutionReport:
+        """Run a previously built plan."""
+        return self.executor.run(plan)
+
+    def value(self, key: str) -> Any:
+        """Materialize one artifact, raising :class:`PipelineError` on failure."""
+        report = self.execute(self.plan([key]))
+        return report.value(key)
+
+    def run_experiments(self, experiment_ids: list[str]) -> ExecutionReport:
+        """Materialize render artifacts for the given experiments.
+
+        Failures are isolated per subgraph; inspect
+        :attr:`ExecutionReport.failures` / :meth:`ExecutionReport.value`.
+        """
+        return self.execute(self.plan_experiments(experiment_ids))

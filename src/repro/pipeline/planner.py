@@ -1,0 +1,235 @@
+"""DAG planning: expand experiment ids into a deduped, scheduled graph.
+
+The :class:`Planner` knows the *universe* of artifacts a configuration
+can produce — the suite traces, one profile and one sweep part per
+trace, the merged profile, the aggregated sweep, the
+misclassification report, and one render node per registered
+experiment — and wires render nodes to exactly the artifacts their
+runners declared via ``@artifact_inputs``.
+
+Planning a set of targets trims the universe to the targets' ancestor
+closure.  Because nodes are keyed (not duplicated per consumer), the
+expensive shared artifacts appear **once** no matter how many
+experiments consume them: fig5–fig12, table2, fig13, fig14 and the
+§4.2 report all hang off the same ``sweep`` node, which ``repro plan
+all`` makes explicit instead of leaving implicit in lazy-property
+sharing.
+
+The planner never generates trace data — trace artifact keys come from
+:func:`repro.workloads.synthetic.spec95.suite_input_sets` labels — so
+``repro plan`` is instant even for configurations whose artifacts
+would take minutes to compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PipelineError
+from ..workloads.synthetic.spec95 import suite_input_sets
+from .artifacts import (
+    ArtifactNode,
+    MergedProfileNode,
+    MisclassificationNode,
+    PipelineConfig,
+    ProfileNode,
+    RenderNode,
+    SuiteTracesNode,
+    SweepNode,
+    TraceSweepNode,
+    node_digest,
+)
+from .store import ArtifactStore
+
+__all__ = ["PlannedNode", "Plan", "Planner"]
+
+
+@dataclass(frozen=True)
+class PlannedNode:
+    """One scheduled DAG node: the node plus its address and cache state."""
+
+    node: ArtifactNode
+    digest: str
+    cached: bool
+    consumers: tuple[str, ...]
+
+    @property
+    def key(self) -> str:
+        return self.node.key
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A topologically ordered, deduplicated artifact schedule.
+
+    ``nodes`` maps key -> :class:`PlannedNode` in execution order
+    (every node appears after all of its dependencies); ``targets``
+    are the keys the caller asked for.
+    """
+
+    config: PipelineConfig
+    nodes: dict[str, PlannedNode]
+    targets: tuple[str, ...]
+
+    @property
+    def num_cached(self) -> int:
+        return sum(1 for planned in self.nodes.values() if planned.cached)
+
+    @property
+    def num_to_run(self) -> int:
+        return len(self.nodes) - self.num_cached
+
+    def digest_of(self, key: str) -> str:
+        return self.nodes[key].digest
+
+    def describe(self) -> str:
+        """Human-readable schedule (``repro plan``): one line per node,
+        dependency order, with content address, cache state and how many
+        downstream nodes share the artifact."""
+        lines = [
+            f"plan: {len(self.targets)} target(s) -> {len(self.nodes)} node(s), "
+            f"{self.num_cached} cached, {self.num_to_run} to run"
+        ]
+        for planned in self.nodes.values():
+            state = "cached" if planned.cached else "run"
+            shared = ""
+            if len(planned.consumers) > 1:
+                shared = f"  shared by {len(planned.consumers)} consumers"
+            lines.append(
+                f"  {planned.node.key:28s} {planned.node.kind:18s} "
+                f"{planned.digest[:12]}  [{state}]{shared}"
+            )
+        return "\n".join(lines)
+
+
+class Planner:
+    """Expands experiment ids / artifact keys into executable plans."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    # -- the universe ---------------------------------------------------
+
+    def trace_names(self) -> list[str]:
+        """Suite trace labels for this configuration (no generation)."""
+        return [s.label for s in suite_input_sets(self.config.inputs)]
+
+    def universe(self) -> dict[str, ArtifactNode]:
+        """Every artifact node this configuration can produce, keyed and
+        in dependency (topological) order."""
+        from ..experiments.registry import EXPERIMENTS  # lazy: avoid cycle
+
+        names = self.trace_names()
+        nodes: dict[str, ArtifactNode] = {}
+
+        def add(node: ArtifactNode) -> None:
+            nodes[node.key] = node
+
+        add(SuiteTracesNode(key="traces"))
+        for name in names:
+            add(ProfileNode(key=f"profile:{name}", deps=("traces",), trace_name=name))
+        add(MergedProfileNode(key="profile:suite", deps=("traces",)))
+        sweep_parts = tuple(f"sweep:{name}" for name in names)
+        for name in names:
+            add(
+                TraceSweepNode(
+                    key=f"sweep:{name}", deps=("traces",), trace_name=name
+                )
+            )
+        add(SweepNode(key="sweep", deps=sweep_parts))
+        add(MisclassificationNode(key="misclassification", deps=("sweep",)))
+        for experiment_id, experiment in EXPERIMENTS.items():
+            add(
+                RenderNode(
+                    key=f"render:{experiment_id}",
+                    deps=self._render_deps(experiment.requires, names),
+                    experiment_id=experiment_id,
+                )
+            )
+        return nodes
+
+    def _render_deps(
+        self, requires: tuple[str, ...], names: list[str]
+    ) -> tuple[str, ...]:
+        deps: list[str] = []
+        for role in requires:
+            if role == "traces":
+                deps.append("traces")
+            elif role == "profiles":
+                deps.extend(f"profile:{name}" for name in names)
+            elif role == "merged_profile":
+                deps.append("profile:suite")
+            elif role == "sweep":
+                deps.append("sweep")
+            elif role == "misclassification":
+                deps.append("misclassification")
+            else:
+                raise PipelineError(
+                    f"unknown artifact requirement {role!r} "
+                    "(expected traces/profiles/merged_profile/sweep/misclassification)"
+                )
+        return tuple(dict.fromkeys(deps))
+
+    # -- planning -------------------------------------------------------
+
+    def plan(
+        self, targets: list[str], store: ArtifactStore | None = None
+    ) -> Plan:
+        """Schedule the ancestor closure of ``targets``.
+
+        Content addresses are assigned bottom-up; a node is marked
+        ``cached`` when the store already holds its address.
+        """
+        universe = self.universe()
+        for key in targets:
+            if key not in universe:
+                raise PipelineError(
+                    f"unknown artifact {key!r}; known: "
+                    f"{', '.join(sorted(universe))}"
+                )
+
+        # Ancestor closure over the (acyclic by construction) universe.
+        needed: set[str] = set()
+        stack = list(targets)
+        while stack:
+            key = stack.pop()
+            if key in needed:
+                continue
+            needed.add(key)
+            stack.extend(universe[key].deps)
+
+        digests: dict[str, str] = {}
+        consumers: dict[str, list[str]] = {key: [] for key in needed}
+        planned: dict[str, PlannedNode] = {}
+        # Universe insertion order is already topological.
+        ordered = [key for key in universe if key in needed]
+        for key in ordered:
+            node = universe[key]
+            digests[key] = node_digest(
+                node, self.config, [digests[dep] for dep in node.deps]
+            )
+            for dep in node.deps:
+                consumers[dep].append(key)
+        for key in ordered:
+            node = universe[key]
+            planned[key] = PlannedNode(
+                node=node,
+                digest=digests[key],
+                cached=store.has(digests[key]) if store is not None else False,
+                consumers=tuple(consumers[key]),
+            )
+        return Plan(config=self.config, nodes=planned, targets=tuple(targets))
+
+    def plan_experiments(
+        self, experiment_ids: list[str], store: ArtifactStore | None = None
+    ) -> Plan:
+        """Plan the render artifacts of the given experiments."""
+        return self.plan(
+            [f"render:{experiment_id}" for experiment_id in experiment_ids], store
+        )
+
+    def live_digests(self, store: ArtifactStore | None = None) -> set[str]:
+        """Every content address the full current-config DAG can reach
+        (the ``repro artifacts gc`` keep-set)."""
+        plan = self.plan(list(self.universe()), store)
+        return {planned.digest for planned in plan.nodes.values()}

@@ -1,0 +1,248 @@
+"""Content-addressed artifact store with a JSON run manifest.
+
+Artifacts live under ``<root>/objects/<sha256>.npz`` — one compressed
+numpy archive per artifact, holding the node's arrays plus a
+``__meta__`` JSON string — and ``<root>/manifest.json`` records what
+each object *is* (key, kind, params, dep addresses, size, creation
+time), so ``repro artifacts list`` can explain the cache and
+``repro artifacts gc`` can sweep objects no current plan reaches.
+
+Properties the pipeline relies on:
+
+* **Content addressing** — the digest covers the producing spec and
+  every upstream digest (:func:`~repro.pipeline.artifacts.node_digest`),
+  so invalidation is automatic: a changed scale or sweep spec simply
+  addresses different objects and the stale ones become garbage.
+* **Corruption tolerance** — a truncated or corrupted object file is
+  treated as a miss (and deleted); the executor recomputes it.  A
+  corrupt manifest resets to empty without touching object files.
+* **Write atomicity** — objects are written to a temp file and renamed
+  into place, so a crashed run never leaves a half-written object
+  under a valid address.  Manifest records are queued per ``put`` and
+  merged to disk once per executor run (``flush_manifest``), read-
+  before-write so concurrent runs sharing a cache directory keep each
+  other's entries.  (A run killed before its flush leaves valid but
+  manifest-untracked objects; ``has``/``gc`` key on digests, not the
+  manifest, so correctness is unaffected.)
+
+A store with ``root=None`` is memory-only: artifacts are cached for
+the process lifetime but nothing touches disk (``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .artifacts import ArtifactNode, PipelineConfig
+
+__all__ = ["ArtifactStore", "ManifestEntry"]
+
+_META_KEY = "__meta__"
+
+
+class ManifestEntry(dict):
+    """One manifest record (a dict with attribute sugar for readability)."""
+
+    @property
+    def digest(self) -> str:
+        return self["digest"]
+
+
+class ArtifactStore:
+    """Hash-keyed artifact files plus the run manifest.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write).  ``None`` keeps
+        artifacts in memory only.
+    """
+
+    def __init__(self, root: str | Path | None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[str, Any] = {}
+        self._pending_manifest: dict[str, dict[str, Any]] = {}
+
+    # -- paths ----------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path | None:
+        return self.root / "objects" if self.root is not None else None
+
+    @property
+    def manifest_path(self) -> Path | None:
+        return self.root / "manifest.json" if self.root is not None else None
+
+    def object_path(self, digest: str) -> Path | None:
+        return self.objects_dir / f"{digest}.npz" if self.root is not None else None
+
+    # -- membership and access ------------------------------------------
+
+    def has(self, digest: str) -> bool:
+        """True if the artifact is available (memory or disk)."""
+        if digest in self._memory:
+            return True
+        path = self.object_path(digest)
+        return path is not None and path.exists()
+
+    def get(self, digest: str, node: "ArtifactNode") -> Any | None:
+        """The stored value, or ``None`` on a miss *or* a corrupt object.
+
+        Corrupt/truncated objects are deleted so the address reads as a
+        clean miss from then on.
+        """
+        if digest in self._memory:
+            return self._memory[digest]
+        path = self.object_path(digest)
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data[_META_KEY]))
+                arrays = {name: data[name] for name in data.files if name != _META_KEY}
+            value = node.decode(arrays, meta)
+        except Exception:
+            # Truncated download, torn write, zip damage, schema drift:
+            # all read as a miss; the executor recomputes and rewrites.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self._memory[digest] = value
+        return value
+
+    def put(
+        self,
+        digest: str,
+        node: "ArtifactNode",
+        value: Any,
+        config: "PipelineConfig",
+        dep_digests: Mapping[str, str] | None = None,
+    ) -> None:
+        """Store a value under its content address.
+
+        The value is memoized in process only *after* the object write
+        succeeds, so a persistence failure (raised to the caller) never
+        leaves this store claiming an artifact it does not hold.  The
+        manifest record is queued; callers batch it to disk with
+        :meth:`flush_manifest` (the executor does, once per run).
+        """
+        if self.root is None:
+            self._memory[digest] = value
+            return
+        arrays, meta = node.encode(value)
+        objects = self.objects_dir
+        assert objects is not None
+        objects.mkdir(parents=True, exist_ok=True)
+        path = self.object_path(digest)
+        assert path is not None
+        # Per-process temp name: concurrent runs sharing a cache dir may
+        # race to write the same digest; each must land its own temp
+        # file, with os.replace arbitrating (last rename wins, both
+        # contents are identical by content addressing).
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **{_META_KEY: json.dumps(meta)}, **arrays)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # failed write: do not leave temp litter
+                tmp.unlink()
+        self._memory[digest] = value
+        self._pending_manifest[digest] = {
+            "key": node.key,
+            "kind": node.kind,
+            "params": node.params(config),
+            "deps": dict(dep_digests or {}),
+            "bytes": path.stat().st_size,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        }
+
+    def flush_manifest(self) -> None:
+        """Merge queued manifest records into ``manifest.json``.
+
+        Reads the current manifest immediately before writing, so
+        records from other processes sharing the cache directory are
+        preserved (short of a truly simultaneous write), and one run
+        costs one manifest write instead of one per artifact.
+        """
+        if self.root is None or not self._pending_manifest:
+            return
+        manifest = self.manifest()
+        manifest.update(self._pending_manifest)
+        self._write_manifest(manifest)
+        self._pending_manifest.clear()
+
+    # -- manifest --------------------------------------------------------
+
+    def manifest(self) -> dict[str, dict[str, Any]]:
+        """The manifest mapping digest -> record ({} when absent/corrupt)."""
+        path = self.manifest_path
+        if path is None or not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _write_manifest(self, manifest: dict[str, dict[str, Any]]) -> None:
+        path = self.manifest_path
+        if path is None:
+            return
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+    def entries(self) -> list[ManifestEntry]:
+        """Manifest records (plus digest), newest first."""
+        entries = [
+            ManifestEntry(dict(record, digest=digest))
+            for digest, record in self.manifest().items()
+        ]
+        entries.sort(key=lambda e: (e.get("created") or "", e.digest), reverse=True)
+        return entries
+
+    # -- garbage collection ----------------------------------------------
+
+    def gc(self, live: set[str], *, dry_run: bool = False) -> tuple[int, int]:
+        """Delete objects whose digest is not in ``live``.
+
+        Returns ``(objects_removed, bytes_reclaimed)`` — with
+        ``dry_run=True`` nothing is touched and the counts describe
+        what *would* be removed.  Untracked files in the objects
+        directory (manifest lost, older layouts) are swept by the same
+        rule.
+        """
+        objects = self.objects_dir
+        if objects is None or not objects.exists():
+            return (0, 0)
+        removed = reclaimed = 0
+        for path in sorted(objects.glob("*.npz")):
+            digest = path.stem
+            if digest in live:
+                continue
+            size = path.stat().st_size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                self._memory.pop(digest, None)
+            removed += 1
+            reclaimed += size
+        if not dry_run:
+            manifest = self.manifest()
+            pruned = {d: r for d, r in manifest.items() if d in live}
+            if len(pruned) != len(manifest):
+                self._write_manifest(pruned)
+        return (removed, reclaimed)

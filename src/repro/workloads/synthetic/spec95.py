@@ -41,6 +41,7 @@ __all__ = [
     "benchmark_joint_matrix",
     "make_population",
     "input_trace",
+    "suite_input_sets",
     "suite_traces",
     "scaled_length",
 ]
@@ -225,6 +226,27 @@ def input_trace(input_set: InputSet, *, scale: float = 1.0) -> Trace:
     return population.generate(scaled_length(input_set, scale=scale), name=input_set.label)
 
 
+def suite_input_sets(inputs: str = "primary") -> list[InputSet]:
+    """The input sets making up a suite configuration, in suite order.
+
+    ``"primary"`` selects the largest input set per benchmark (8 sets,
+    the default experiment configuration); ``"all"`` selects all 34
+    Table 1 input sets.  The experiment pipeline planner uses this to
+    enumerate trace artifacts (by :attr:`InputSet.label`) without
+    generating any trace data.
+    """
+    if inputs == "all":
+        return list(SPEC95_INPUTS)
+    if inputs == "primary":
+        best: dict[str, InputSet] = {}
+        for input_set in SPEC95_INPUTS:
+            current = best.get(input_set.benchmark)
+            if current is None or input_set.paper_dynamic_branches > current.paper_dynamic_branches:
+                best[input_set.benchmark] = input_set
+        return [best[name] for name in BENCHMARK_NAMES]
+    raise ConfigurationError(f"inputs must be 'primary' or 'all', got {inputs!r}")
+
+
 def suite_traces(*, inputs: str = "primary", scale: float = 1.0) -> list[Trace]:
     """Traces for the whole suite.
 
@@ -237,18 +259,9 @@ def suite_traces(*, inputs: str = "primary", scale: float = 1.0) -> list[Trace]:
     scale:
         Length multiplier applied after the Table 1 scaling.
     """
-    if inputs == "all":
-        chosen = list(SPEC95_INPUTS)
-    elif inputs == "primary":
-        best: dict[str, InputSet] = {}
-        for input_set in SPEC95_INPUTS:
-            current = best.get(input_set.benchmark)
-            if current is None or input_set.paper_dynamic_branches > current.paper_dynamic_branches:
-                best[input_set.benchmark] = input_set
-        chosen = [best[name] for name in BENCHMARK_NAMES]
-    else:
-        raise ConfigurationError(f"inputs must be 'primary' or 'all', got {inputs!r}")
-    return [input_trace(input_set, scale=scale) for input_set in chosen]
+    return [
+        input_trace(input_set, scale=scale) for input_set in suite_input_sets(inputs)
+    ]
 
 
 def _character(benchmark: str) -> BenchmarkCharacter:

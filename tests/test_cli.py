@@ -35,6 +35,24 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig3"])
         assert args.cache_dir == ".repro-cache"
 
+    def test_jobs_option(self):
+        args = build_parser().parse_args(["run", "all", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["run", "fig1"]).jobs == 1
+
+    def test_plan_command(self):
+        args = build_parser().parse_args(["plan", "all", "--scale", "0.1"])
+        assert args.command == "plan"
+        assert args.experiment == "all"
+
+    def test_artifacts_commands(self):
+        args = build_parser().parse_args(["artifacts", "list"])
+        assert args.artifacts_command == "list"
+        args = build_parser().parse_args(["artifacts", "gc", "--cache-dir", "/tmp/x"])
+        assert args.artifacts_command == "gc"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["artifacts"])
+
     def test_simulate_requires_spec(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate"])
@@ -84,8 +102,113 @@ class TestMain:
         monkeypatch.chdir(tmp_path)
         cache = tmp_path / "custom-cache"
         assert main(["run", "fig1", "--scale", "0.01", "--cache-dir", str(cache)]) == 0
-        assert list(cache.glob("*.npz"))
+        assert list((cache / "objects").glob("*.npz"))
+        assert (cache / "manifest.json").exists()
         assert not (tmp_path / ".repro-cache").exists()
+
+
+class TestPipelineCommands:
+    def test_plan_all_dedupes_sweep(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["plan", "all", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: 17 target(s)" in out
+        # The shared sweep artifact appears once, marked with its fan-out.
+        assert out.count("sweep-grids") == 1
+        assert "shared by 15 consumers" in out
+
+    def test_plan_single_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["plan", "table1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "render:table1" in out
+        assert "sweep" not in out
+
+    def test_plan_reflects_cache_state(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig1", "--scale", "0.01"]) == 0
+        capsys.readouterr()
+        assert main(["plan", "fig1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "0 to run" in out
+
+    def test_run_all_continues_past_failure(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments import registry as registry_module
+        from repro.experiments.base import Experiment, artifact_inputs
+
+        @artifact_inputs("sweep")
+        def explode(context):
+            raise RuntimeError("boom")
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setitem(
+            registry_module.EXPERIMENTS,
+            "fig5",
+            Experiment("fig5", "broken", "Figure 5", explode, explode.requires),
+        )
+        assert main(["run", "all", "--scale", "0.01"]) == 1  # non-zero only at end
+        captured = capsys.readouterr()
+        # The other 16 experiments still rendered, and the summary says so.
+        assert "Table 1" in captured.out
+        assert "run all: 16/17 experiments succeeded [FAILED]" in captured.out
+        assert "failed: fig5" in captured.out
+        assert "boom" in captured.err
+
+    def test_run_all_success_summary(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "all", "--scale", "0.01"]) == 0
+        assert "run all: 17/17 experiments succeeded [ok]" in capsys.readouterr().out
+
+    def test_artifacts_list_and_gc(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig1", "--scale", "0.01"]) == 0
+        capsys.readouterr()
+
+        assert main(["artifacts", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-grids" in out
+        assert "render:fig1" in out
+
+        # Same config: everything is live, nothing collected.
+        assert main(["artifacts", "gc", "--scale", "0.01"]) == 0
+        assert "removed 0 object(s)" in capsys.readouterr().out
+
+        # --dry-run previews without deleting.
+        assert main(["artifacts", "gc", "--scale", "0.02", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out and "would remove 0" not in out
+        assert main(["artifacts", "list"]) == 0
+        assert "is empty" not in capsys.readouterr().out
+
+        # Different scale: the old objects are unreachable garbage.
+        assert main(["artifacts", "gc", "--scale", "0.02"]) == 0
+        assert "removed 0" not in capsys.readouterr().out
+        assert main(["artifacts", "list"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_artifacts_list_tolerates_schema_drift(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "table1", "--scale", "0.01"]) == 0
+        capsys.readouterr()
+        manifest_path = tmp_path / ".repro-cache" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        # One record missing kind/bytes/created, one embedding 'digest'.
+        manifest["0" * 64] = {"key": "mystery"}
+        manifest["1" * 64] = {"digest": "1" * 64, "key": "dup-digest"}
+        manifest_path.write_text(json.dumps(manifest))
+        assert main(["artifacts", "list"]) == 0
+        assert "mystery" in capsys.readouterr().out
+
+    def test_artifacts_disabled_store(self, capsys):
+        assert main(["artifacts", "list", "--no-cache"]) == 1
+        assert "disabled" in capsys.readouterr().err
+
+    def test_run_all_parallel_jobs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig1", "--scale", "0.01", "--jobs", "2"]) == 0
+        assert "taken rate" in capsys.readouterr().out.lower()
 
 
 class TestSpecCommands:

@@ -133,9 +133,10 @@ class TestContextCaching:
         )
         first = make()
         sweep_a = first.sweep
-        assert list(tmp_path.glob("*.npz"))
+        assert list((tmp_path / "objects").glob("*.npz"))
         second = make()
-        sweep_b = second.sweep  # loaded from disk
+        sweep_b = second.sweep  # loaded from the store
+        assert second.pipeline.plan(["sweep"]).nodes["sweep"].cached
         assert sweep_b.total_dynamic == sweep_a.total_dynamic
         assert np.array_equal(
             sweep_b.grid("pas").taken_misses, sweep_a.grid("pas").taken_misses
@@ -146,7 +147,7 @@ class TestContextCaching:
             inputs="primary", scale=0.02, history_lengths=(0,), cache_dir=None
         )
         _ = context.sweep
-        assert not list(tmp_path.glob("*.npz"))
+        assert not list(tmp_path.rglob("*.npz"))
 
     def test_mismatched_history_cache_ignored(self, tmp_path):
         a = ExperimentContext(
@@ -158,23 +159,20 @@ class TestContextCaching:
         )
         assert b.sweep.grid("pas").history_lengths == (0, 4)
 
-    def test_cache_path_keys_on_full_history_tuple(self, tmp_path):
-        # Distinct non-contiguous sweeps share endpoints; encoding only
-        # history_lengths[0]/[-1] made them collide on one .npz file.
-        sparse = ExperimentContext(
-            inputs="primary", scale=0.02, history_lengths=(0, 2, 4), cache_dir=tmp_path
-        )
-        dense = ExperimentContext(
-            inputs="primary", scale=0.02, history_lengths=(0, 1, 2, 3, 4), cache_dir=tmp_path
-        )
-        assert sparse._cache_path() != dense._cache_path()
-        # Same tuple still maps to the same file (the cache still hits).
-        again = ExperimentContext(
-            inputs="primary", scale=0.02, history_lengths=(0, 2, 4), cache_dir=tmp_path
-        )
-        assert sparse._cache_path() == again._cache_path()
+    def test_history_tuple_changes_content_address(self, tmp_path):
+        # Distinct non-contiguous sweeps sharing endpoints address
+        # different artifacts (the old filename scheme collided them).
+        def sweep_digest(lengths):
+            context = ExperimentContext(
+                inputs="primary", scale=0.02, history_lengths=lengths, cache_dir=tmp_path
+            )
+            return context.pipeline.plan(["sweep"]).digest_of("sweep")
 
-    def test_colliding_sweeps_no_longer_thrash(self, tmp_path):
+        assert sweep_digest((0, 2, 4)) != sweep_digest((0, 1, 2, 3, 4))
+        # Same tuple still maps to the same address (the cache still hits).
+        assert sweep_digest((0, 2, 4)) == sweep_digest((0, 2, 4))
+
+    def test_distinct_sweeps_coexist_in_store(self, tmp_path):
         sparse = ExperimentContext(
             inputs="primary", scale=0.02, history_lengths=(0, 4), cache_dir=tmp_path
         )
@@ -183,11 +181,13 @@ class TestContextCaching:
             inputs="primary", scale=0.02, history_lengths=(0, 2, 4), cache_dir=tmp_path
         )
         _ = dense.sweep
-        # Both cache files coexist now; neither overwrote the other.
-        assert len(list(tmp_path.glob("*.npz"))) == 2
+        # Both sweep artifacts coexist; neither overwrote the other.
+        kinds = [e["kind"] for e in sparse.store.entries()]
+        assert kinds.count("sweep-grids") == 2
         reloaded = ExperimentContext(
             inputs="primary", scale=0.02, history_lengths=(0, 4), cache_dir=tmp_path
         )
+        assert reloaded.pipeline.plan(["sweep"]).nodes["sweep"].cached
         assert reloaded.sweep.grid("gas").history_lengths == (0, 4)
 
 
