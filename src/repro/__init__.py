@@ -14,6 +14,10 @@ The package layers, bottom to top:
   surveyed predictor families and the §5.4 class-guided hybrid.
 * :mod:`repro.spec` — declarative, serializable predictor
   specifications (one spec class per family).
+* :mod:`repro.workload_spec` — declarative, serializable workload
+  specifications: every trace source (synthetic benchmarks, VM
+  kernels, trace files, composers, suites) as a frozen, addressable
+  spec (see ``docs/WORKLOADS.md``).
 * :mod:`repro.engine` — step-accurate and vectorized simulation.
 * :mod:`repro.session` — the planning/batching front door for many
   simulation jobs at once (see ``docs/API.md``).
@@ -112,6 +116,23 @@ from .spec import (
     spec_from_dict,
     spec_from_json,
     spec_kinds,
+)
+from .workload_spec import (
+    ConcatSpec,
+    KernelSpec,
+    PopulationBranch,
+    PopulationSpec,
+    Spec95InputSpec,
+    SuiteSpec,
+    TraceFileSpec,
+    WorkloadSpec,
+    kernel_suite,
+    load_suite,
+    named_suite,
+    spec95_suite,
+    workload_spec_from_dict,
+    workload_spec_from_json,
+    workload_spec_kinds,
 )
 from .session import Session, SessionPlan, SessionResults, SimulationJob
 from .engine import (
@@ -220,6 +241,24 @@ __all__ = [
     "paper_gas_spec",
     "paper_pas_spec",
     "paper_spec",
+    # workload specs (the trace-source counterpart of predictor specs;
+    # the workload FilterSpec stays module-qualified to avoid clashing
+    # with the predictor FilterSpec above)
+    "WorkloadSpec",
+    "Spec95InputSpec",
+    "PopulationSpec",
+    "PopulationBranch",
+    "KernelSpec",
+    "TraceFileSpec",
+    "ConcatSpec",
+    "SuiteSpec",
+    "workload_spec_kinds",
+    "workload_spec_from_dict",
+    "workload_spec_from_json",
+    "spec95_suite",
+    "kernel_suite",
+    "named_suite",
+    "load_suite",
     # session
     "Session",
     "SessionPlan",

@@ -6,13 +6,17 @@
     python -m repro run fig3 [options]        # one table/figure
     python -m repro run all --jobs 4          # everything, paper order,
                                               #   parallel artifact DAG
+    python -m repro run all --suite kernels   # …on the VM kernel suite
     python -m repro plan fig5                 # print the artifact DAG
     python -m repro plan all                  # (shared nodes deduped)
     python -m repro artifacts list            # what the store holds
     python -m repro artifacts gc              # drop unreachable objects
     python -m repro misclassification         # the headline §4.2 numbers
     python -m repro specs                     # predictor spec schema
+    python -m repro workloads                 # workload spec schema + suites
     python -m repro simulate --spec S [opts]  # simulate a JSON spec
+    python -m repro simulate --spec S --workload W   # …on one workload
+    python -m repro trace info FILE           # inspect a saved trace
 
 Experiments run through the artifact pipeline (see ``docs/API.md``,
 *Pipeline & artifacts*): expensive artifacts are content-addressed in
@@ -21,10 +25,13 @@ fans independent artifacts out over worker processes, and ``run all``
 runs every experiment even when some fail, summarizing pass/fail at the
 end (non-zero exit only then).
 
-Options: ``--scale`` (trace length multiplier), ``--inputs primary|all``
-(one input set per benchmark vs all 34), ``--cache-dir``, ``--no-cache``,
-``--engine``, ``--jobs``.  ``--spec`` accepts inline JSON or a path to a
-JSON file; see ``docs/API.md`` for the spec schema.
+Options: ``--suite`` (named suite — ``spec95``, ``spec95-all``,
+``kernels`` — or a workload/suite JSON file; see ``docs/WORKLOADS.md``),
+``--scale`` (trace length multiplier), ``--inputs primary|all`` (one
+input set per benchmark vs all 34; sugar for the default spec95 suite),
+``--cache-dir``, ``--no-cache``, ``--engine``, ``--jobs``.  ``--spec``
+and ``--workload`` accept inline JSON or a path to a JSON file; see
+``docs/API.md`` and ``docs/WORKLOADS.md`` for the schemas.
 """
 
 from __future__ import annotations
@@ -38,6 +45,16 @@ from pathlib import Path
 from .errors import ConfigurationError, ReproError
 from .experiments import ExperimentContext, all_experiment_ids, get_experiment
 from .spec import PredictorSpec, spec_class, spec_from_json, spec_kinds
+from .workload_spec import (
+    NAMED_SUITES,
+    SuiteSpec,
+    load_suite,
+    model_spec_kinds,
+    named_suite,
+    resolve_workload,
+    workload_spec_class,
+    workload_spec_kinds,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -97,13 +114,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("specs", help="list predictor spec kinds and their fields")
 
+    sub.add_parser(
+        "workloads", help="list workload spec kinds, fields and named suites"
+    )
+
     sim = sub.add_parser(
-        "simulate", help="simulate a declarative predictor spec over the suite"
+        "simulate", help="simulate a declarative predictor spec over a workload"
     )
     sim.add_argument(
         "--spec",
         required=True,
         help="predictor spec: inline JSON or a path to a JSON file (see docs/API.md)",
+    )
+    sim.add_argument(
+        "--workload",
+        default=None,
+        help=(
+            "workload spec: a named suite, inline JSON or a path to a JSON "
+            "file (see docs/WORKLOADS.md); default: the context suite"
+        ),
     )
     sim.add_argument(
         "--benchmark",
@@ -116,10 +145,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the session execution plan before the results",
     )
     _add_context_options(sim)
+
+    trace = sub.add_parser("trace", help="inspect saved trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_info = trace_sub.add_parser(
+        "info", help="print length, PCs, rates and class histogram of a trace file"
+    )
+    trace_info.add_argument("path", help="trace file (.rbt binary or text format)")
     return parser
 
 
 def _add_context_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suite",
+        default=None,
+        help=(
+            "workload suite: a built-in name "
+            f"({', '.join(sorted(NAMED_SUITES))}) or a suite JSON file "
+            "(default: the spec95 suite built from --inputs/--scale)"
+        ),
+    )
     parser.add_argument(
         "--scale", type=float, default=1.0, help="trace length multiplier (default 1.0)"
     )
@@ -152,12 +197,16 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _context_from(args: argparse.Namespace) -> ExperimentContext:
+    suite = None
+    if getattr(args, "suite", None) is not None:
+        suite = load_suite(args.suite, scale=args.scale)
     return ExperimentContext(
         inputs=args.inputs,
         scale=args.scale,
         cache_dir=None if args.no_cache else args.cache_dir,
         engine=args.engine,
         jobs=args.jobs,
+        suite=suite,
     )
 
 
@@ -258,9 +307,11 @@ def _run_artifacts(args: argparse.Namespace) -> int:
     live = context.pipeline.planner.live_digests(store)
     removed, reclaimed = store.gc(live, dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
+    assert config.suite is not None
     print(
-        f"gc: keeping artifacts reachable at inputs={config.inputs} "
-        f"scale={config.scale:g} histories={config.history_lengths[0]}"
+        f"gc: keeping artifacts reachable at suite={config.suite.name} "
+        f"[{config.suite.content_key()[:12]}] scale={config.scale:g} "
+        f"histories={config.history_lengths[0]}"
         f"..{config.history_lengths[-1]}"
     )
     print(f"gc: {verb} {removed} object(s), {reclaimed:,} B")
@@ -282,20 +333,97 @@ def _run_specs() -> int:
     return 0
 
 
+def _run_workloads() -> int:
+    print("workload spec kinds:")
+    for kind in workload_spec_kinds():
+        cls = workload_spec_class(kind)
+        print(f"{kind}:")
+        for f in dataclasses.fields(cls):
+            if f.default is not dataclasses.MISSING:
+                default = f.default
+            elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                default = f.default_factory()  # type: ignore[misc]
+            else:
+                default = "<required>"
+            print(f"  {f.name} (default {default!r})")
+    print()
+    print(f"branch model kinds (population branches): {', '.join(model_spec_kinds())}")
+    print()
+    print("named suites (--suite / --workload):")
+    for name in sorted(NAMED_SUITES):
+        suite = named_suite(name)
+        print(f"  {name:12s} {len(suite.members)} member(s): "
+              f"{', '.join(suite.labels()[:4])}"
+              + (", …" if len(suite.members) > 4 else ""))
+    return 0
+
+
+def _run_trace_info(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .classify.classes import NUM_CLASSES, rate_classes
+    from .trace.io import load_trace
+    from .trace.stats import TraceStats
+
+    try:
+        trace = load_trace(args.path)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace file {args.path!r}: {exc}") from None
+    stats = TraceStats.from_trace(trace)
+    print(f"trace:            {trace.name or '<unnamed>'} ({args.path})")
+    print(f"records:          {len(trace):,}")
+    print(f"static branches:  {trace.num_static_branches:,}")
+    print(f"taken rate:       {trace.taken_fraction:.4%}")
+    if len(stats):
+        weights = stats.dynamic_weights()
+        transition = float((stats.transition_rates() * weights).sum())
+        print(f"transition rate:  {transition:.4%}  (dynamic-weighted per-branch)")
+        print()
+        print("class histogram (% of dynamic branches):")
+        header = "  class      " + "".join(f"{c:>7d}" for c in range(NUM_CLASSES))
+        print(header)
+        for label, rates in (
+            ("taken", stats.taken_rates()),
+            ("transition", stats.transition_rates()),
+        ):
+            shares = np.bincount(
+                rate_classes(rates), weights=weights, minlength=NUM_CLASSES
+            )
+            print(
+                f"  {label:10s} "
+                + "".join(f"{share * 100:7.2f}" for share in shares)
+            )
+    return 0
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     context = _context_from(args)
-    traces = context.traces
-    if args.benchmark is not None:
-        traces = [t for t in traces if t.name.split("/", 1)[0] == args.benchmark]
-        if not traces:
-            known = sorted({t.name.split("/", 1)[0] for t in context.traces})
-            raise ConfigurationError(
-                f"no traces for benchmark {args.benchmark!r}; available: {known}"
-            )
-
     session = context.session()
-    jobs = [session.submit(trace, spec) for trace in traces]
+    if args.workload is not None:
+        workload = resolve_workload(args.workload, scale=args.scale)
+        # A suite simulates per member (mirroring the per-benchmark
+        # listing); any other workload is one job.
+        workloads = list(workload.members) if isinstance(workload, SuiteSpec) else [workload]
+        if args.benchmark is not None:
+            kept = [w for w in workloads if w.label.split("/", 1)[0] == args.benchmark]
+            if not kept:
+                known = sorted({w.label.split("/", 1)[0] for w in workloads})
+                raise ConfigurationError(
+                    f"no workloads for benchmark {args.benchmark!r}; available: {known}"
+                )
+            workloads = kept
+        jobs = [session.submit(w, spec) for w in workloads]
+    else:
+        traces = context.traces
+        if args.benchmark is not None:
+            traces = [t for t in traces if t.name.split("/", 1)[0] == args.benchmark]
+            if not traces:
+                known = sorted({t.name.split("/", 1)[0] for t in context.traces})
+                raise ConfigurationError(
+                    f"no traces for benchmark {args.benchmark!r}; available: {known}"
+                )
+        jobs = [session.submit(trace, spec) for trace in traces]
     if args.show_plan:
         print(session.plan().describe())
         print()
@@ -348,8 +476,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "specs":
             return _run_specs()
 
+        if args.command == "workloads":
+            return _run_workloads()
+
         if args.command == "simulate":
             return _run_simulate(args)
+
+        if args.command == "trace":
+            return _run_trace_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

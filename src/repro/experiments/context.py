@@ -23,6 +23,7 @@ from ..pipeline import ArtifactStore, Pipeline, PipelineConfig
 from ..predictors.paper_configs import HISTORY_LENGTHS
 from ..session import Session
 from ..trace.stream import Trace
+from ..workload_spec import SuiteSpec
 
 __all__ = ["ExperimentContext"]
 
@@ -32,12 +33,21 @@ class ExperimentContext:
 
     Parameters
     ----------
+    suite:
+        The workload universe, as a
+        :class:`~repro.workload_spec.SuiteSpec` — any mix of synthetic
+        benchmarks, VM kernels, trace files and composed workloads.
+        ``None`` (the default) builds the calibrated spec95 suite from
+        ``inputs``/``scale``, which survive as sugar.
     inputs:
         ``"primary"`` (one input set per benchmark, the default) or
-        ``"all"`` (all 34 Table 1 input sets).
+        ``"all"`` (all 34 Table 1 input sets).  Ignored when ``suite``
+        is given.
     scale:
         Trace-length multiplier on top of the Table 1 scaling; the
         benchmark harness uses small scales, full reproduction uses 1.0.
+        Applies to the default suite only (a custom ``suite`` carries
+        its own scaling).
     history_lengths:
         Histories swept (the paper uses 0..16).
     cache_dir:
@@ -64,12 +74,14 @@ class ExperimentContext:
         cache_dir: str | Path | None = ".repro-cache",
         engine: str = "auto",
         jobs: int = 1,
+        suite: SuiteSpec | None = None,
     ) -> None:
         config = PipelineConfig(
             inputs=inputs,
             scale=scale,
             history_lengths=tuple(history_lengths),
             engine=engine,
+            suite=suite,
         )
         self.pipeline = Pipeline(config, ArtifactStore(cache_dir), jobs=jobs)
 
@@ -86,6 +98,12 @@ class ExperimentContext:
     @property
     def inputs(self) -> str:
         return self.config.inputs
+
+    @property
+    def suite(self) -> SuiteSpec:
+        """The workload universe this context's pipeline plans over."""
+        assert self.config.suite is not None
+        return self.config.suite
 
     @property
     def scale(self) -> float:

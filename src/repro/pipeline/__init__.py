@@ -26,9 +26,9 @@ from .artifacts import (
     PipelineConfig,
     ProfileNode,
     RenderNode,
-    SuiteTracesNode,
     SweepNode,
     TraceSweepNode,
+    WorkloadNode,
     node_digest,
 )
 from .executor import ExecutionReport, Executor, NodeFailure, Pipeline
@@ -42,7 +42,7 @@ __all__ = [
     "ArtifactStore",
     "ManifestEntry",
     "PipelineConfig",
-    "SuiteTracesNode",
+    "WorkloadNode",
     "ProfileNode",
     "MergedProfileNode",
     "TraceSweepNode",

@@ -53,13 +53,13 @@ from ..session import ENGINES, Session
 from ..trace.filters import merge_suite
 from ..trace.stats import TraceStats
 from ..trace.stream import Trace
-from ..workloads.synthetic.spec95 import suite_traces
+from ..workload_spec import SuiteSpec, spec95_suite
 
 __all__ = [
     "STORE_VERSION",
     "PipelineConfig",
     "ArtifactNode",
-    "SuiteTracesNode",
+    "WorkloadNode",
     "ProfileNode",
     "MergedProfileNode",
     "TraceSweepNode",
@@ -72,7 +72,9 @@ __all__ = [
 
 #: Bumped when any codec or node semantics change incompatibly; part of
 #: every content address, so old store objects simply stop matching.
-STORE_VERSION = 1
+#: Version 2: the trace root became the workload-spec-addressed
+#: :class:`WorkloadNode` (was the spec95-only ``SuiteTracesNode``).
+STORE_VERSION = 2
 
 _GRID_FIELDS = (
     "taken_executions",
@@ -88,10 +90,16 @@ _GRID_FIELDS = (
 class PipelineConfig:
     """The experiment-level configuration an artifact DAG is planned for.
 
-    ``inputs``/``scale``/``history_lengths`` participate in content
-    addresses (they change artifact values); ``engine`` does not (all
-    engines are bit-exact where they overlap) and only selects *how*
-    sweep artifacts are computed.
+    The workload universe is the ``suite``
+    (:class:`~repro.workload_spec.SuiteSpec`); ``inputs``/``scale``
+    survive as sugar for the default calibrated spec95 suite — when
+    ``suite`` is ``None`` it is built as
+    ``spec95_suite(inputs, scale)``, so the historical constructor
+    keeps working unchanged.  The suite's content key and
+    ``history_lengths`` participate in content addresses (they change
+    artifact values); ``engine`` does not (all engines are bit-exact
+    where they overlap) and only selects *how* sweep artifacts are
+    computed.
     """
 
     inputs: str = "primary"
@@ -99,6 +107,7 @@ class PipelineConfig:
     history_lengths: tuple[int, ...] = tuple(HISTORY_LENGTHS)
     engine: str = "auto"
     predictor_kinds: tuple[str, ...] = ("pas", "gas")
+    suite: SuiteSpec | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -111,6 +120,12 @@ class PipelineConfig:
             raise ConfigurationError("history_lengths must be non-empty")
         if self.engine not in ENGINES:
             raise ConfigurationError(f"engine {self.engine!r} not in {ENGINES}")
+        if self.suite is None:
+            object.__setattr__(self, "suite", spec95_suite(self.inputs, self.scale))
+        elif not isinstance(self.suite, SuiteSpec):
+            raise ConfigurationError(
+                f"suite must be a SuiteSpec, got {type(self.suite).__name__}"
+            )
         object.__setattr__(self, "history_lengths", tuple(self.history_lengths))
         object.__setattr__(self, "predictor_kinds", tuple(self.predictor_kinds))
 
@@ -172,16 +187,25 @@ class ArtifactNode:
 
 
 @dataclass(frozen=True)
-class SuiteTracesNode(ArtifactNode):
-    """The benchmark suite's traces (the root of every other artifact)."""
+class WorkloadNode(ArtifactNode):
+    """The suite's materialized traces (the root of every other artifact).
 
-    kind: ClassVar[str] = "suite-traces"
+    Addressed by the suite spec's
+    :meth:`~repro.workload_spec.WorkloadSpec.content_key` — *any*
+    workload universe (spec95, VM kernels, trace files, custom JSON
+    suites) flows through this one generic node, and two configurations
+    describing the same workload content share the same stored traces.
+    """
+
+    kind: ClassVar[str] = "workload-traces"
 
     def params(self, config: PipelineConfig) -> dict[str, Any]:
-        return {"inputs": config.inputs, "scale": config.scale}
+        assert config.suite is not None
+        return {"workload": config.suite.content_key()}
 
     def compute(self, config: PipelineConfig, deps: Mapping[str, Any]) -> list[Trace]:
-        return suite_traces(inputs=config.inputs, scale=config.scale)
+        assert config.suite is not None
+        return config.suite.traces()
 
     def encode(self, value: list[Trace]) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
         arrays: dict[str, np.ndarray] = {}
@@ -542,6 +566,7 @@ class ArtifactView:
         self._values = dict(values)
         self.inputs = config.inputs
         self.scale = config.scale
+        self.suite = config.suite
         self.history_lengths = config.history_lengths
         self.engine = config.engine
 

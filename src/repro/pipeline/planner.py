@@ -16,9 +16,10 @@ all`` makes explicit instead of leaving implicit in lazy-property
 sharing.
 
 The planner never generates trace data — trace artifact keys come from
-:func:`repro.workloads.synthetic.spec95.suite_input_sets` labels — so
-``repro plan`` is instant even for configurations whose artifacts
-would take minutes to compute.
+the suite spec's member labels
+(:meth:`repro.workload_spec.SuiteSpec.labels`) — so ``repro plan`` is
+instant even for configurations whose artifacts would take minutes to
+compute.
 """
 
 from __future__ import annotations
@@ -26,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import PipelineError
-from ..workloads.synthetic.spec95 import suite_input_sets
 from .artifacts import (
     ArtifactNode,
     MergedProfileNode,
@@ -34,9 +34,9 @@ from .artifacts import (
     PipelineConfig,
     ProfileNode,
     RenderNode,
-    SuiteTracesNode,
     SweepNode,
     TraceSweepNode,
+    WorkloadNode,
     node_digest,
 )
 from .store import ArtifactStore
@@ -112,7 +112,8 @@ class Planner:
 
     def trace_names(self) -> list[str]:
         """Suite trace labels for this configuration (no generation)."""
-        return [s.label for s in suite_input_sets(self.config.inputs)]
+        assert self.config.suite is not None
+        return self.config.suite.labels()
 
     def universe(self) -> dict[str, ArtifactNode]:
         """Every artifact node this configuration can produce, keyed and
@@ -125,7 +126,7 @@ class Planner:
         def add(node: ArtifactNode) -> None:
             nodes[node.key] = node
 
-        add(SuiteTracesNode(key="traces"))
+        add(WorkloadNode(key="traces"))
         for name in names:
             add(ProfileNode(key=f"profile:{name}", deps=("traces",), trace_name=name))
         add(MergedProfileNode(key="profile:suite", deps=("traces",)))

@@ -4,12 +4,19 @@ Every consumer of the simulator used to hand-build stateful predictors
 and call :func:`repro.engine.simulate` one job at a time, so only the
 hard-coded paper sweep benefited from the batched multi-configuration
 engine.  :class:`Session` is the declarative front door that fixes
-that: callers submit ``(trace, spec)`` *jobs* (specs are the frozen
-:class:`~repro.spec.PredictorSpec` descriptions) and the session
+that: callers submit ``(workload, spec)`` *jobs* (workloads are
+:class:`~repro.trace.stream.Trace` objects or the frozen
+:class:`~repro.workload_spec.WorkloadSpec` descriptions; specs are the
+frozen :class:`~repro.spec.PredictorSpec` descriptions) and the session
 
-1. **deduplicates** — identical jobs (same trace, spec and engine
-   request) are simulated once and every duplicate handle receives the
-   shared result;
+1. **deduplicates by content** — identical jobs (same workload
+   content, spec and engine request) are simulated once and every
+   duplicate handle receives the shared result.  Workload specs are
+   keyed by :meth:`~repro.workload_spec.WorkloadSpec.content_key` and
+   materialized at most once per session; plain traces fall back to a
+   content fingerprint (name + sha256 of the pcs/outcomes columns), so
+   two separately materialized identical traces still share one engine
+   invocation;
 2. **plans** — jobs on the same trace whose specs belong to the
    two-level family are grouped into a *single*
    :func:`~repro.engine.simulate_batched` invocation (shared history
@@ -49,6 +56,7 @@ from .spec import (
     TwoLevelSpec,
 )
 from .trace.stream import Trace
+from .workload_spec import WorkloadSpec, trace_fingerprint
 
 __all__ = [
     "SimulationJob",
@@ -96,18 +104,21 @@ def vectorizable_spec(spec: PredictorSpec) -> bool:
 
 @dataclass(frozen=True, eq=False, slots=True)
 class SimulationJob:
-    """Handle for one submitted ``(trace, spec)`` simulation request.
+    """Handle for one submitted ``(workload, spec)`` simulation request.
 
     Jobs compare and hash by *identity* (each :meth:`Session.submit`
     call returns a distinct handle, even for duplicate requests), so
     they are cheap dictionary keys; the planner deduplicates the
-    underlying work separately, by spec equality.
+    underlying work separately, by workload-content and spec equality.
+    ``trace`` is the session's canonical materialized trace for the
+    job's workload slot.
     """
 
     index: int
     trace: Trace
     spec: PredictorSpec
     engine: str
+    slot: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -230,18 +241,61 @@ class Session:
         self.max_chunk_elements = max_chunk_elements
         self._pending: list[SimulationJob] = []
         self._submitted = 0
-        # Traces are grouped by identity (not content) so planning never
-        # pays an O(n) content hash per job; slot order is first-seen.
-        self._trace_slots: dict[int, int] = {}
+        # Workloads are grouped by *content*: workload specs key on
+        # their content_key (materialized once per session), plain
+        # traces on a content fingerprint.  Each distinct Trace object
+        # is hashed once (the cache below holds a strong reference, so
+        # an id() can never be reused while its entry is alive); slot
+        # order is first-seen.
+        self._trace_slots: dict[str, int] = {}
         self._traces: list[Trace] = []
+        self._fingerprints: dict[int, tuple[Trace, str]] = {}
         self._memo: dict[tuple[int, PredictorSpec, str], SimulationResult] = {}
 
     # -- job intake ---------------------------------------------------------
 
-    def submit(self, trace: Trace, spec: PredictorSpec, *, engine: str | None = None) -> SimulationJob:
+    def _workload_slot(self, workload: Trace | WorkloadSpec) -> int:
+        """The content-keyed slot for a workload, materializing specs
+        (and fingerprinting traces) at most once per distinct content.
+
+        A spec slot also registers its materialized trace's
+        fingerprint, so a workload spec and an equal already-built
+        trace resolve to the same slot regardless of submission order.
+        """
+        if isinstance(workload, WorkloadSpec):
+            key = f"workload:{workload.content_key()}"
+            slot = self._trace_slots.get(key)
+            if slot is None:
+                trace = workload.materialize()
+                slot = self._register_trace(trace)
+                self._trace_slots[key] = slot
+            return slot
+        if isinstance(workload, Trace):
+            return self._register_trace(workload)
+        raise ConfigurationError(
+            f"expected a Trace or WorkloadSpec, got {type(workload).__name__}"
+        )
+
+    def _register_trace(self, trace: Trace) -> int:
+        cached = self._fingerprints.get(id(trace))
+        if cached is None or cached[0] is not trace:
+            self._fingerprints[id(trace)] = (trace, trace_fingerprint(trace))
+        key = f"trace:{self._fingerprints[id(trace)][1]}"
+        slot = self._trace_slots.get(key)
+        if slot is None:
+            slot = len(self._traces)
+            self._trace_slots[key] = slot
+            self._traces.append(trace)
+        return slot
+
+    def submit(
+        self,
+        workload: Trace | WorkloadSpec,
+        spec: PredictorSpec,
+        *,
+        engine: str | None = None,
+    ) -> SimulationJob:
         """Queue one simulation request; returns its job handle."""
-        if not isinstance(trace, Trace):
-            raise ConfigurationError(f"expected a Trace, got {type(trace).__name__}")
         if not isinstance(spec, PredictorSpec):
             raise ConfigurationError(
                 f"expected a PredictorSpec, got {type(spec).__name__} "
@@ -250,24 +304,20 @@ class Session:
         requested = self.engine if engine is None else engine
         if requested not in ENGINES:
             raise ConfigurationError(f"engine {requested!r} not in {ENGINES}")
-        slot = self._trace_slots.get(id(trace))
-        if slot is None:
-            slot = len(self._traces)
-            self._trace_slots[id(trace)] = slot
-            self._traces.append(trace)
-        job = SimulationJob(self._submitted, trace, spec, requested)
+        slot = self._workload_slot(workload)
+        job = SimulationJob(self._submitted, self._traces[slot], spec, requested, slot)
         self._submitted += 1
         self._pending.append(job)
         return job
 
     def submit_many(
         self,
-        jobs: Iterable[tuple[Trace, PredictorSpec]],
+        jobs: Iterable[tuple[Trace | WorkloadSpec, PredictorSpec]],
         *,
         engine: str | None = None,
     ) -> list[SimulationJob]:
-        """Queue many ``(trace, spec)`` pairs; returns their handles in order."""
-        return [self.submit(trace, spec, engine=engine) for trace, spec in jobs]
+        """Queue many ``(workload, spec)`` pairs; returns their handles in order."""
+        return [self.submit(workload, spec, engine=engine) for workload, spec in jobs]
 
     # -- planning -----------------------------------------------------------
 
@@ -284,7 +334,7 @@ class Session:
         return job.engine
 
     def _work_key(self, job: SimulationJob, engine: str) -> tuple[int, PredictorSpec, str]:
-        return (self._trace_slots[id(job.trace)], job.spec, engine)
+        return (job.slot, job.spec, engine)
 
     def plan(self) -> SessionPlan:
         """Group the pending jobs into engine invocations.
@@ -332,7 +382,7 @@ class Session:
         """
         plan = self.plan()
         for batch in plan.batches:
-            slot = self._trace_slots[id(batch.trace)]
+            slot = batch.entries[0].jobs[0].slot
             fresh = [e for e in batch.entries if (slot, e.spec, batch.engine) not in self._memo]
             if not fresh:
                 continue
@@ -359,12 +409,18 @@ class Session:
         }
         return SessionResults(jobs, results)
 
-    def simulate(self, trace: Trace, spec: PredictorSpec, *, engine: str | None = None) -> SimulationResult:
+    def simulate(
+        self,
+        workload: Trace | WorkloadSpec,
+        spec: PredictorSpec,
+        *,
+        engine: str | None = None,
+    ) -> SimulationResult:
         """One-shot convenience: submit one job, run, return its result.
 
         Pending jobs submitted earlier run in the same pass (they stay
         planned together), so interleaving ``submit`` and ``simulate``
         does not lose batching.
         """
-        job = self.submit(trace, spec, engine=engine)
+        job = self.submit(workload, spec, engine=engine)
         return self.run()[job]

@@ -1,0 +1,1089 @@
+"""Declarative workload specifications.
+
+A :class:`WorkloadSpec` is a frozen, hashable, JSON-round-trippable
+description of a trace *source* — *where branch outcomes come from*,
+with no trace data attached.  It is the third leg of the declarative
+API: :mod:`repro.spec` describes predictors, :mod:`repro.pipeline`
+describes experiment artifacts, and this module describes workloads.
+Every trace source in the library has a spec class:
+
+* :class:`Spec95InputSpec` — one calibrated synthetic SPECint95
+  benchmark/input pair (Table 1), at a chosen scale;
+* :class:`PopulationSpec` — a raw model-mix population over the
+  :class:`~repro.workloads.synthetic.models.BranchModel` zoo, one
+  :class:`PopulationBranch` per static branch;
+* :class:`KernelSpec` — a real program executed by the mini-ISA VM
+  (:func:`~repro.workloads.programs.kernels.run_kernel`), with output
+  verification anchoring trace validity;
+* :class:`TraceFileSpec` — an on-disk binary/text trace file,
+  content-fingerprinted so the spec's key tracks the file's *bytes*;
+* composers :class:`ConcatSpec` / :class:`FilterSpec` wrapping
+  :mod:`repro.trace.filters`, and :class:`SuiteSpec` — a named,
+  ordered collection of uniquely-labelled member workloads (what the
+  experiment pipeline plans over).
+
+Every spec provides
+
+* :meth:`~WorkloadSpec.materialize` — generate/load/execute the
+  actual :class:`~repro.trace.stream.Trace` (always named
+  :attr:`~WorkloadSpec.label`);
+* :meth:`~WorkloadSpec.to_dict` / :meth:`~WorkloadSpec.from_dict` —
+  JSON round-trip through the kind-keyed registry
+  (:func:`workload_spec_from_dict`);
+* :meth:`~WorkloadSpec.content_key` — a stable sha256 address of the
+  *workload content*: equal keys mean bit-identical materialized
+  traces (generators are seeded; files are fingerprinted by bytes),
+  which is what lets :class:`repro.session.Session` and the pipeline's
+  ``WorkloadNode`` cache by value rather than by object identity.
+
+See ``docs/WORKLOADS.md`` for the JSON schema and a custom-suite
+walkthrough.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, ClassVar
+
+from .errors import ConfigurationError, TraceError
+from .trace.stream import Trace, concat as concat_traces
+
+__all__ = [
+    "WORKLOAD_KEY_VERSION",
+    "WorkloadSpec",
+    "Spec95InputSpec",
+    "PopulationSpec",
+    "PopulationBranch",
+    "KernelSpec",
+    "TraceFileSpec",
+    "ConcatSpec",
+    "FilterSpec",
+    "SuiteSpec",
+    "ModelSpec",
+    "BiasModelSpec",
+    "PatternModelSpec",
+    "LoopModelSpec",
+    "AlternatingModelSpec",
+    "MarkovModelSpec",
+    "PhasedModelSpec",
+    "workload_spec_kinds",
+    "workload_spec_class",
+    "workload_spec_from_dict",
+    "workload_spec_from_json",
+    "model_spec_kinds",
+    "model_spec_from_dict",
+    "trace_fingerprint",
+    "file_fingerprint",
+    "NAMED_SUITES",
+    "spec95_suite",
+    "kernel_suite",
+    "named_suite",
+    "resolve_workload",
+    "load_suite",
+]
+
+#: Bumped when key semantics change incompatibly; part of every
+#: content key, so old cache addresses simply stop matching.
+WORKLOAD_KEY_VERSION = 1
+
+_REGISTRY: dict[str, type["WorkloadSpec"]] = {}
+_MODEL_REGISTRY: dict[str, type["ModelSpec"]] = {}
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Stable content fingerprint of an in-memory trace.
+
+    Covers the name and both data columns, so two separately
+    materialized but bit-identical traces fingerprint equal — the
+    fallback identity :class:`repro.session.Session` dedupes plain
+    :class:`Trace` submissions by.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode("utf-8", "replace"))
+    digest.update(b"\x00")
+    digest.update(trace.pcs.tobytes())
+    digest.update(trace.outcomes.tobytes())
+    return digest.hexdigest()
+
+
+#: (resolved path, mtime_ns, size) -> sha256, so repeated key/plan
+#: computations over an unpinned file re-read it only when it changes.
+_FILE_FINGERPRINTS: dict[tuple[str, int, int], str] = {}
+
+
+def file_fingerprint(path: str | Path) -> str:
+    """sha256 of a file's bytes (the :class:`TraceFileSpec` key input).
+
+    Cached per (path, mtime, size), so planning and session submission
+    do not stream a large trace file once per ``content_key()`` call.
+    """
+    try:
+        stat = os.stat(path)
+        cache_key = (os.fspath(path), stat.st_mtime_ns, stat.st_size)
+        cached = _FILE_FINGERPRINTS.get(cache_key)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        with open(path, "rb") as fp:
+            for chunk in iter(lambda: fp.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot fingerprint trace file {path!r}: {exc}") from None
+    _FILE_FINGERPRINTS[cache_key] = digest.hexdigest()
+    return _FILE_FINGERPRINTS[cache_key]
+
+
+# -- shared serialization machinery -------------------------------------------
+
+
+def _encode(value: Any) -> Any:
+    """Encode one field value into plain JSON-compatible data."""
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_encode(v) for v in value]
+    return value
+
+
+def _decode(value: Any) -> Any:
+    """Inverse of :func:`_encode`: kind-keyed dicts become specs, lists
+    become tuples (JSON has no tuple type)."""
+    if isinstance(value, Mapping) and "kind" in value:
+        kind = value["kind"]
+        if kind in _REGISTRY:
+            return workload_spec_from_dict(value)
+        if kind in _MODEL_REGISTRY:
+            return model_spec_from_dict(value)
+        raise ConfigurationError(f"unknown workload/model kind {kind!r}")
+    if isinstance(value, (list, tuple)):
+        return tuple(_decode(v) for v in value)
+    return value
+
+
+def _key_encode(value: Any) -> Any:
+    """Like :func:`_encode`, but nested workload specs collapse to
+    their :meth:`~WorkloadSpec.content_key` — a composer's key then
+    tracks member *content* (e.g. a member trace file's bytes), not
+    just member field values."""
+    if isinstance(value, WorkloadSpec):
+        return {"workload": value.content_key()}
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    if isinstance(value, tuple):
+        return [_key_encode(v) for v in value]
+    return value
+
+
+class _SpecSerde:
+    """to_dict/from_dict/to_json/from_json shared by both spec layers."""
+
+    __slots__ = ()
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form: ``{"kind": …, **fields}`` (JSON-compatible)."""
+        data: dict[str, Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):  # type: ignore[arg-type]
+            data[f.name] = _encode(getattr(self, f.name))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]):
+        """Rebuild a spec from its :meth:`to_dict` form."""
+        kind = data.get("kind", cls.kind)
+        if kind != cls.kind:
+            raise ConfigurationError(
+                f"workload spec kind mismatch: expected {cls.kind!r}, got {kind!r}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}  # type: ignore[arg-type]
+        extra = set(data) - known - {"kind"}
+        if extra:
+            raise ConfigurationError(
+                f"unknown field(s) {sorted(extra)} for workload kind {cls.kind!r}"
+            )
+        kwargs = {k: _decode(v) for k, v in data.items() if k != "kind"}
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid {cls.kind!r} spec: {exc}") from None
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON text form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+
+# -- branch model specs -------------------------------------------------------
+
+
+def _register_model(cls: type["ModelSpec"]) -> type["ModelSpec"]:
+    kind = cls.kind
+    if not kind or kind in _MODEL_REGISTRY or kind in _REGISTRY:
+        raise ConfigurationError(f"duplicate or empty model spec kind {kind!r}")
+    _MODEL_REGISTRY[kind] = cls
+    return cls
+
+
+class ModelSpec(_SpecSerde):
+    """Declarative form of one :class:`BranchModel` (a population's
+    per-branch outcome process).  Model specs are pure data: their
+    full field values participate in content keys directly."""
+
+    __slots__ = ()
+
+    def build(self):
+        """Materialize the stateless :class:`BranchModel`."""
+        raise NotImplementedError
+
+
+def _coerce_probability(value: Any, what: str) -> float:
+    """A probability as a canonical float (int 1 and float 1.0 must key
+    identically), validated at the JSON boundary."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{what} must be a number, got {value!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{what} must be in [0, 1], got {value}")
+    return value
+
+
+def _coerce_int(value: Any, what: str) -> int:
+    """An exact integer (8.5 is an error, 8.0 canonicalizes to 8)."""
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{what} must be an integer, got {value!r}") from None
+    if coerced != value:
+        raise ConfigurationError(f"{what} must be an integer, got {value!r}")
+    return coerced
+
+
+@_register_model
+@dataclass(frozen=True, slots=True)
+class BiasModelSpec(ModelSpec):
+    """I.i.d. coin flips with taken probability ``p``."""
+
+    kind: ClassVar[str] = "bias"
+
+    p: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p", _coerce_probability(self.p, "p"))
+
+    def build(self):
+        from .workloads.synthetic.models import BiasedModel
+
+        return BiasedModel(self.p)
+
+
+@_register_model
+@dataclass(frozen=True, slots=True)
+class PatternModelSpec(ModelSpec):
+    """A fixed repeating 0/1 pattern (learnable by two-level predictors)."""
+
+    kind: ClassVar[str] = "pattern"
+
+    pattern: tuple[int, ...] = (1, 0)
+    random_phase: bool = True
+
+    def __post_init__(self) -> None:
+        pattern = tuple(_coerce_int(v, "pattern entry") for v in self.pattern)
+        if any(v not in (0, 1) for v in pattern):
+            raise ConfigurationError("pattern entries must be 0 or 1")
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "random_phase", bool(self.random_phase))
+
+    def build(self):
+        from .workloads.synthetic.models import PatternModel
+
+        return PatternModel(list(self.pattern), random_phase=self.random_phase)
+
+
+@_register_model
+@dataclass(frozen=True, slots=True)
+class LoopModelSpec(ModelSpec):
+    """A loop back-edge: taken ``body - 1`` times, then not-taken once."""
+
+    kind: ClassVar[str] = "loop"
+
+    body: int = 10
+    random_phase: bool = True
+
+    def __post_init__(self) -> None:
+        body = _coerce_int(self.body, "body")
+        if body < 2:
+            raise ConfigurationError(f"loop body must be >= 2, got {body}")
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "random_phase", bool(self.random_phase))
+
+    def build(self):
+        from .workloads.synthetic.models import LoopModel
+
+        return LoopModel(self.body, random_phase=bool(self.random_phase))
+
+
+@_register_model
+@dataclass(frozen=True, slots=True)
+class AlternatingModelSpec(ModelSpec):
+    """Strict T/N alternation — the transition-class-10 extreme."""
+
+    kind: ClassVar[str] = "alternating"
+
+    def build(self):
+        from .workloads.synthetic.models import AlternatingModel
+
+        return AlternatingModel()
+
+
+@_register_model
+@dataclass(frozen=True, slots=True)
+class MarkovModelSpec(ModelSpec):
+    """Two-state Markov chain; ``from_rates`` solves for target
+    stationary taken/transition rates."""
+
+    kind: ClassVar[str] = "markov"
+
+    p_tn: float = 0.5
+    p_nt: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p_tn", _coerce_probability(self.p_tn, "p_tn"))
+        object.__setattr__(self, "p_nt", _coerce_probability(self.p_nt, "p_nt"))
+        if self.p_tn == 0.0 and self.p_nt == 0.0:
+            raise ConfigurationError("absorbing chain: p_tn and p_nt cannot both be 0")
+
+    @classmethod
+    def from_rates(cls, taken_rate: float, transition_rate: float) -> "MarkovModelSpec":
+        from .workloads.synthetic.models import MarkovModel
+
+        model = MarkovModel.for_rates(taken_rate, transition_rate)
+        return cls(p_tn=model.p_tn, p_nt=model.p_nt)
+
+    def build(self):
+        from .workloads.synthetic.models import MarkovModel
+
+        return MarkovModel(self.p_tn, self.p_nt)
+
+
+@_register_model
+@dataclass(frozen=True, slots=True)
+class PhasedModelSpec(ModelSpec):
+    """Concatenated phases of other models (phase-changing branches)."""
+
+    kind: ClassVar[str] = "phased"
+
+    phases: tuple[tuple[ModelSpec, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for entry in self.phases:
+            model, weight = entry
+            if not isinstance(model, ModelSpec):
+                raise ConfigurationError("phases must pair a ModelSpec with a weight")
+            normalized.append((model, float(weight)))
+        if not normalized:
+            raise ConfigurationError("phased model needs at least one phase")
+        object.__setattr__(self, "phases", tuple(normalized))
+
+    def build(self):
+        from .workloads.synthetic.models import PhasedModel
+
+        return PhasedModel([(m.build(), w) for m, w in self.phases])
+
+
+def model_spec_kinds() -> tuple[str, ...]:
+    """Every registered branch-model kind, in registration order."""
+    return tuple(_MODEL_REGISTRY)
+
+
+def model_spec_from_dict(data: Mapping[str, Any]) -> ModelSpec:
+    """Rebuild any model spec from its :meth:`ModelSpec.to_dict` form."""
+    if "kind" not in data:
+        raise ConfigurationError("model spec dict needs a 'kind' key")
+    kind = data["kind"]
+    try:
+        cls = _MODEL_REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model spec kind {kind!r}; available: {sorted(_MODEL_REGISTRY)}"
+        ) from None
+    return cls.from_dict(data)
+
+
+# -- workload spec base -------------------------------------------------------
+
+
+def _register(cls: type["WorkloadSpec"]) -> type["WorkloadSpec"]:
+    kind = cls.kind
+    if not kind or kind in _REGISTRY or kind in _MODEL_REGISTRY:
+        raise ConfigurationError(f"duplicate or empty workload spec kind {kind!r}")
+    _REGISTRY[kind] = cls
+    return cls
+
+
+class WorkloadSpec(_SpecSerde):
+    """Base class for declarative trace sources.
+
+    Subclasses are frozen dataclasses registered under a unique
+    :attr:`kind` string.  Two specs are equal (and hash equal) iff
+    they have the same kind and field values; two specs with the same
+    :meth:`content_key` materialize bit-identical traces.
+    """
+
+    __slots__ = ()
+
+    #: Registry key; also the ``"kind"`` entry of the serialized form.
+    kind: ClassVar[str] = ""
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """The materialized trace's name (stable, no generation needed)."""
+        raise NotImplementedError
+
+    def content_key(self) -> str:
+        """Stable content address of the workload.
+
+        sha256 over the canonical JSON of ``{version, kind, fields}``
+        with nested workloads collapsed to *their* content keys.
+        Subclasses whose trace depends on state outside their fields
+        (e.g. file bytes) extend :meth:`_key_fields`.
+        """
+        payload = {
+            "v": WORKLOAD_KEY_VERSION,
+            "kind": self.kind,
+            "fields": self._key_fields(),
+        }
+        return _sha256(_canonical(payload))
+
+    def _key_fields(self) -> dict[str, Any]:
+        return {
+            f.name: _key_encode(getattr(self, f.name))
+            for f in dataclasses.fields(self)  # type: ignore[arg-type]
+        }
+
+    # -- materialization ----------------------------------------------------
+
+    def materialize(self) -> Trace:
+        """Generate/load/execute the trace (named :attr:`label`)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        """Rebuild a workload spec from JSON text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid workload JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ConfigurationError("workload JSON must be an object")
+        if cls is WorkloadSpec:
+            return workload_spec_from_dict(data)
+        return cls.from_dict(data)
+
+
+# -- spec95 synthetic benchmarks ----------------------------------------------
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class Spec95InputSpec(WorkloadSpec):
+    """One calibrated synthetic SPECint95 benchmark/input pair.
+
+    ``benchmark``/``input_name`` must name a row of the paper's
+    Table 1 (:data:`repro.workloads.synthetic.spec95.SPEC95_INPUTS`);
+    ``scale`` multiplies the reduced-scale trace length exactly like
+    the experiment pipeline's ``--scale``.
+    """
+
+    kind: ClassVar[str] = "spec95"
+
+    benchmark: str = "gcc"
+    input_name: str = "expr.i"
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._input_set()  # validate the Table 1 row exists
+        if not self.scale > 0:
+            raise ConfigurationError("scale must be positive")
+        object.__setattr__(self, "scale", float(self.scale))
+
+    def _input_set(self):
+        from .workloads.synthetic.spec95 import SPEC95_INPUTS
+
+        for input_set in SPEC95_INPUTS:
+            if (
+                input_set.benchmark == self.benchmark
+                and input_set.input_name == self.input_name
+            ):
+                return input_set
+        known = sorted({s.benchmark for s in SPEC95_INPUTS})
+        raise ConfigurationError(
+            f"unknown Table 1 input {self.benchmark}/{self.input_name}; "
+            f"benchmarks: {known}"
+        )
+
+    @classmethod
+    def of(cls, label: str, *, scale: float = 1.0) -> "Spec95InputSpec":
+        """Spec from a ``"benchmark/input"`` label (e.g. ``"gcc/expr.i"``)."""
+        benchmark, _, input_name = label.partition("/")
+        if not input_name:
+            raise ConfigurationError(
+                f"spec95 label must look like 'benchmark/input', got {label!r}"
+            )
+        return cls(benchmark=benchmark, input_name=input_name, scale=scale)
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.input_name}"
+
+    def materialize(self) -> Trace:
+        from .workloads.synthetic.spec95 import input_trace
+
+        return input_trace(self._input_set(), scale=self.scale).with_name(self.label)
+
+
+# -- raw model-mix populations ------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationBranch:
+    """One static branch of a :class:`PopulationSpec`: a PC, an outcome
+    model, a schedule weight, and the optional hard/follower markers of
+    :class:`~repro.workloads.synthetic.population.BranchSpec`."""
+
+    pc: int
+    model: ModelSpec
+    weight: int = 1
+    hard: bool = False
+    follows: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model, ModelSpec):
+            raise ConfigurationError("branch model must be a ModelSpec")
+        object.__setattr__(self, "pc", _coerce_int(self.pc, "pc"))
+        object.__setattr__(self, "weight", _coerce_int(self.weight, "weight"))
+        object.__setattr__(self, "hard", bool(self.hard))
+        if self.follows is not None:
+            object.__setattr__(self, "follows", _coerce_int(self.follows, "follows"))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pc": self.pc,
+            "model": self.model.to_dict(),
+            "weight": self.weight,
+            "hard": self.hard,
+            "follows": self.follows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PopulationBranch":
+        try:
+            return cls(
+                pc=data["pc"],
+                model=model_spec_from_dict(data["model"]),
+                weight=data.get("weight", 1),
+                hard=data.get("hard", False),
+                follows=data.get("follows"),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"population branch needs field {exc}") from None
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class PopulationSpec(WorkloadSpec):
+    """A raw synthetic population: explicit branches over the model zoo.
+
+    The declarative face of
+    :class:`~repro.workloads.synthetic.population.BranchPopulation` —
+    what :mod:`~repro.workloads.synthetic.spec95` builds internally,
+    exposed so custom populations are first-class workloads.
+    """
+
+    kind: ClassVar[str] = "population"
+
+    branches: tuple[PopulationBranch, ...] = ()
+    length: int = 10_000
+    seed: int = 0
+    hard_adjacency: float = 0.0
+    name: str = "population"
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for branch in self.branches:
+            if isinstance(branch, Mapping):
+                branch = PopulationBranch.from_dict(branch)
+            if not isinstance(branch, PopulationBranch):
+                raise ConfigurationError("branches must be PopulationBranch entries")
+            normalized.append(branch)
+        if not normalized:
+            raise ConfigurationError("population needs at least one branch")
+        length = _coerce_int(self.length, "length")
+        if length < 0:
+            raise ConfigurationError("length must be non-negative")
+        object.__setattr__(self, "branches", tuple(normalized))
+        object.__setattr__(self, "length", length)
+        object.__setattr__(self, "seed", _coerce_int(self.seed, "seed"))
+        object.__setattr__(self, "hard_adjacency", float(self.hard_adjacency))
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def materialize(self) -> Trace:
+        from .workloads.synthetic.population import BranchPopulation, BranchSpec
+
+        population = BranchPopulation(
+            [
+                BranchSpec(
+                    pc=b.pc,
+                    model=b.model.build(),
+                    weight=b.weight,
+                    hard=b.hard,
+                    follows=b.follows,
+                )
+                for b in self.branches
+            ],
+            seed=self.seed,
+            hard_adjacency=self.hard_adjacency,
+            name=self.name,
+        )
+        return population.generate(self.length, name=self.label)
+
+
+# -- VM kernel programs -------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class KernelSpec(WorkloadSpec):
+    """A mini-ISA kernel executed to completion by the VM.
+
+    The trace is *earned*: :func:`run_kernel` verifies the program's
+    architectural output (sorts actually sort), so a kernel workload's
+    branches come from a real algorithm, not a generator.
+    """
+
+    kind: ClassVar[str] = "kernel"
+
+    name: str = "bubble_sort"
+    size: int = 64
+    seed: int = 0
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        from .workloads.programs.kernels import KERNEL_NAMES
+
+        if self.name not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.name!r}; available: {KERNEL_NAMES}"
+            )
+        size = _coerce_int(self.size, "size")
+        if size < 1:
+            raise ConfigurationError("size must be >= 1")
+        object.__setattr__(self, "size", size)
+        object.__setattr__(self, "seed", _coerce_int(self.seed, "seed"))
+
+    @property
+    def label(self) -> str:
+        return self.alias or f"vm/{self.name}"
+
+    def materialize(self) -> Trace:
+        from .workloads.programs.kernels import run_kernel
+
+        result = run_kernel(self.name, size=self.size, seed=self.seed)
+        assert result.trace is not None
+        return result.trace.with_name(self.label)
+
+
+# -- on-disk trace files ------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class TraceFileSpec(WorkloadSpec):
+    """A saved trace file (binary ``.rbt`` or text format).
+
+    The content key fingerprints the file's *bytes* — editing the file
+    re-keys every downstream artifact.  ``sha256`` may pin the
+    expected fingerprint (:meth:`of` does); materialization then fails
+    loudly if the file changed underneath the spec.
+    """
+
+    kind: ClassVar[str] = "trace-file"
+
+    path: str = ""
+    sha256: str = ""
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ConfigurationError("trace-file spec needs a path")
+        object.__setattr__(self, "path", str(self.path))
+
+    @classmethod
+    def of(cls, path: str | Path, *, alias: str = "") -> "TraceFileSpec":
+        """Spec for ``path`` with the current file content pinned."""
+        return cls(path=str(path), sha256=file_fingerprint(path), alias=alias)
+
+    @property
+    def label(self) -> str:
+        return self.alias or Path(self.path).stem
+
+    def _key_fields(self) -> dict[str, Any]:
+        # The file's *content* is the workload; the path it happens to
+        # live at is not (an unpinned spec fingerprints at key time).
+        # The label IS part of the content — the materialized trace is
+        # named by it, and results/artifacts key on trace names — so
+        # same bytes under a different stem/alias stay distinct.
+        return {
+            "sha256": self.sha256 or file_fingerprint(self.path),
+            "label": self.label,
+        }
+
+    def materialize(self) -> Trace:
+        from .trace.io import load_trace
+
+        if self.sha256:
+            actual = file_fingerprint(self.path)
+            if actual != self.sha256:
+                raise TraceError(
+                    f"trace file {self.path} changed: fingerprint {actual[:12]} "
+                    f"does not match pinned {self.sha256[:12]}"
+                )
+        return load_trace(self.path).with_name(self.label)
+
+
+# -- composers ----------------------------------------------------------------
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class ConcatSpec(WorkloadSpec):
+    """Member workloads concatenated end to end (shared PC space)."""
+
+    kind: ClassVar[str] = "concat"
+
+    parts: tuple[WorkloadSpec, ...] = ()
+    name: str = "concat"
+
+    def __post_init__(self) -> None:
+        parts = tuple(self.parts)
+        if not parts:
+            raise ConfigurationError("concat needs at least one part")
+        for part in parts:
+            if not isinstance(part, WorkloadSpec):
+                raise ConfigurationError("concat parts must be WorkloadSpecs")
+        object.__setattr__(self, "parts", parts)
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def materialize(self) -> Trace:
+        return concat_traces(
+            [part.materialize() for part in self.parts], name=self.label
+        )
+
+
+#: Filter operations available to :class:`FilterSpec`, mapping op name
+#: to a callable of ``(trace, *args)``.
+_FILTER_OPS: dict[str, Callable[..., Trace]] = {}
+
+
+def _filter_op(name: str):
+    def register(fn):
+        _FILTER_OPS[name] = fn
+        return fn
+
+    return register
+
+
+@_filter_op("select_pcs")
+def _op_select_pcs(trace: Trace, pcs) -> Trace:
+    from .trace.filters import select_pcs
+
+    return select_pcs(trace, pcs)
+
+
+@_filter_op("exclude_pcs")
+def _op_exclude_pcs(trace: Trace, pcs) -> Trace:
+    from .trace.filters import exclude_pcs
+
+    return exclude_pcs(trace, pcs)
+
+
+@_filter_op("window")
+def _op_window(trace: Trace, start, length) -> Trace:
+    from .trace.filters import window
+
+    return window(trace, int(start), int(length))
+
+
+@_filter_op("sample_every")
+def _op_sample_every(trace: Trace, stride, phase=0) -> Trace:
+    from .trace.filters import sample_every
+
+    return sample_every(trace, int(stride), phase=int(phase))
+
+
+@_filter_op("offset_pcs")
+def _op_offset_pcs(trace: Trace, offset) -> Trace:
+    from .trace.filters import offset_pcs
+
+    return offset_pcs(trace, int(offset))
+
+
+@_filter_op("head")
+def _op_head(trace: Trace, n) -> Trace:
+    return trace.head(int(n))
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class FilterSpec(WorkloadSpec):
+    """A :mod:`repro.trace.filters` transformation of another workload.
+
+    ``op`` selects the transformation; ``args`` are its positional
+    arguments after the trace (e.g. ``op="window", args=(0, 1000)``).
+    """
+
+    kind: ClassVar[str] = "filter"
+
+    source: WorkloadSpec | None = None
+    op: str = "head"
+    args: tuple = ()
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.source, WorkloadSpec):
+            raise ConfigurationError("filter source must be a WorkloadSpec")
+        if self.op not in _FILTER_OPS:
+            raise ConfigurationError(
+                f"unknown filter op {self.op!r}; available: {sorted(_FILTER_OPS)}"
+            )
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def label(self) -> str:
+        assert self.source is not None
+        return self.alias or f"{self.source.label}|{self.op}"
+
+    def materialize(self) -> Trace:
+        assert self.source is not None
+        trace = _FILTER_OPS[self.op](self.source.materialize(), *self.args)
+        return trace.with_name(self.label)
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class SuiteSpec(WorkloadSpec):
+    """A named, ordered collection of uniquely-labelled workloads.
+
+    The unit the experiment pipeline plans over: per-member artifacts
+    (profiles, sweep parts) are keyed by member labels, which are
+    available without materializing anything.  :meth:`materialize`
+    returns the suite merged into one disjoint-PC-space trace
+    (:func:`~repro.trace.filters.merge_suite`); :meth:`traces` gives
+    the per-member list the pipeline's workload artifact holds.
+    """
+
+    kind: ClassVar[str] = "suite"
+
+    name: str = "suite"
+    members: tuple[WorkloadSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        members = tuple(self.members)
+        if not members:
+            raise ConfigurationError("suite needs at least one member")
+        labels = []
+        for member in members:
+            if not isinstance(member, WorkloadSpec):
+                raise ConfigurationError("suite members must be WorkloadSpecs")
+            labels.append(member.label)
+        duplicates = sorted({l for l in labels if labels.count(l) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"suite member labels must be unique; duplicated: {duplicates}"
+            )
+        object.__setattr__(self, "members", members)
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def labels(self) -> list[str]:
+        """Member trace labels, in suite order (no generation)."""
+        return [member.label for member in self.members]
+
+    def traces(self) -> list[Trace]:
+        """Materialize every member, in suite order."""
+        return [m.materialize().with_name(m.label) for m in self.members]
+
+    def materialize(self) -> Trace:
+        from .trace.filters import merge_suite
+
+        return merge_suite(self.traces(), name=self.label)
+
+
+# -- registry API -------------------------------------------------------------
+
+
+def workload_spec_kinds() -> tuple[str, ...]:
+    """Every registered workload kind, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def workload_spec_class(kind: str) -> type[WorkloadSpec]:
+    """The workload spec class registered under ``kind``."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload kind {kind!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def workload_spec_from_dict(data: Mapping[str, Any]) -> WorkloadSpec:
+    """Rebuild any workload spec from its :meth:`WorkloadSpec.to_dict` form."""
+    if "kind" not in data:
+        raise ConfigurationError("workload spec dict needs a 'kind' key")
+    return workload_spec_class(data["kind"]).from_dict(data)
+
+
+def workload_spec_from_json(text: str) -> WorkloadSpec:
+    """Rebuild any workload spec from JSON text."""
+    return WorkloadSpec.from_json(text)
+
+
+# -- named suites -------------------------------------------------------------
+
+
+def spec95_suite(inputs: str = "primary", scale: float = 1.0) -> SuiteSpec:
+    """The calibrated synthetic SPECint95 suite (the historical default).
+
+    ``inputs="primary"`` selects the largest input per benchmark (8
+    members); ``"all"`` selects all 34 Table 1 rows — exactly the old
+    ``--inputs`` semantics, now just a particular :class:`SuiteSpec`.
+    """
+    from .workloads.synthetic.spec95 import suite_input_sets
+
+    members = tuple(
+        Spec95InputSpec(benchmark=s.benchmark, input_name=s.input_name, scale=scale)
+        for s in suite_input_sets(inputs)
+    )
+    name = "spec95" if inputs == "primary" else f"spec95-{inputs}"
+    return SuiteSpec(name=name, members=members)
+
+
+#: Base problem size per kernel at scale 1.0 — chosen so each kernel
+#: contributes a few thousand dynamic branches (laptop-sized, like the
+#: spec95 suite's reduced Table 1 scaling).
+_KERNEL_BASE_SIZES = {
+    "bubble_sort": 48,
+    "binary_search": 96,
+    "rle_compress": 384,
+    "sieve": 512,
+    "byte_scanner": 512,
+    "matmul": 36,
+}
+
+
+def kernel_suite(scale: float = 1.0, *, seed: int = 0) -> SuiteSpec:
+    """The VM kernel suite: every mini-ISA program, sizes scaled.
+
+    A genuinely different workload universe from spec95: branches come
+    from executed, output-verified algorithms rather than calibrated
+    generators — ``repro run all --suite kernels`` reruns every
+    figure/table on it.
+    """
+    if not scale > 0:
+        raise ConfigurationError("scale must be positive")
+    from .workloads.programs.kernels import KERNEL_NAMES
+
+    members = tuple(
+        KernelSpec(
+            name=name,
+            size=max(8, int(_KERNEL_BASE_SIZES[name] * scale)),
+            seed=seed,
+        )
+        for name in KERNEL_NAMES
+    )
+    return SuiteSpec(name="kernels", members=members)
+
+
+#: Named suite constructors, each ``fn(scale) -> SuiteSpec``.
+NAMED_SUITES: dict[str, Callable[[float], SuiteSpec]] = {
+    "spec95": lambda scale: spec95_suite("primary", scale),
+    "spec95-all": lambda scale: spec95_suite("all", scale),
+    "kernels": kernel_suite,
+}
+
+
+def named_suite(name: str, *, scale: float = 1.0) -> SuiteSpec:
+    """One of the built-in suites by name (``repro run --suite <name>``)."""
+    try:
+        builder = NAMED_SUITES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown suite {name!r}; available: {sorted(NAMED_SUITES)} "
+            "(or pass a suite JSON file)"
+        ) from None
+    return builder(scale)
+
+
+def resolve_workload(text: str, *, scale: float = 1.0) -> WorkloadSpec:
+    """Resolve a CLI workload value into a :class:`WorkloadSpec`.
+
+    Accepts a built-in suite name (scaled by ``scale``), inline JSON
+    (starting with ``{``), or a path to a workload JSON file.  The one
+    resolver behind both ``--suite`` and ``--workload``.
+    """
+    candidate = text.strip()
+    if candidate in NAMED_SUITES:
+        return named_suite(candidate, scale=scale)
+    if candidate.startswith("{"):
+        return workload_spec_from_json(candidate)
+    path = Path(candidate)
+    if not path.exists():
+        raise ConfigurationError(
+            f"workload {candidate!r} is neither a built-in suite name "
+            f"({sorted(NAMED_SUITES)}), inline JSON, nor an existing file"
+        )
+    try:
+        return workload_spec_from_json(path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read workload file {candidate!r}: {exc}"
+        ) from None
+
+
+def load_suite(text: str, *, scale: float = 1.0) -> SuiteSpec:
+    """Resolve a CLI ``--suite`` value into a :class:`SuiteSpec`.
+
+    :func:`resolve_workload`, plus: a workload that is not itself a
+    suite is wrapped into a one-member suite, so ``--suite`` composes
+    with any workload document.
+    """
+    spec = resolve_workload(text, scale=scale)
+    if isinstance(spec, SuiteSpec):
+        return spec
+    return SuiteSpec(name=spec.label, members=(spec,))

@@ -211,6 +211,141 @@ class TestPipelineCommands:
         assert "taken rate" in capsys.readouterr().out.lower()
 
 
+class TestSuiteOption:
+    def test_suite_option_parsed(self):
+        args = build_parser().parse_args(["run", "all", "--suite", "kernels"])
+        assert args.suite == "kernels"
+        assert build_parser().parse_args(["run", "fig1"]).suite is None
+
+    def test_run_all_on_kernel_suite(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "all", "--suite", "kernels", "--scale", "0.25",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run all: 17/17 experiments succeeded [ok]" in out
+        assert "vm/sieve" in out  # fig15 lists the kernel labels
+
+    def test_suite_rerun_hits_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig1", "--suite", "kernels", "--scale", "0.25"]) == 0
+        capsys.readouterr()
+        assert main(["plan", "all", "--suite", "kernels", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        # The expensive shared artifacts are warm; only never-rendered
+        # leaves remain to run.
+        assert "workload-traces" in out
+        assert "sweep-grids" in out
+        for line in out.splitlines():
+            if "workload-traces" in line or "sweep-grids" in line:
+                assert "[cached]" in line, line
+
+    def test_suite_from_json_file(self, capsys, tmp_path, monkeypatch):
+        from repro.workload_spec import kernel_suite
+
+        monkeypatch.chdir(tmp_path)
+        suite_file = tmp_path / "mine.json"
+        suite_file.write_text(kernel_suite(0.25).to_json())
+        assert main(["run", "fig15", "--suite", str(suite_file), "--no-cache"]) == 0
+        assert "vm/matmul" in capsys.readouterr().out
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["run", "fig1", "--suite", "doom", "--no-cache"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_gc_reports_suite(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "table1", "--scale", "0.01"]) == 0
+        capsys.readouterr()
+        assert main(["artifacts", "gc", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "suite=spec95" in out
+
+
+class TestWorkloadCommands:
+    def test_workloads_lists_kinds_and_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("spec95", "population", "kernel", "trace-file",
+                     "concat", "filter", "suite"):
+            assert f"{kind}:" in out
+        assert "kernels" in out
+        assert "markov" in out
+
+    def test_simulate_workload_inline(self, capsys):
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", '{"kind": "kernel", "name": "sieve", "size": 96}',
+            "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vm/sieve" in out
+        assert "bimodal" in out
+
+    def test_simulate_workload_named_suite(self, capsys):
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", "kernels", "--scale", "0.25", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vm/bubble_sort" in out
+        assert "suite" in out
+
+    def test_simulate_workload_from_file(self, capsys, tmp_path):
+        from repro.workload_spec import KernelSpec
+
+        workload_file = tmp_path / "w.json"
+        workload_file.write_text(KernelSpec(name="matmul", size=24).to_json())
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", str(workload_file), "--no-cache",
+        ]) == 0
+        assert "vm/matmul" in capsys.readouterr().out
+
+    def test_simulate_workload_respects_benchmark_filter(self, capsys):
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", "kernels", "--scale", "0.25",
+            "--benchmark", "vm", "--no-cache",
+        ]) == 0
+        assert "vm/sieve" in capsys.readouterr().out
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", "kernels", "--scale", "0.25",
+            "--benchmark", "gcc", "--no-cache",
+        ]) == 1  # nothing matches: error, not a silently dropped filter
+        assert "no workloads for benchmark" in capsys.readouterr().err
+
+    def test_simulate_workload_missing_file(self, capsys):
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", "/nonexistent/w.json", "--no-cache",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceInfo:
+    def test_trace_info(self, capsys, tmp_path):
+        from repro.trace import Trace, save_trace
+
+        path = tmp_path / "t.rbt"
+        save_trace(
+            Trace([16, 16, 20, 16, 20], [1, 0, 1, 1, 1], name="demo"), path
+        )
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "records:          5" in out
+        assert "static branches:  2" in out
+        assert "class histogram" in out
+        assert "transition" in out
+
+    def test_trace_info_missing_file(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])  # subcommand required
+        assert main(["trace", "info", "/nonexistent/t.rbt"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+
 class TestSpecCommands:
     def test_specs_lists_every_kind(self, capsys):
         assert main(["specs"]) == 0

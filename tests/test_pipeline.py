@@ -330,13 +330,102 @@ class TestExecutor:
         assert report.value("render:fig1").rendered.startswith("mis=")
 
     def test_pipeline_value_raises_on_failure(self, tmp_path, monkeypatch):
-        from repro.pipeline import artifacts as artifacts_module
+        from repro.workload_spec import SuiteSpec
 
         monkeypatch.setattr(
-            artifacts_module, "suite_traces", lambda **kw: 1 / 0
+            SuiteSpec, "traces", lambda self: 1 / 0
         )
         with pytest.raises(PipelineError, match="traces"):
             small_context(tmp_path).traces
+
+
+class TestSuites:
+    """The pipeline on non-spec95 workload universes (generic WorkloadNode)."""
+
+    def kernels(self, scale=0.25):
+        from repro.workload_spec import kernel_suite
+
+        return kernel_suite(scale)
+
+    def test_run_all_on_kernel_suite(self, tmp_path):
+        context = ExperimentContext(
+            cache_dir=tmp_path, suite=self.kernels(), history_lengths=(0, 2)
+        )
+        report = context.pipeline.run_experiments(all_experiment_ids())
+        assert report.ok, report.failures
+        # Per-member artifacts are keyed by kernel labels.
+        assert set(context.profiles) == set(context.suite.labels())
+        # Warm rerun recomputes nothing.
+        warm = ExperimentContext(
+            cache_dir=tmp_path, suite=self.kernels(), history_lengths=(0, 2)
+        ).pipeline.run_experiments(all_experiment_ids())
+        assert warm.ok and warm.computed == []
+
+    def test_suite_content_addresses_artifacts(self):
+        def digest(suite, key="traces"):
+            return (
+                Planner(PipelineConfig(suite=suite, history_lengths=(0, 2)))
+                .plan([key])
+                .digest_of(key)
+            )
+
+        # Equal suite content -> equal addresses (across distinct objects)...
+        assert digest(self.kernels()) == digest(self.kernels())
+        # ...different content (a member size) -> different addresses.
+        assert digest(self.kernels()) != digest(self.kernels(scale=0.5))
+        # Different universes never collide.
+        spec95 = Planner(PipelineConfig(**SMALL)).plan(["traces"]).digest_of("traces")
+        assert digest(self.kernels()) != spec95
+
+    def test_suite_equivalent_to_inputs_scale_sugar(self):
+        from repro.workload_spec import spec95_suite
+
+        sugar = PipelineConfig(**SMALL)
+        explicit = PipelineConfig(
+            suite=spec95_suite("primary", SMALL["scale"]),
+            history_lengths=SMALL["history_lengths"],
+        )
+        for key in ("traces", "sweep"):
+            assert (
+                Planner(sugar).plan([key]).digest_of(key)
+                == Planner(explicit).plan([key]).digest_of(key)
+            ), key
+
+    def test_mixed_custom_suite(self, tmp_path):
+        from repro.trace import Trace, save_trace
+        from repro.workload_spec import KernelSpec, SuiteSpec, TraceFileSpec
+
+        path = tmp_path / "saved.rbt"
+        save_trace(
+            Trace([16, 20] * 300, [1, 0] * 300, name="saved"), path
+        )
+        suite = SuiteSpec(
+            name="mixed",
+            members=(KernelSpec(name="sieve", size=64), TraceFileSpec.of(path)),
+        )
+        context = ExperimentContext(
+            cache_dir=tmp_path / "store", suite=suite, history_lengths=(0, 1)
+        )
+        assert [t.name for t in context.traces] == ["vm/sieve", "saved"]
+        assert context.sweep.total_dynamic == sum(len(t) for t in context.traces)
+
+    def test_parallel_jobs_bit_identical_on_kernels(self, tmp_path):
+        rendered = {}
+        for jobs in (1, 2):
+            context = ExperimentContext(
+                cache_dir=tmp_path / f"jobs{jobs}",
+                suite=self.kernels(),
+                history_lengths=(0, 2),
+                jobs=jobs,
+            )
+            report = context.pipeline.run_experiments(["fig5", "fig15"])
+            assert report.ok, report.failures
+            rendered[jobs] = {
+                key: value.rendered if hasattr(value, "rendered") else value
+                for key, value in report.values.items()
+                if key.startswith("render:")
+            }
+        assert rendered[1] == rendered[2]
 
 
 class TestGc:
@@ -371,7 +460,7 @@ class TestFacade:
         report = context.misclassification()
         assert report.taken_identified > 0
         kinds = {e["kind"] for e in context.store.entries()}
-        assert {"suite-traces", "trace-profile", "suite-profile", "misclassification"} <= kinds
+        assert {"workload-traces", "trace-profile", "suite-profile", "misclassification"} <= kinds
 
     def test_render_cached_as_artifact(self, tmp_path):
         context = small_context(tmp_path)

@@ -8,6 +8,7 @@ from repro.engine import simulate_reference, simulate_sweep
 from repro.errors import ConfigurationError
 from repro.predictors.paper_configs import HISTORY_LENGTHS, paper_spec
 from repro.session import Session, batchable_spec, vectorizable_spec
+from repro.workload_spec import KernelSpec, kernel_suite
 from repro.spec import (
     AgreeSpec,
     BimodalSpec,
@@ -176,6 +177,104 @@ class TestExecution:
         assert session.plan().batches[0].engine == "reference"
         result = session.run()[job]
         assert result.total_executions == 300
+
+
+class TestContentDedupe:
+    def test_identical_traces_share_one_simulation(self):
+        # Regression: dedupe is by *content*, not object identity — two
+        # separately materialized identical traces cost one engine
+        # invocation.
+        t1, t2 = random_trace(seed=9), random_trace(seed=9)
+        assert t1 is not t2
+        session = Session()
+        a = session.submit(t1, TwoLevelSpec.gas(4))
+        b = session.submit(t2, TwoLevelSpec.gas(4))
+        plan = session.plan()
+        assert plan.num_jobs == 2
+        assert plan.num_unique == 1
+        results = session.run()
+        assert results[a] is results[b]
+
+    def test_different_content_not_merged(self):
+        session = Session()
+        session.submit(random_trace(seed=1), TwoLevelSpec.gas(4))
+        session.submit(random_trace(seed=2), TwoLevelSpec.gas(4))
+        assert session.plan().num_unique == 2
+
+    def test_name_participates_in_content(self):
+        # Results are labelled by trace name, so same data under a
+        # different name must stay a distinct work item.
+        session = Session()
+        trace = random_trace(seed=4, name="a")
+        session.submit(trace, TwoLevelSpec.gas(4))
+        session.submit(trace.with_name("b"), TwoLevelSpec.gas(4))
+        assert session.plan().num_unique == 2
+
+    def test_fingerprint_computed_once_per_object(self, monkeypatch):
+        import repro.session as session_module
+
+        calls = []
+        real = session_module.trace_fingerprint
+        monkeypatch.setattr(
+            session_module,
+            "trace_fingerprint",
+            lambda trace: calls.append(1) or real(trace),
+        )
+        session = Session()
+        trace = random_trace()
+        for k in range(5):
+            session.submit(trace, TwoLevelSpec.gas(k))
+        assert len(calls) == 1
+
+
+class TestWorkloadSpecJobs:
+    def test_workload_spec_submission(self):
+        session = Session()
+        spec = KernelSpec(name="sieve", size=96)
+        job = session.submit(spec, TwoLevelSpec.gas(4))
+        result = session.run()[job]
+        assert result.trace_name == "vm/sieve"
+        expected = simulate_reference(
+            TwoLevelSpec.gas(4).build(), spec.materialize()
+        )
+        assert np.array_equal(result.mispredictions, expected.mispredictions)
+
+    def test_equal_specs_materialize_once(self, monkeypatch):
+        calls = []
+        original = KernelSpec.materialize
+
+        def counting(self):
+            calls.append(self.label)
+            return original(self)
+
+        monkeypatch.setattr(KernelSpec, "materialize", counting)
+        session = Session()
+        a = session.submit(KernelSpec(name="sieve", size=64), TwoLevelSpec.gas(2))
+        b = session.submit(KernelSpec(name="sieve", size=64), TwoLevelSpec.gas(3))
+        assert calls == ["vm/sieve"]  # second submit hit the slot cache
+        assert session.plan().num_unique == 2  # ...but specs differ
+        results = session.run()
+        assert results[a].trace_name == results[b].trace_name == "vm/sieve"
+
+    def test_spec_and_materialized_trace_share_work(self):
+        # A workload spec job and a plain-trace job with the same
+        # content meet at the same memo entry via the content key.
+        spec = KernelSpec(name="rle_compress", size=64)
+        session = Session()
+        a = session.submit(spec, TwoLevelSpec.gas(2))
+        b = session.submit(spec.materialize(), TwoLevelSpec.gas(2))
+        assert session.plan().num_unique == 1
+        results = session.run()
+        assert results[a] is results[b]
+
+    def test_suite_members_via_submit_many(self):
+        session = Session()
+        suite = kernel_suite(0.25)
+        jobs = session.submit_many(
+            (member, TwoLevelSpec.gas(2)) for member in suite.members
+        )
+        results = session.run()
+        assert [results[j].trace_name for j in jobs] == suite.labels()
 
 
 class TestSubmitValidation:
