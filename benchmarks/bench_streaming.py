@@ -1,0 +1,153 @@
+"""Out-of-core streaming: peak-RSS bound and wall-clock overhead.
+
+Builds a chunked ``.rbt`` v2 trace file 4× larger than the streaming
+threshold the benchmark configures, then runs the *same* 8-configuration
+PAs/GAs batch through :class:`repro.session.Session` twice in separate
+subprocesses:
+
+* ``memory`` — threshold above the file size, so the session
+  materializes the trace and uses the in-memory batched engine;
+* ``stream`` — threshold below the file size, so the session streams
+  the file chunk-at-a-time through the chunked batched engine.
+
+Each subprocess reports its post-import peak-RSS increment
+(``ru_maxrss`` delta) and the in-process wall time of ``Session.run``,
+and the benchmark asserts the subsystem's acceptance contract: results
+bit-identical, streamed peak RSS **< 25%** of the in-memory path, wall
+overhead **≤ 1.5×**.  The measured numbers land in the snapshot's
+``extra_info`` (see ``BENCH_0004.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Streaming threshold configured for the ``stream`` subprocess; the
+#: trace file is built ≥ 4× larger.
+THRESHOLD_BYTES = 4 << 20
+NUM_RECORDS = 2_200_000  # ~17.9 MB on disk: 8 B/pc + packed outcomes
+
+_DRIVER = """
+import json, os, resource, sys, time
+
+path, mode = sys.argv[1], sys.argv[2]
+os.environ["REPRO_STREAM_THRESHOLD"] = (
+    str({threshold}) if mode == "stream" else str(1 << 60)
+)
+from repro.predictors.paper_configs import paper_spec
+from repro.session import Session
+from repro.workload_spec import TraceFileSpec
+
+configs = [(kind, k) for kind in ("pas", "gas") for k in (0, 4, 8, 12)]
+session = Session()
+spec = TraceFileSpec(path=path)
+jobs = [session.submit(spec, paper_spec(kind, k)) for kind, k in configs]
+plan = session.plan()
+streamed = any(batch.streamed for batch in plan.batches)
+
+base = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+start = time.perf_counter()
+results = session.run()
+wall = time.perf_counter() - start
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+print(json.dumps({{
+    "mode": mode,
+    "streamed": streamed,
+    "rss_delta_kib": peak - base,
+    "wall_s": wall,
+    "total_misses": int(sum(results[j].total_mispredictions for j in jobs)),
+    "total_execs": int(sum(results[j].total_executions for j in jobs)),
+}}))
+"""
+
+
+def _run_driver(trace_path: Path, mode: str) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", _DRIVER.format(threshold=THRESHOLD_BYTES),
+         str(trace_path), mode],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(output.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def big_trace_file(tmp_path_factory) -> Path:
+    """A chunked v2 trace file ≥ 4× the configured streaming threshold."""
+    from repro.trace.io import write_chunks
+    from repro.trace.stream import Trace
+
+    path = tmp_path_factory.mktemp("streaming") / "big.rbt"
+    rng = np.random.default_rng(2026)
+
+    def chunks():
+        chunk_len = 1 << 18
+        state = rng.integers(0, 1 << 16, 4096)
+        for start in range(0, NUM_RECORDS, chunk_len):
+            n = min(chunk_len, NUM_RECORDS - start)
+            pcs = rng.integers(0, 4096, n)
+            # Mix pattern-following and noisy branches so the sweep
+            # has real structure to learn.
+            bits = (state[pcs] >> (start // chunk_len % 8)) & 1
+            noise = (rng.random(n) < 0.25).astype(np.int64)
+            yield Trace(pcs * 4 + 0x10000, (bits ^ noise).astype(np.uint8))
+
+    write_chunks(chunks(), path, name="bench-stream", chunk_len=1 << 18)
+    assert path.stat().st_size >= 4 * THRESHOLD_BYTES
+    return path
+
+
+def test_streaming_rss_bound_and_overhead(benchmark, big_trace_file):
+    memory = _run_driver(big_trace_file, "memory")
+    streamed = benchmark.pedantic(
+        _run_driver, args=(big_trace_file, "stream"), rounds=1, iterations=1
+    )
+
+    assert memory["streamed"] is False
+    assert streamed["streamed"] is True
+    # Bit-identical results on both paths.
+    assert streamed["total_misses"] == memory["total_misses"]
+    assert streamed["total_execs"] == memory["total_execs"]
+
+    rss_ratio = streamed["rss_delta_kib"] / max(memory["rss_delta_kib"], 1)
+    wall_ratio = streamed["wall_s"] / memory["wall_s"]
+    benchmark.extra_info.update(
+        {
+            "file_bytes": big_trace_file.stat().st_size,
+            "threshold_bytes": THRESHOLD_BYTES,
+            "records": NUM_RECORDS,
+            "memory_rss_kib": memory["rss_delta_kib"],
+            "stream_rss_kib": streamed["rss_delta_kib"],
+            "rss_ratio": round(rss_ratio, 4),
+            "memory_wall_s": round(memory["wall_s"], 3),
+            "stream_wall_s": round(streamed["wall_s"], 3),
+            "wall_ratio": round(wall_ratio, 3),
+        }
+    )
+    print(
+        f"\nstreaming: RSS {streamed['rss_delta_kib']} KiB vs "
+        f"{memory['rss_delta_kib']} KiB in-memory ({rss_ratio:.1%}), "
+        f"wall {streamed['wall_s']:.2f}s vs {memory['wall_s']:.2f}s "
+        f"({wall_ratio:.2f}x)"
+    )
+    # The subsystem's acceptance contract: O(chunk) peak memory at
+    # bounded wall-clock overhead.
+    assert rss_ratio < 0.25
+    assert wall_ratio <= 1.5

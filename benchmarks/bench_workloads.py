@@ -25,7 +25,6 @@ from repro.workload_spec import (
     PopulationBranch,
     PopulationSpec,
     Spec95InputSpec,
-    SuiteSpec,
     TraceFileSpec,
     kernel_suite,
 )

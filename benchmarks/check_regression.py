@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Performance-regression gate over the committed benchmark history.
+
+Compares a fresh ``run_benchmarks.py --quick`` run against the
+committed ``BENCH_<n>.json`` snapshots and fails (exit 1) when any
+tracked benchmark regresses by more than ``--threshold`` (default 30%).
+
+The baseline for each benchmark name is its timing in the *most recent*
+committed snapshot that contains it, so snapshots recorded for
+different subsets (engine sweeps, pipeline runs, workload
+materialization, streaming) all contribute their latest numbers.
+
+Comparisons use each benchmark's **minimum** round time (regressions
+move the minimum; scheduler noise cannot improve it).  Absolute timings
+are machine-dependent — a CI runner is not the laptop that recorded the
+baselines — so by default ratios are **normalized by the lower-quartile
+speed factor** across all compared benchmarks: if every benchmark runs
+2× slower, that is a slower machine, not a regression; if one runs 2×
+slower *relative to the rest*, that is a regression.  The lower
+quartile (not the median) anchors the machine factor on the
+least-regressed benchmarks, so a slowdown hitting even half of the
+tracked set is still caught (only a regression spanning more than ~75%
+of all benchmarks could masquerade as machine speed).  ``--absolute``
+disables the normalization for same-machine comparisons.
+
+Usage::
+
+    python benchmarks/check_regression.py                   # run --quick, compare
+    python benchmarks/check_regression.py --fresh s.json    # compare existing
+    python benchmarks/check_regression.py --threshold 0.5   # looser gate
+
+Knobs: ``--threshold`` (also ``REPRO_BENCH_GATE_THRESHOLD``),
+``--baseline-dir`` (default: repo root), ``--absolute``.  See the
+*Benchmarks & the CI gate* section of ``docs/TRACES.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from run_benchmarks import SNAPSHOT_PATTERN
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_timings(path: Path) -> dict[str, float]:
+    """Benchmark name -> best-case (``min``) seconds for one snapshot.
+
+    The *minimum* round time is what regressions move and scheduler
+    noise cannot improve, so it is far more stable than the mean on a
+    shared CI machine; snapshots missing ``min`` fall back to ``mean``.
+    """
+    data = json.loads(path.read_text())
+    timings: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        value = stats.get("min", stats.get("mean"))
+        if isinstance(value, (int, float)) and value > 0:
+            timings[bench["name"]] = float(value)
+    return timings
+
+
+def committed_baselines(baseline_dir: Path) -> tuple[dict[str, float], list[str]]:
+    """Latest committed best-case timing per benchmark name, oldest
+    snapshots first so newer snapshots override older ones."""
+    snapshots = sorted(
+        (p for p in baseline_dir.glob("BENCH_*.json") if SNAPSHOT_PATTERN.match(p.name)),
+        key=lambda p: int(SNAPSHOT_PATTERN.match(p.name).group(1)),
+    )
+    baselines: dict[str, float] = {}
+    for snapshot in snapshots:
+        baselines.update(load_timings(snapshot))
+    return baselines, [p.name for p in snapshots]
+
+
+def machine_speed_factor(ratios: list[float]) -> float:
+    """The lower-quartile fresh/baseline ratio.
+
+    An estimate of "how much slower is this machine" anchored on the
+    *least-regressed* benchmarks: tolerant of a few spuriously fast
+    outliers, but a slowdown has to span more than ~75% of the tracked
+    set before it can pass as machine speed (a median would already be
+    fooled at 50%)."""
+    ordered = sorted(ratios)
+    return ordered[len(ordered) // 4]
+
+
+def run_quick_suite() -> dict[str, float]:
+    """Run the --quick benchmark subset into a temp dir; return its timings."""
+    with tempfile.TemporaryDirectory() as tmp:
+        command = [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_benchmarks.py"),
+            "--quick",
+            "--label", "bench-gate",
+            "--output-dir", tmp,
+        ]
+        print(f"gate: running {' '.join(command[1:])}")
+        status = subprocess.run(command).returncode
+        snapshots = list(Path(tmp).glob("BENCH_*.json"))
+        if status != 0 or not snapshots:
+            raise SystemExit(f"gate: benchmark run failed (exit {status})")
+        return load_timings(snapshots[0])
+
+
+def compare(
+    fresh: dict[str, float],
+    baselines: dict[str, float],
+    *,
+    threshold: float,
+    normalize: bool,
+) -> int:
+    """Print the comparison table; return the number of regressions."""
+    common = sorted(set(fresh) & set(baselines))
+    if not common:
+        # An empty intersection means the gate checked nothing — fail
+        # loudly rather than pass vacuously.
+        print("gate: no benchmark names in common with the committed snapshots")
+        return 1
+
+    ratios = {name: fresh[name] / baselines[name] for name in common}
+    machine_factor = machine_speed_factor(list(ratios.values())) if normalize else 1.0
+    mode = (
+        f"quartile-normalized (machine factor {machine_factor:.2f}x)"
+        if normalize
+        else "absolute"
+    )
+    print(f"gate: comparing {len(common)} benchmark(s), {mode}, threshold +{threshold:.0%}")
+
+    regressions = 0
+    for name in common:
+        relative = ratios[name] / machine_factor
+        flag = "REGRESSED" if relative > 1.0 + threshold else "ok"
+        if flag != "ok":
+            regressions += 1
+        print(
+            f"  {name:58s} {baselines[name] * 1000:9.2f} ms -> "
+            f"{fresh[name] * 1000:9.2f} ms  ({relative:5.2f}x) [{flag}]"
+        )
+    skipped = sorted(set(fresh) - set(baselines))
+    if skipped:
+        print(f"gate: {len(skipped)} fresh benchmark(s) have no baseline yet: "
+              + ", ".join(skipped))
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=None,
+        help="existing snapshot to check (default: run the --quick suite now)",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=REPO_ROOT,
+        help="directory holding the committed BENCH_<n>.json history",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_GATE_THRESHOLD", "0.30")),
+        help="maximum tolerated relative slowdown (default 0.30 = +30%%)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw timings without machine-speed normalization",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baselines, snapshots = committed_baselines(args.baseline_dir)
+    if not baselines:
+        print(f"gate: no BENCH_*.json snapshots under {args.baseline_dir}")
+        return 1
+    print(f"gate: baselines from {', '.join(snapshots)}")
+
+    fresh = load_timings(args.fresh) if args.fresh else run_quick_suite()
+    regressions = compare(
+        fresh, baselines, threshold=args.threshold, normalize=not args.absolute
+    )
+    if regressions:
+        print(f"gate: FAILED — {regressions} benchmark(s) regressed "
+              f"beyond +{args.threshold:.0%}")
+        return 1
+    print("gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ Usage::
     python benchmarks/run_benchmarks.py                  # whole suite
     python benchmarks/run_benchmarks.py -k abl_engine    # one family
     python benchmarks/run_benchmarks.py --label sweep-opt
+    python benchmarks/run_benchmarks.py --quick          # CI gate subset
 
 Snapshots land in ``BENCH_<n>.json`` at the repo root by default
 (numbered after the highest existing snapshot); ``REPRO_BENCH_SCALE``
@@ -32,6 +33,18 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: The ``--quick`` subset: fast, representative benchmarks covering the
+#: engines (reference/vectorized throughput), the batched sweep, the
+#: pipeline cold/warm path and workload materialization.  This is what
+#: the CI ``bench-gate`` job runs and what
+#: ``benchmarks/check_regression.py`` compares against the committed
+#: ``BENCH_<n>.json`` history.  Keep the names stable: renaming a
+#: benchmark silently drops it from the gate until a new snapshot is
+#: committed.
+QUICK_SELECT = (
+    "engine_throughput or sweep_throughput or kernels_run_all or materialize"
+)
 
 
 def next_snapshot_path(output_dir: Path) -> Path:
@@ -55,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="free-form label stored alongside the snapshot",
     )
     parser.add_argument(
+        "--quick", action="store_true",
+        help=f"run only the CI-gate subset (-k {QUICK_SELECT!r})",
+    )
+    parser.add_argument(
         "--output-dir", type=Path, default=REPO_ROOT,
         help="directory for BENCH_<n>.json (default: repo root)",
     )
@@ -67,6 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.quick and not args.select:
+        args.select = QUICK_SELECT
 
     try:
         import pytest_benchmark  # noqa: F401

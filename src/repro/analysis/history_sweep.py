@@ -35,6 +35,7 @@ __all__ = [
     "SweepResult",
     "TraceSweep",
     "sweep_trace",
+    "sweep_workload",
     "accumulate_sweep",
     "run_sweep",
 ]
@@ -191,18 +192,10 @@ class TraceSweep:
     total_dynamic: int
 
 
-def sweep_trace(trace: Trace, config: SweepConfig | None = None) -> TraceSweep:
-    """Sweep one trace over every (kind, history length) configuration.
-
-    All configurations are submitted to one
-    :class:`~repro.session.Session` as spec jobs; with ``"auto"``/
-    ``"batched"`` the planner collapses them into a single batched
-    multi-config pass (``"vectorized"``/``"reference"`` force
-    per-configuration simulation; the counts are bit-identical).
-    """
-    config = config or SweepConfig()
-    part = TraceSweep(
-        trace_name=trace.name,
+def _empty_part(trace_name: str, config: SweepConfig) -> TraceSweep:
+    """A zeroed per-trace sweep contribution."""
+    return TraceSweep(
+        trace_name=trace_name,
         grids={
             kind: ClassMissGrid(history_lengths=config.history_lengths)
             for kind in config.predictor_kinds
@@ -212,10 +205,10 @@ def sweep_trace(trace: Trace, config: SweepConfig | None = None) -> TraceSweep:
         joint_counts=np.zeros((NUM_CLASSES, NUM_CLASSES), dtype=np.float64),
         total_dynamic=0,
     )
-    if len(trace) == 0:
-        return part
 
-    profile = ProfileTable.from_trace(trace)
+
+def _add_profile_counts(part: TraceSweep, profile: ProfileTable) -> None:
+    """Fold a profile's dynamic-weighted class occurrences into ``part``."""
     part.total_dynamic = profile.total_dynamic
     part.taken_counts += np.bincount(
         profile.taken_classes, weights=profile.executions, minlength=NUM_CLASSES
@@ -229,6 +222,24 @@ def sweep_trace(trace: Trace, config: SweepConfig | None = None) -> TraceSweep:
         profile.executions.astype(np.float64),
     )
 
+
+def sweep_trace(trace: Trace, config: SweepConfig | None = None) -> TraceSweep:
+    """Sweep one trace over every (kind, history length) configuration.
+
+    All configurations are submitted to one
+    :class:`~repro.session.Session` as spec jobs; with ``"auto"``/
+    ``"batched"`` the planner collapses them into a single batched
+    multi-config pass (``"vectorized"``/``"reference"`` force
+    per-configuration simulation; the counts are bit-identical).
+    """
+    config = config or SweepConfig()
+    part = _empty_part(trace.name, config)
+    if len(trace) == 0:
+        return part
+
+    profile = ProfileTable.from_trace(trace)
+    _add_profile_counts(part, profile)
+
     session = Session(engine=config.engine)
     jobs = [
         (kind, row, session.submit(trace, paper_spec(kind, k)))
@@ -238,6 +249,75 @@ def sweep_trace(trace: Trace, config: SweepConfig | None = None) -> TraceSweep:
     results = session.run()
     for kind, row, job in jobs:
         _accumulate_row(part.grids[kind], row, profile, results[job])
+    return part
+
+
+def sweep_workload(
+    workload, config: SweepConfig | None = None
+) -> TraceSweep:
+    """Sweep one workload, streaming out-of-core when it supports it.
+
+    ``workload`` is a :class:`~repro.trace.stream.Trace` or a
+    :class:`~repro.workload_spec.WorkloadSpec`.  Specs that report a
+    stream source (large binary trace files — see
+    :func:`repro.workload_spec.stream_threshold`) are swept without
+    ever materializing the trace: one bounded-memory pass profiles the
+    branches (:meth:`ProfileTable.from_chunks`) and one streams every
+    (kind, history length) configuration through the chunked batched
+    engine.  The resulting :class:`TraceSweep` is bit-identical to
+    ``sweep_trace(workload.materialize(), config)``.
+    """
+    from ..workload_spec import WorkloadSpec
+
+    config = config or SweepConfig()
+    if isinstance(workload, Trace):
+        return sweep_trace(workload, config)
+    if not isinstance(workload, WorkloadSpec):
+        raise ConfigurationError(
+            f"expected a Trace or WorkloadSpec, got {type(workload).__name__}"
+        )
+    source = workload.stream_source()
+    if source is None:
+        return sweep_trace(workload.materialize(), config)
+    with source:
+        return _sweep_stream(workload.label, source, config)
+
+
+def _sweep_stream(label: str, reader, config: SweepConfig) -> TraceSweep:
+    """Bounded-memory sweep over a chunk reader (two passes: profile,
+    then the chunked multi-configuration simulation)."""
+    from ..engine.streaming import simulate_batched_stream, simulate_stream
+
+    part = _empty_part(label, config)
+    if len(reader) == 0:
+        return part
+
+    profile = ProfileTable.from_chunks(iter(reader), name=label)
+    _add_profile_counts(part, profile)
+
+    keys = [
+        (kind, row, k)
+        for kind in config.predictor_kinds
+        for row, k in enumerate(config.history_lengths)
+    ]
+    if config.engine in ("auto", "batched"):
+        results = simulate_batched_stream(
+            [paper_spec(kind, k).build() for kind, _, k in keys],
+            iter(reader),
+            trace_name=label,
+        )
+    else:
+        results = [
+            simulate_stream(
+                paper_spec(kind, k).build(),
+                iter(reader),
+                engine=config.engine,
+                trace_name=label,
+            )
+            for kind, _, k in keys
+        ]
+    for (kind, row, _), result in zip(keys, results):
+        _accumulate_row(part.grids[kind], row, profile, result)
     return part
 
 
@@ -305,10 +385,18 @@ def _accumulate_counts(
     t_cls = profile.taken_classes
     x_cls = profile.transition_classes
 
-    grid.taken_executions[row] += np.bincount(t_cls, weights=execs, minlength=NUM_CLASSES).astype(np.int64)
-    grid.taken_misses[row] += np.bincount(t_cls, weights=misses, minlength=NUM_CLASSES).astype(np.int64)
-    grid.transition_executions[row] += np.bincount(x_cls, weights=execs, minlength=NUM_CLASSES).astype(np.int64)
-    grid.transition_misses[row] += np.bincount(x_cls, weights=misses, minlength=NUM_CLASSES).astype(np.int64)
+    grid.taken_executions[row] += np.bincount(
+        t_cls, weights=execs, minlength=NUM_CLASSES
+    ).astype(np.int64)
+    grid.taken_misses[row] += np.bincount(
+        t_cls, weights=misses, minlength=NUM_CLASSES
+    ).astype(np.int64)
+    grid.transition_executions[row] += np.bincount(
+        x_cls, weights=execs, minlength=NUM_CLASSES
+    ).astype(np.int64)
+    grid.transition_misses[row] += np.bincount(
+        x_cls, weights=misses, minlength=NUM_CLASSES
+    ).astype(np.int64)
     np.add.at(grid.joint_executions[row], (x_cls, t_cls), execs)
     np.add.at(grid.joint_misses[row], (x_cls, t_cls), misses)
 

@@ -79,6 +79,15 @@ class ProfileTable(Mapping[int, BranchProfile]):
         """Profile and classify a trace in one step."""
         return cls(TraceStats.from_trace(trace))
 
+    @classmethod
+    def from_chunks(cls, chunks, *, name: str | None = None) -> "ProfileTable":
+        """Profile and classify a chunk iterator with O(chunk) memory.
+
+        Bit-identical to :meth:`from_trace` over the concatenated
+        chunks (see :meth:`repro.trace.stats.TraceStats.from_chunks`).
+        """
+        return cls(TraceStats.from_chunks(chunks, name=name))
+
     # -- mapping protocol ---------------------------------------------------
 
     def __getitem__(self, pc: int) -> BranchProfile:

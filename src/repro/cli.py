@@ -16,7 +16,9 @@
     python -m repro workloads                 # workload spec schema + suites
     python -m repro simulate --spec S [opts]  # simulate a JSON spec
     python -m repro simulate --spec S --workload W   # …on one workload
+    python -m repro simulate --spec S --workload file:big.rbt  # streams
     python -m repro trace info FILE           # inspect a saved trace
+    python -m repro trace convert IN OUT --v2 --compress  # re-chunk/zlib
 
 Experiments run through the artifact pipeline (see ``docs/API.md``,
 *Pipeline & artifacts*): expensive artifacts are content-addressed in
@@ -32,6 +34,10 @@ input set per benchmark vs all 34; sugar for the default spec95 suite),
 ``--cache-dir``, ``--no-cache``, ``--engine``, ``--jobs``.  ``--spec``
 and ``--workload`` accept inline JSON or a path to a JSON file; see
 ``docs/API.md`` and ``docs/WORKLOADS.md`` for the schemas.
+``--workload`` also accepts a trace file directly (``file:<path>`` or
+any path with the binary magic); binary files at or above
+``REPRO_STREAM_THRESHOLD`` bytes (default 64 MiB) are *streamed*
+chunk-at-a-time instead of materialized — see ``docs/TRACES.md``.
 """
 
 from __future__ import annotations
@@ -146,12 +152,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_context_options(sim)
 
-    trace = sub.add_parser("trace", help="inspect saved trace files")
+    trace = sub.add_parser("trace", help="inspect and convert saved trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_info = trace_sub.add_parser(
-        "info", help="print length, PCs, rates and class histogram of a trace file"
+        "info",
+        help=(
+            "print format, length, PCs, rates and class histogram of a "
+            "trace file (binary files are streamed, never materialized)"
+        ),
     )
     trace_info.add_argument("path", help="trace file (.rbt binary or text format)")
+    trace_convert = trace_sub.add_parser(
+        "convert",
+        help="convert a trace file between formats (v1 <-> chunked v2, zlib)",
+    )
+    trace_convert.add_argument("input", help="source trace file")
+    trace_convert.add_argument("output", help="destination trace file")
+    trace_convert.add_argument(
+        "--version",
+        dest="format_version",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="output format version (default 2, chunked)",
+    )
+    trace_convert.add_argument(
+        "--v2",
+        dest="format_version",
+        action="store_const",
+        const=2,
+        help="shorthand for --version 2",
+    )
+    trace_convert.add_argument(
+        "--compress",
+        action="store_true",
+        help="zlib-compress the chunk payloads (v2 only)",
+    )
+    trace_convert.add_argument(
+        "--chunk-len",
+        type=int,
+        default=None,
+        help="records per chunk (default 1<<20; must be a multiple of 8)",
+    )
     return parser
 
 
@@ -362,18 +404,38 @@ def _run_trace_info(args: argparse.Namespace) -> int:
     import numpy as np
 
     from .classify.classes import NUM_CLASSES, rate_classes
-    from .trace.io import load_trace
+    from .trace.io import MAGIC, TraceReader, load_trace
     from .trace.stats import TraceStats
 
     try:
-        trace = load_trace(args.path)
+        with open(args.path, "rb") as fp:
+            is_binary = fp.read(4) == MAGIC
     except OSError as exc:
         raise ConfigurationError(f"cannot read trace file {args.path!r}: {exc}") from None
-    stats = TraceStats.from_trace(trace)
-    print(f"trace:            {trace.name or '<unnamed>'} ({args.path})")
-    print(f"records:          {len(trace):,}")
-    print(f"static branches:  {trace.num_static_branches:,}")
-    print(f"taken rate:       {trace.taken_fraction:.4%}")
+    if is_binary:
+        # Binary files are streamed chunk-at-a-time: `trace info` on a
+        # multi-GB v2 file runs in O(chunk) memory.
+        with TraceReader(args.path) as reader:
+            stats = TraceStats.from_chunks(iter(reader))
+            name, records = reader.name, len(reader)
+            print(f"trace:            {name or '<unnamed>'} ({args.path})")
+            print(f"format:           rbt v{reader.version}"
+                  + (" (zlib chunks)" if reader.compressed else ""))
+            if reader.version >= 2:
+                print(f"chunks:           {reader.num_chunks:,} "
+                      f"(nominal {reader.chunk_len:,} records each)")
+                assert reader.fingerprint is not None
+                print(f"fingerprint:      {reader.fingerprint[:16]}…")
+    else:
+        trace = load_trace(args.path)
+        stats = TraceStats.from_trace(trace)
+        name, records = trace.name, len(trace)
+        print(f"trace:            {name or '<unnamed>'} ({args.path})")
+        print("format:           text")
+    total = stats.total_dynamic
+    print(f"records:          {records:,}")
+    print(f"static branches:  {len(stats):,}")
+    print(f"taken rate:       {(stats.taken.sum() / total if total else 0.0):.4%}")
     if len(stats):
         weights = stats.dynamic_weights()
         transition = float((stats.transition_rates() * weights).sum())
@@ -393,6 +455,59 @@ def _run_trace_info(args: argparse.Namespace) -> int:
                 f"  {label:10s} "
                 + "".join(f"{share * 100:7.2f}" for share in shares)
             )
+    return 0
+
+
+def _run_trace_convert(args: argparse.Namespace) -> int:
+    from .trace.io import (
+        DEFAULT_CHUNK_LEN,
+        MAGIC,
+        TraceReader,
+        load_trace,
+        rechunk,
+        save_trace,
+        write_chunks,
+    )
+
+    chunk_len = DEFAULT_CHUNK_LEN if args.chunk_len is None else args.chunk_len
+    if chunk_len < 1 or chunk_len % 8:
+        raise ConfigurationError(
+            f"--chunk-len must be a positive multiple of 8, got {chunk_len}"
+        )
+    if args.compress and args.format_version == 1:
+        raise ConfigurationError("format v1 does not support --compress")
+    try:
+        with open(args.input, "rb") as fp:
+            is_binary = fp.read(4) == MAGIC
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read trace file {args.input!r}: {exc}"
+        ) from None
+
+    if is_binary and args.format_version == 2:
+        # Binary-to-v2 streams: the full trace is never materialized.
+        with TraceReader(args.input, chunk_len=chunk_len) as reader:
+            records = write_chunks(
+                rechunk(iter(reader), chunk_len),
+                args.output,
+                name=reader.name,
+                compress=args.compress,
+                chunk_len=chunk_len,
+            )
+    else:
+        # Text sources and v1 targets need the whole trace in memory
+        # (v1 stores all PCs before all outcomes).
+        trace = load_trace(args.input)
+        save_trace(
+            trace, Path(args.output), version=args.format_version,
+            compress=args.compress, chunk_len=chunk_len,
+        )
+        records = len(trace)
+    out_bytes = Path(args.output).stat().st_size
+    print(
+        f"wrote {args.output}: v{args.format_version}, {records:,} records, "
+        f"{out_bytes:,} B" + (" (zlib chunks)" if args.compress else "")
+    )
     return 0
 
 
@@ -467,8 +582,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "misclassification":
             report = _context_from(args).misclassification()
             print(f"taken-rate identified:       {report.taken_identified:.2f}% (paper 62.90%)")
-            print(f"transition identified (GAs): {report.gas_transition_identified:.2f}% (paper 71.62%)")
-            print(f"transition identified (PAs): {report.pas_transition_identified:.2f}% (paper 72.19%)")
+            print(
+                "transition identified (GAs): "
+                f"{report.gas_transition_identified:.2f}% (paper 71.62%)"
+            )
+            print(
+                "transition identified (PAs): "
+                f"{report.pas_transition_identified:.2f}% (paper 72.19%)"
+            )
             print(f"misclassified (GAs view):    {report.gas_misclassified:.2f}% (paper 8.72%)")
             print(f"misclassified (PAs view):    {report.pas_misclassified:.2f}% (paper 9.29%)")
             return 0
@@ -483,6 +604,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_simulate(args)
 
         if args.command == "trace":
+            if args.trace_command == "convert":
+                return _run_trace_convert(args)
             return _run_trace_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

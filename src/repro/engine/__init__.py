@@ -32,6 +32,13 @@ Engine-selection guide (see ``docs/ENGINES.md`` for the full story):
     Vectorized when supported, reference otherwise.  Sweep-level code
     additionally upgrades to the batched engine on ``"auto"``.
 
+``streaming`` (:func:`simulate_stream` / :func:`simulate_sweep_stream`)
+    Bounded-memory counterparts of the above: consume an *iterator of
+    trace chunks* (e.g. a :class:`~repro.trace.io.TraceReader` over a
+    chunked ``.rbt`` v2 file) with peak memory O(chunk) instead of
+    O(trace), carrying all predictor state across chunk boundaries.
+    Bit-identical to the in-memory engines; see ``docs/TRACES.md``.
+
 Callers can pass either a stateful
 :class:`~repro.predictors.base.BranchPredictor` or a declarative
 :class:`~repro.spec.PredictorSpec` — specs are built on the way in.
@@ -55,6 +62,13 @@ from .batched import (
 from .reference import simulate_reference
 from .results import BranchResult, SimulationResult
 from .scan import counter_step_table, segmented_automaton_scan, segmented_saturating_scan
+from .streaming import (
+    simulate_batched_stream,
+    simulate_stream,
+    simulate_sweep_stream,
+    stream_simulator,
+    supports_stream_vectorized,
+)
 from .vectorized import predictions_vectorized, simulate_vectorized, supports_vectorized
 
 __all__ = [
@@ -63,10 +77,15 @@ __all__ = [
     "simulate_vectorized",
     "simulate_batched",
     "simulate_sweep",
+    "simulate_stream",
+    "simulate_batched_stream",
+    "simulate_sweep_stream",
+    "stream_simulator",
     "predictions_vectorized",
     "predictions_batched",
     "supports_vectorized",
     "supports_batched",
+    "supports_stream_vectorized",
     "BatchedSweepResult",
     "SimulationResult",
     "BranchResult",

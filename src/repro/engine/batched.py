@@ -288,7 +288,9 @@ class _Spec:
         "counter_bits",
     )
 
-    def __init__(self, history_kind, history_bits, pht_index_bits, index_scheme, bht_entries, counter_bits):
+    def __init__(
+        self, history_kind, history_bits, pht_index_bits, index_scheme, bht_entries, counter_bits
+    ):
         self.history_kind = history_kind
         self.history_bits = history_bits
         self.pht_index_bits = pht_index_bits

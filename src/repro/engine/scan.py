@@ -12,6 +12,13 @@ can be computed with a Hillis–Steele doubling scan: O(n log n) work,
 ~log2(n) vectorized passes, no Python-level per-step loop.  For the
 4-state 2-bit counters of the paper this is ~100× faster than stepping
 in Python.
+
+Both scans accept the initial state either as a scalar (every segment
+starts there — the cold-start case) or as a per-element array whose
+value is constant within each segment (each segment resumes from its
+own carried state) — the hook the streaming engines
+(:mod:`repro.engine.streaming`) use to continue counter evolution
+across chunk boundaries bit-exactly.
 """
 
 from __future__ import annotations
@@ -85,7 +92,9 @@ def segmented_automaton_scan(
         ``(n,)`` boolean array, True where a new segment begins.
         Position 0 must be a segment start for nonempty input.
     initial_state:
-        State every segment starts in.
+        State every segment starts in; or a ``(n,)`` array of initial
+        states, constant within each segment (each segment starts from
+        its own value).
 
     Returns
     -------
@@ -96,8 +105,7 @@ def segmented_automaton_scan(
     if step_table.ndim != 2:
         raise ConfigurationError("step_table must be 2-D (symbols x states)")
     num_states = step_table.shape[1]
-    if not 0 <= initial_state < num_states:
-        raise ConfigurationError(f"initial_state {initial_state} out of range")
+    initial_state = _check_initial(initial_state, num_states - 1, len(inputs))
 
     n = len(inputs)
     if n == 0:
@@ -142,7 +150,12 @@ def segmented_automaton_scan(
 
     # State after step i = compositions[i][initial]; state before step i is
     # the state after step i-1, or the initial state at a segment start.
-    state_after = compositions[:, initial_state]
+    if isinstance(initial_state, np.ndarray):
+        state_after = np.take_along_axis(
+            compositions, initial_state[:, None].astype(np.int64), axis=1
+        )[:, 0]
+    else:
+        state_after = compositions[:, initial_state]
     return _states_before(state_after, segment_starts, initial_state)
 
 
@@ -170,7 +183,9 @@ def segmented_saturating_scan(
     segment_starts:
         ``(n,)`` boolean array, True where a new counter begins.
     initial_state, max_state:
-        Counter start value and saturation ceiling (floor is 0).
+        Counter start value and saturation ceiling (floor is 0).  The
+        start value may also be a ``(n,)`` array, constant within each
+        segment (each counter resumes from its own value).
 
     Returns
     -------
@@ -179,8 +194,7 @@ def segmented_saturating_scan(
     n = len(taken)
     if n == 0:
         return np.zeros(0, dtype=np.uint8)
-    if not 0 <= initial_state <= max_state:
-        raise ConfigurationError(f"initial_state {initial_state} out of range")
+    initial_state = _check_initial(initial_state, max_state, n)
     segment_starts = np.asarray(segment_starts, dtype=bool)
     if len(segment_starts) != n:
         raise ConfigurationError("segment_starts must align with inputs")
@@ -235,7 +249,12 @@ def segmented_saturating_scan(
         offset <<= 1
         active = idx[~done[idx]]
 
-    state_after = np.minimum(np.maximum(initial_state + add, lo), hi).astype(np.uint8)
+    init = (
+        initial_state.astype(np.int32)
+        if isinstance(initial_state, np.ndarray)
+        else initial_state
+    )
+    state_after = np.minimum(np.maximum(init + add, lo), hi).astype(np.uint8)
     return _states_before(state_after, segment_starts, initial_state)
 
 
@@ -332,15 +351,41 @@ def _saturating_scan_tabled(
         offset <<= 1
         active = idx[~finished]
 
-    state_after = values[:, initial_state][ids]
+    if isinstance(initial_state, np.ndarray):
+        state_after = values[ids, initial_state.astype(np.int64)]
+    else:
+        state_after = values[:, initial_state][ids]
     return _states_before(state_after, segment_starts, initial_state)
 
 
-def _states_before(state_after: np.ndarray, segment_starts: np.ndarray, initial_state: int) -> np.ndarray:
+def _check_initial(initial_state, max_state: int, n: int):
+    """Validate a scalar or per-element-array initial state."""
+    if isinstance(initial_state, np.ndarray):
+        if initial_state.shape != (n,):
+            raise ConfigurationError(
+                f"initial-state array must have shape ({n},), got {initial_state.shape}"
+            )
+        if len(initial_state) and not (
+            0 <= int(initial_state.min()) and int(initial_state.max()) <= max_state
+        ):
+            raise ConfigurationError("initial-state array value out of range")
+        return initial_state
+    if not 0 <= initial_state <= max_state:
+        raise ConfigurationError(f"initial_state {initial_state} out of range")
+    return initial_state
+
+
+def _states_before(
+    state_after: np.ndarray, segment_starts: np.ndarray, initial_state
+) -> np.ndarray:
     """Shift after-states to before-states, reinitializing at segment starts."""
     n = len(state_after)
     state_before = np.empty(n, dtype=np.uint8)
-    state_before[0] = initial_state
     state_before[1:] = state_after[:-1]
-    state_before[segment_starts] = initial_state
+    if isinstance(initial_state, np.ndarray):
+        state_before[0] = initial_state[0]
+        state_before[segment_starts] = initial_state[segment_starts]
+    else:
+        state_before[0] = initial_state
+        state_before[segment_starts] = initial_state
     return state_before

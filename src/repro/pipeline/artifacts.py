@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 from collections.abc import Mapping
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, ClassVar
 
 import numpy as np
@@ -44,6 +44,7 @@ from ..analysis.history_sweep import (
     TraceSweep,
     accumulate_sweep,
     sweep_trace,
+    sweep_workload,
 )
 from ..analysis.misclassification import MisclassificationReport, misclassification_report
 from ..classify.profile import ProfileTable
@@ -53,7 +54,7 @@ from ..session import ENGINES, Session
 from ..trace.filters import merge_suite
 from ..trace.stats import TraceStats
 from ..trace.stream import Trace
-from ..workload_spec import SuiteSpec, spec95_suite
+from ..workload_spec import SuiteSpec, WorkloadSpec, spec95_suite
 
 __all__ = [
     "STORE_VERSION",
@@ -61,8 +62,10 @@ __all__ = [
     "ArtifactNode",
     "WorkloadNode",
     "ProfileNode",
+    "StreamedProfileNode",
     "MergedProfileNode",
     "TraceSweepNode",
+    "StreamedTraceSweepNode",
     "SweepNode",
     "MisclassificationNode",
     "RenderNode",
@@ -282,6 +285,36 @@ class ProfileNode(ArtifactNode):
 
 
 @dataclass(frozen=True)
+class StreamedProfileNode(ProfileNode):
+    """Per-branch classification of an out-of-core suite member.
+
+    Used instead of :class:`ProfileNode` when the member workload
+    reports a stream source (a large binary trace file): the profile is
+    accumulated chunk-at-a-time directly from the file, so the node has
+    *no* dependency on the materialized suite-traces artifact and ships
+    nothing to worker processes.  Addressed by the member's workload
+    content key (the file's bytes) instead of the traces dep digest.
+    """
+
+    member: WorkloadSpec | None = None
+
+    def params(self, config: PipelineConfig) -> dict[str, Any]:
+        assert self.member is not None
+        return {"trace": self.trace_name, "workload": self.member.content_key()}
+
+    def compute(self, config: PipelineConfig, deps: Mapping[str, Any]) -> ProfileTable:
+        assert self.member is not None
+        source = self.member.stream_source()
+        if source is None:  # fell below the threshold since planning
+            return ProfileTable.from_trace(self.member.materialize())
+        with source:
+            return ProfileTable.from_chunks(iter(source), name=self.member.label)
+
+    def narrow(self, deps: dict[str, Any]) -> dict[str, Any]:
+        return {}
+
+
+@dataclass(frozen=True)
 class MergedProfileNode(ArtifactNode):
     """Whole-suite profile over disjoint PC spaces (paper's aggregate view)."""
 
@@ -349,6 +382,33 @@ class TraceSweepNode(ArtifactNode):
             joint_counts=np.array(arrays["joint_counts"]),
             total_dynamic=int(meta["total_dynamic"]),
         )
+
+
+@dataclass(frozen=True)
+class StreamedTraceSweepNode(TraceSweepNode):
+    """One out-of-core member's sweep contribution.
+
+    The streaming sibling of :class:`TraceSweepNode`: the member's
+    chunks flow straight from its file through the chunked batched
+    engine (:func:`~repro.analysis.history_sweep.sweep_workload`), so
+    peak memory is O(chunk) and the node depends on nothing upstream.
+    Bit-identical to the materialized node's value.
+    """
+
+    member: WorkloadSpec | None = None
+
+    def params(self, config: PipelineConfig) -> dict[str, Any]:
+        assert self.member is not None
+        params = super().params(config)
+        params["workload"] = self.member.content_key()
+        return params
+
+    def compute(self, config: PipelineConfig, deps: Mapping[str, Any]) -> TraceSweep:
+        assert self.member is not None
+        return sweep_workload(self.member, config.sweep_config())
+
+    def narrow(self, deps: dict[str, Any]) -> dict[str, Any]:
+        return {}
 
 
 @dataclass(frozen=True)

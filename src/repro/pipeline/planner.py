@@ -34,6 +34,8 @@ from .artifacts import (
     PipelineConfig,
     ProfileNode,
     RenderNode,
+    StreamedProfileNode,
+    StreamedTraceSweepNode,
     SweepNode,
     TraceSweepNode,
     WorkloadNode,
@@ -121,6 +123,18 @@ class Planner:
         from ..experiments.registry import EXPERIMENTS  # lazy: avoid cycle
 
         names = self.trace_names()
+        assert self.config.suite is not None
+        # Out-of-core members (large binary trace files) get per-trace
+        # nodes that stream straight from their file: no dependency on
+        # the materialized suite-traces artifact, nothing shipped to
+        # worker processes.  Suite-*level* artifacts (the merged
+        # profile, experiments that consume raw traces) still
+        # materialize everything — see docs/TRACES.md, "Limits".
+        streamed = {
+            member.label: member
+            for member in self.config.suite.members
+            if member.streams()
+        }
         nodes: dict[str, ArtifactNode] = {}
 
         def add(node: ArtifactNode) -> None:
@@ -128,15 +142,29 @@ class Planner:
 
         add(WorkloadNode(key="traces"))
         for name in names:
-            add(ProfileNode(key=f"profile:{name}", deps=("traces",), trace_name=name))
+            if name in streamed:
+                add(
+                    StreamedProfileNode(
+                        key=f"profile:{name}", trace_name=name, member=streamed[name]
+                    )
+                )
+            else:
+                add(ProfileNode(key=f"profile:{name}", deps=("traces",), trace_name=name))
         add(MergedProfileNode(key="profile:suite", deps=("traces",)))
         sweep_parts = tuple(f"sweep:{name}" for name in names)
         for name in names:
-            add(
-                TraceSweepNode(
-                    key=f"sweep:{name}", deps=("traces",), trace_name=name
+            if name in streamed:
+                add(
+                    StreamedTraceSweepNode(
+                        key=f"sweep:{name}", trace_name=name, member=streamed[name]
+                    )
                 )
-            )
+            else:
+                add(
+                    TraceSweepNode(
+                        key=f"sweep:{name}", deps=("traces",), trace_name=name
+                    )
+                )
         add(SweepNode(key="sweep", deps=sweep_parts))
         add(MisclassificationNode(key="misclassification", deps=("sweep",)))
         for experiment_id, experiment in EXPERIMENTS.items():

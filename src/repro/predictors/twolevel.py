@@ -174,7 +174,9 @@ class TwoLevelPredictor(BranchPredictor):
 # from those specs.
 
 
-def make_gas(history_bits: int, *, pht_index_bits: int = 17, counter_bits: int = 2) -> TwoLevelPredictor:
+def make_gas(
+    history_bits: int, *, pht_index_bits: int = 17, counter_bits: int = 2
+) -> TwoLevelPredictor:
     """Global-history predictor with concatenated PC fill bits (paper's GAs)."""
     from ..spec import TwoLevelSpec
 
@@ -201,7 +203,9 @@ def make_pas(
     ).build()
 
 
-def make_gshare(history_bits: int, *, pht_index_bits: int | None = None, counter_bits: int = 2) -> TwoLevelPredictor:
+def make_gshare(
+    history_bits: int, *, pht_index_bits: int | None = None, counter_bits: int = 2
+) -> TwoLevelPredictor:
     """McFarling's gshare: global history XORed with the branch address."""
     from ..spec import TwoLevelSpec
 
@@ -210,7 +214,9 @@ def make_gshare(history_bits: int, *, pht_index_bits: int | None = None, counter
     ).build()
 
 
-def make_gselect(history_bits: int, *, pht_index_bits: int, counter_bits: int = 2) -> TwoLevelPredictor:
+def make_gselect(
+    history_bits: int, *, pht_index_bits: int, counter_bits: int = 2
+) -> TwoLevelPredictor:
     """gselect: global history concatenated with branch address bits."""
     from ..spec import TwoLevelSpec
 

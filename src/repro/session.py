@@ -34,6 +34,13 @@ Every routing decision preserves bit-exactness: the batched, vectorized
 and reference engines produce identical
 :class:`~repro.engine.results.SimulationResult` objects for the
 predictors they share, so the planner is free to pick the fastest.
+
+Workload specs that report a stream source (binary trace files at or
+above :func:`repro.workload_spec.stream_threshold` bytes) are simulated
+*out-of-core*: their slot holds a :class:`StreamedTrace` instead of
+materialized columns, and execution routes through the chunked
+streaming engines (:mod:`repro.engine.streaming`) with peak memory
+O(chunk) — still bit-identical.  See ``docs/TRACES.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from dataclasses import dataclass
 from .engine import simulate, simulate_batched
 from .engine.batched import DEFAULT_MAX_CHUNK_ELEMENTS
 from .engine.results import SimulationResult
+from .engine.streaming import simulate_batched_stream, simulate_stream
 from .errors import ConfigurationError
 from .spec import (
     AgreeSpec,
@@ -65,6 +73,7 @@ __all__ = [
     "SessionPlan",
     "SessionResults",
     "Session",
+    "StreamedTrace",
     "batchable_spec",
     "vectorizable_spec",
 ]
@@ -102,6 +111,36 @@ def vectorizable_spec(spec: PredictorSpec) -> bool:
     return False
 
 
+class StreamedTrace:
+    """A session workload simulated out-of-core.
+
+    Stands in for the materialized :class:`~repro.trace.stream.Trace`
+    in the session's workload slots when a
+    :class:`~repro.workload_spec.WorkloadSpec` reports a stream source
+    (a large binary trace file): only the spec and one open
+    :class:`~repro.trace.io.TraceReader` are held — never the trace
+    columns — and every engine pass re-iterates the reader's chunks.
+    Quacks like a trace where the planner needs it (``name``, length).
+    """
+
+    __slots__ = ("spec", "reader", "name")
+
+    def __init__(self, spec: WorkloadSpec, reader) -> None:
+        self.spec = spec
+        self.reader = reader
+        self.name = spec.label
+
+    def __len__(self) -> int:
+        return len(self.reader)
+
+    def chunks(self):
+        """A fresh iterator over the workload's chunks."""
+        return iter(self.reader)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamedTrace(name={self.name!r}, records={len(self)})"
+
+
 @dataclass(frozen=True, eq=False, slots=True)
 class SimulationJob:
     """Handle for one submitted ``(workload, spec)`` simulation request.
@@ -115,7 +154,7 @@ class SimulationJob:
     """
 
     index: int
-    trace: Trace
+    trace: Trace | StreamedTrace
     spec: PredictorSpec
     engine: str
     slot: int = 0
@@ -144,8 +183,13 @@ class PlannedBatch:
     """
 
     engine: str
-    trace: Trace
+    trace: Trace | StreamedTrace
     entries: tuple[PlanEntry, ...]
+
+    @property
+    def streamed(self) -> bool:
+        """True when this batch simulates out-of-core."""
+        return isinstance(self.trace, StreamedTrace)
 
 
 @dataclass(frozen=True, slots=True)
@@ -177,7 +221,10 @@ class SessionPlan:
         ]
         for batch in self.batches:
             label = batch.trace.name or f"<trace len={len(batch.trace)}>"
-            lines.append(f"  [{batch.engine}] {label}: {len(batch.entries)} config(s)")
+            mode = " (streamed)" if batch.streamed else ""
+            lines.append(
+                f"  [{batch.engine}] {label}: {len(batch.entries)} config(s){mode}"
+            )
         return "\n".join(lines)
 
 
@@ -190,7 +237,9 @@ class SessionResults(Mapping[SimulationJob, SimulationResult]):
 
     __slots__ = ("_jobs", "_results")
 
-    def __init__(self, jobs: list[SimulationJob], results: dict[SimulationJob, SimulationResult]) -> None:
+    def __init__(
+        self, jobs: list[SimulationJob], results: dict[SimulationJob, SimulationResult]
+    ) -> None:
         self._jobs = list(jobs)
         self._results = results
 
@@ -266,9 +315,17 @@ class Session:
             key = f"workload:{workload.content_key()}"
             slot = self._trace_slots.get(key)
             if slot is None:
-                trace = workload.materialize()
-                slot = self._register_trace(trace)
-                self._trace_slots[key] = slot
+                source = workload.stream_source()
+                if source is not None:
+                    # Out-of-core workload: hold the spec and an open
+                    # reader, never the trace columns.
+                    slot = len(self._traces)
+                    self._traces.append(StreamedTrace(workload, source))
+                    self._trace_slots[key] = slot
+                else:
+                    trace = workload.materialize()
+                    slot = self._register_trace(trace)
+                    self._trace_slots[key] = slot
             return slot
         if isinstance(workload, Trace):
             return self._register_trace(workload)
@@ -345,7 +402,9 @@ class Session:
         rest get per-engine batches executed one spec at a time.
         """
         # (trace slot, engine) -> {work key -> [jobs]}, insertion ordered.
-        grouped: dict[tuple[int, str], dict[tuple[int, PredictorSpec, str], list[SimulationJob]]] = {}
+        grouped: dict[
+            tuple[int, str], dict[tuple[int, PredictorSpec, str], list[SimulationJob]]
+        ] = {}
         for job in self._pending:
             engine = self._resolve_engine(job)
             key = self._work_key(job, engine)
@@ -386,7 +445,28 @@ class Session:
             fresh = [e for e in batch.entries if (slot, e.spec, batch.engine) not in self._memo]
             if not fresh:
                 continue
-            if batch.engine == "batched":
+            if isinstance(batch.trace, StreamedTrace):
+                streamed = batch.trace
+                if batch.engine == "batched":
+                    # One multi-configuration pass over the chunk
+                    # iterator covers every entry, O(chunk) memory.
+                    results = simulate_batched_stream(
+                        [entry.spec.build() for entry in fresh],
+                        streamed.chunks(),
+                        max_chunk_elements=self.max_chunk_elements,
+                        trace_name=streamed.name,
+                    )
+                    for entry, result in zip(fresh, results):
+                        self._memo[(slot, entry.spec, batch.engine)] = result
+                else:
+                    for entry in fresh:
+                        self._memo[(slot, entry.spec, batch.engine)] = simulate_stream(
+                            entry.spec.build(),
+                            streamed.chunks(),
+                            engine=batch.engine,
+                            trace_name=streamed.name,
+                        )
+            elif batch.engine == "batched":
                 # One multi-configuration pass covers every entry.
                 results = simulate_batched(
                     [entry.spec.build() for entry in fresh],

@@ -357,7 +357,9 @@ class TwoLevelSpec(PredictorSpec):
     # -- named family members ----------------------------------------------
 
     @classmethod
-    def gas(cls, history_bits: int, *, pht_index_bits: int = 17, counter_bits: int = 2) -> "TwoLevelSpec":
+    def gas(
+        cls, history_bits: int, *, pht_index_bits: int = 17, counter_bits: int = 2
+    ) -> "TwoLevelSpec":
         """Global history concatenated with PC fill bits (the paper's GAs)."""
         return cls(
             history_kind="global",
@@ -389,7 +391,9 @@ class TwoLevelSpec(PredictorSpec):
         )
 
     @classmethod
-    def gshare(cls, history_bits: int, *, pht_index_bits: int | None = None, counter_bits: int = 2) -> "TwoLevelSpec":
+    def gshare(
+        cls, history_bits: int, *, pht_index_bits: int | None = None, counter_bits: int = 2
+    ) -> "TwoLevelSpec":
         """McFarling's gshare: global history XORed with the branch address."""
         if pht_index_bits is None:
             pht_index_bits = max(history_bits, 1)
@@ -403,7 +407,9 @@ class TwoLevelSpec(PredictorSpec):
         )
 
     @classmethod
-    def gselect(cls, history_bits: int, *, pht_index_bits: int, counter_bits: int = 2) -> "TwoLevelSpec":
+    def gselect(
+        cls, history_bits: int, *, pht_index_bits: int, counter_bits: int = 2
+    ) -> "TwoLevelSpec":
         """gselect: global history concatenated with branch address bits."""
         return cls(
             history_kind="global",

@@ -9,7 +9,18 @@ statistics, and trace transformations.
 from .record import NOT_TAKEN, TAKEN, BranchRecord
 from .stream import Trace, TraceBuilder, concat
 from .stats import BranchStats, TraceStats, taken_rate, transition_rate
-from .io import load_trace, read_binary, read_text, save_trace, write_binary, write_text
+from .io import (
+    DEFAULT_CHUNK_LEN,
+    TraceReader,
+    load_trace,
+    read_binary,
+    read_text,
+    rechunk,
+    save_trace,
+    write_binary,
+    write_chunks,
+    write_text,
+)
 from .filters import (
     exclude_pcs,
     merge_suite,
@@ -38,6 +49,10 @@ __all__ = [
     "write_binary",
     "read_text",
     "write_text",
+    "TraceReader",
+    "write_chunks",
+    "rechunk",
+    "DEFAULT_CHUNK_LEN",
     "select_pcs",
     "exclude_pcs",
     "select_where",

@@ -65,6 +65,39 @@ def transition_rate(transitions: int, executions: int) -> float:
     return transitions / (executions - 1)
 
 
+def _reduce_block(pcs: np.ndarray, outcomes: np.ndarray):
+    """Grouped per-PC reduction of one block of records.
+
+    Returns ``(unique_pcs, executions, taken, transitions, first_outcome,
+    last_outcome)``, each aligned with the sorted unique PCs.  This is
+    the single vectorized core behind both :meth:`TraceStats.from_trace`
+    (one block = the whole trace) and :meth:`TraceStats.from_chunks`
+    (one block per chunk, merged with carried state).
+    """
+    n = len(pcs)
+    order = np.argsort(pcs, kind="stable")
+    sorted_pcs = pcs[order]
+    sorted_outs = outcomes[order].astype(np.int64)
+
+    unique_pcs, starts, counts = np.unique(
+        sorted_pcs, return_index=True, return_counts=True
+    )
+    taken_counts = np.add.reduceat(sorted_outs, starts)
+
+    # A "transition flag" at sorted position i (i >= 1) means record i
+    # differs from record i-1 *and* belongs to the same static branch.
+    # Group-local transition counts are then prefix-sum differences.
+    flags = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        same_pc = sorted_pcs[1:] == sorted_pcs[:-1]
+        changed = sorted_outs[1:] != sorted_outs[:-1]
+        flags[1:] = (same_pc & changed).astype(np.int64)
+    csum = np.cumsum(flags)
+    ends = starts + counts - 1
+    trans_counts = csum[ends] - csum[starts]
+    return unique_pcs, counts, taken_counts, trans_counts, sorted_outs[starts], sorted_outs[ends]
+
+
 @dataclass(frozen=True, slots=True)
 class BranchStats:
     """Aggregated dynamic behaviour of one static branch."""
@@ -137,33 +170,58 @@ class TraceStats(Mapping[int, BranchStats]):
     @classmethod
     def from_trace(cls, trace: Trace) -> "TraceStats":
         """Aggregate a trace in one vectorized pass."""
-        n = len(trace)
-        if n == 0:
+        if len(trace) == 0:
             empty = np.empty(0, dtype=np.int64)
             return cls(empty, empty, empty, empty, name=trace.name)
-
-        order = np.argsort(trace.pcs, kind="stable")
-        sorted_pcs = trace.pcs[order]
-        sorted_outs = trace.outcomes[order].astype(np.int64)
-
-        unique_pcs, starts, counts = np.unique(
-            sorted_pcs, return_index=True, return_counts=True
+        unique_pcs, counts, taken_counts, trans_counts, _, _ = _reduce_block(
+            trace.pcs, trace.outcomes
         )
-        taken_counts = np.add.reduceat(sorted_outs, starts)
-
-        # A "transition flag" at sorted position i (i >= 1) means record i
-        # differs from record i-1 *and* belongs to the same static branch.
-        # Group-local transition counts are then prefix-sum differences.
-        flags = np.zeros(n, dtype=np.int64)
-        if n > 1:
-            same_pc = sorted_pcs[1:] == sorted_pcs[:-1]
-            changed = sorted_outs[1:] != sorted_outs[:-1]
-            flags[1:] = (same_pc & changed).astype(np.int64)
-        csum = np.cumsum(flags)
-        ends = starts + counts - 1
-        trans_counts = csum[ends] - csum[starts]
-
         return cls(unique_pcs, counts, taken_counts, trans_counts, name=trace.name)
+
+    @classmethod
+    def from_chunks(cls, chunks, *, name: str | None = None) -> "TraceStats":
+        """Aggregate an iterator of trace chunks with O(chunk) memory.
+
+        Bit-identical to :meth:`from_trace` over the concatenated
+        chunks: per-chunk grouped reductions (the same
+        :func:`_reduce_block` pass) are merged into per-PC
+        accumulators, and each PC's *last outcome* is carried across
+        chunk boundaries so boundary-straddling transitions count
+        exactly once.  ``name`` defaults to the first chunk's name.
+        """
+        executions: dict[int, int] = {}
+        taken: dict[int, int] = {}
+        transitions: dict[int, int] = {}
+        last_outcome: dict[int, int] = {}
+        resolved_name = name
+
+        for chunk in chunks:
+            if resolved_name is None and chunk.name:
+                resolved_name = chunk.name
+            if len(chunk) == 0:
+                continue
+            unique_pcs, counts, taken_counts, trans_counts, first_outs, last_outs = (
+                _reduce_block(chunk.pcs, chunk.outcomes)
+            )
+
+            for i, pc in enumerate(unique_pcs.tolist()):
+                executions[pc] = executions.get(pc, 0) + int(counts[i])
+                taken[pc] = taken.get(pc, 0) + int(taken_counts[i])
+                extra = int(trans_counts[i])
+                previous = last_outcome.get(pc)
+                if previous is not None and previous != int(first_outs[i]):
+                    extra += 1
+                transitions[pc] = transitions.get(pc, 0) + extra
+                last_outcome[pc] = int(last_outs[i])
+
+        pcs = np.fromiter(sorted(executions), dtype=np.int64, count=len(executions))
+        return cls(
+            pcs,
+            np.fromiter((executions[pc] for pc in pcs.tolist()), dtype=np.int64, count=len(pcs)),
+            np.fromiter((taken[pc] for pc in pcs.tolist()), dtype=np.int64, count=len(pcs)),
+            np.fromiter((transitions[pc] for pc in pcs.tolist()), dtype=np.int64, count=len(pcs)),
+            name=resolved_name or "",
+        )
 
     # -- mapping protocol ---------------------------------------------------
 

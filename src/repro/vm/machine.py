@@ -119,7 +119,9 @@ class Machine:
                 divisor = regs[operands[2]]
                 if divisor == 0:
                     raise VMRuntimeError(f"modulo by zero at {pc_of(index):#x}")
-                regs[operands[0]] = _signed(regs[operands[1]] - int(regs[operands[1]] / divisor) * divisor)
+                regs[operands[0]] = _signed(
+                    regs[operands[1]] - int(regs[operands[1]] / divisor) * divisor
+                )
             elif op is Opcode.AND:
                 regs[operands[0]] = regs[operands[1]] & regs[operands[2]]
             elif op is Opcode.OR:
@@ -129,7 +131,9 @@ class Machine:
             elif op is Opcode.SHL:
                 regs[operands[0]] = _signed(regs[operands[1]] << (regs[operands[2]] & 63))
             elif op is Opcode.SHR:
-                regs[operands[0]] = _signed((regs[operands[1]] & _WORD_MASK) >> (regs[operands[2]] & 63))
+                regs[operands[0]] = _signed(
+                    (regs[operands[1]] & _WORD_MASK) >> (regs[operands[2]] & 63)
+                )
             elif op is Opcode.SLT:
                 regs[operands[0]] = 1 if regs[operands[1]] < regs[operands[2]] else 0
             elif op is Opcode.ADDI:

@@ -80,6 +80,8 @@ __all__ = [
     "model_spec_from_dict",
     "trace_fingerprint",
     "file_fingerprint",
+    "stream_threshold",
+    "DEFAULT_STREAM_THRESHOLD",
     "NAMED_SUITES",
     "spec95_suite",
     "kernel_suite",
@@ -91,6 +93,36 @@ __all__ = [
 #: Bumped when key semantics change incompatibly; part of every
 #: content key, so old cache addresses simply stop matching.
 WORKLOAD_KEY_VERSION = 1
+
+#: Default :func:`stream_threshold`: trace files at or above this many
+#: bytes are simulated out-of-core instead of materialized.
+DEFAULT_STREAM_THRESHOLD = 64 * 1024 * 1024
+
+
+def stream_threshold() -> int:
+    """The out-of-core size threshold in bytes.
+
+    Binary trace-file workloads whose file is at least this large are
+    *streamed* (chunk-at-a-time, peak memory O(chunk)) by the session,
+    the sweep and the pipeline instead of being materialized.
+    Controlled by the ``REPRO_STREAM_THRESHOLD`` environment variable
+    (bytes; ``0`` streams every binary trace file); defaults to
+    :data:`DEFAULT_STREAM_THRESHOLD` (64 MiB).
+    """
+    raw = os.environ.get("REPRO_STREAM_THRESHOLD")
+    if raw is None:
+        return DEFAULT_STREAM_THRESHOLD
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_STREAM_THRESHOLD must be an integer byte count, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(
+            f"REPRO_STREAM_THRESHOLD must be non-negative, got {value}"
+        )
+    return value
 
 _REGISTRY: dict[str, type["WorkloadSpec"]] = {}
 _MODEL_REGISTRY: dict[str, type["ModelSpec"]] = {}
@@ -484,6 +516,25 @@ class WorkloadSpec(_SpecSerde):
         """Generate/load/execute the trace (named :attr:`label`)."""
         raise NotImplementedError
 
+    # -- out-of-core streaming ----------------------------------------------
+
+    def streams(self) -> bool:
+        """True if this workload is simulated out-of-core (cheap probe;
+        only large binary :class:`TraceFileSpec` workloads stream)."""
+        return False
+
+    def stream_source(self):
+        """A fresh :class:`~repro.trace.io.TraceReader` over this
+        workload's chunks, or ``None`` when it must be materialized.
+
+        Non-``None`` exactly when :meth:`streams` is true.  Callers own
+        the reader (close it, or iterate it repeatedly); the chunks are
+        bit-identical to :meth:`materialize` split at chunk boundaries,
+        but are named by the *file's* stored name — pass
+        :attr:`label` explicitly where the trace name matters.
+        """
+        return None
+
     @classmethod
     def from_json(cls, text: str) -> "WorkloadSpec":
         """Rebuild a workload spec from JSON text."""
@@ -761,6 +812,10 @@ class TraceFileSpec(WorkloadSpec):
     def materialize(self) -> Trace:
         from .trace.io import load_trace
 
+        self._check_pin()
+        return load_trace(self.path).with_name(self.label)
+
+    def _check_pin(self) -> None:
         if self.sha256:
             actual = file_fingerprint(self.path)
             if actual != self.sha256:
@@ -768,7 +823,28 @@ class TraceFileSpec(WorkloadSpec):
                     f"trace file {self.path} changed: fingerprint {actual[:12]} "
                     f"does not match pinned {self.sha256[:12]}"
                 )
-        return load_trace(self.path).with_name(self.label)
+
+    def streams(self) -> bool:
+        """True when the file is a binary trace at least
+        :func:`stream_threshold` bytes large (text traces always
+        materialize — they have no chunk structure to seek)."""
+        from .trace.io import MAGIC
+
+        try:
+            if os.stat(self.path).st_size < stream_threshold():
+                return False
+            with open(self.path, "rb") as fp:
+                return fp.read(4) == MAGIC
+        except OSError:
+            return False  # let materialize() raise the real error
+
+    def stream_source(self):
+        from .trace.io import TraceReader
+
+        if not self.streams():
+            return None
+        self._check_pin()
+        return TraceReader(self.path)
 
 
 # -- composers ----------------------------------------------------------------
@@ -919,7 +995,7 @@ class SuiteSpec(WorkloadSpec):
             if not isinstance(member, WorkloadSpec):
                 raise ConfigurationError("suite members must be WorkloadSpecs")
             labels.append(member.label)
-        duplicates = sorted({l for l in labels if labels.count(l) > 1})
+        duplicates = sorted({label for label in labels if labels.count(label) > 1})
         if duplicates:
             raise ConfigurationError(
                 f"suite member labels must be unique; duplicated: {duplicates}"
@@ -1054,14 +1130,20 @@ def resolve_workload(text: str, *, scale: float = 1.0) -> WorkloadSpec:
     """Resolve a CLI workload value into a :class:`WorkloadSpec`.
 
     Accepts a built-in suite name (scaled by ``scale``), inline JSON
-    (starting with ``{``), or a path to a workload JSON file.  The one
-    resolver behind both ``--suite`` and ``--workload``.
+    (starting with ``{``), a path to a workload JSON file, or a trace
+    file itself — ``file:<path>`` explicitly, or any path whose bytes
+    carry the binary-trace magic — which resolves to a
+    :class:`TraceFileSpec` (and therefore streams out-of-core above
+    :func:`stream_threshold`).  The one resolver behind both
+    ``--suite`` and ``--workload``.
     """
     candidate = text.strip()
     if candidate in NAMED_SUITES:
         return named_suite(candidate, scale=scale)
     if candidate.startswith("{"):
         return workload_spec_from_json(candidate)
+    if candidate.startswith("file:"):
+        return TraceFileSpec(path=candidate[len("file:") :])
     path = Path(candidate)
     if not path.exists():
         raise ConfigurationError(
@@ -1069,6 +1151,11 @@ def resolve_workload(text: str, *, scale: float = 1.0) -> WorkloadSpec:
             f"({sorted(NAMED_SUITES)}), inline JSON, nor an existing file"
         )
     try:
+        from .trace.io import MAGIC
+
+        with open(path, "rb") as fp:
+            if fp.read(4) == MAGIC:
+                return TraceFileSpec(path=str(path))
         return workload_spec_from_json(path.read_text())
     except OSError as exc:
         raise ConfigurationError(

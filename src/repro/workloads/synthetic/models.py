@@ -232,7 +232,9 @@ class PhasedModel(BranchModel):
         return sum(m.expected_transition_rate() * w for m, w in self.phases)
 
 
-def pattern_for_rates(taken_rate: float, transition_rate: float, *, period: int = 40) -> PatternModel:
+def pattern_for_rates(
+    taken_rate: float, transition_rate: float, *, period: int = 40
+) -> PatternModel:
     """A deterministic repeating pattern hitting target rates.
 
     Builds a cycle of alternating taken/not-taken runs whose run count

@@ -148,7 +148,6 @@ class TestDualPathAdvisor:
         assert not assessment.feasible
 
     def test_rare_hard_branches_feasible(self):
-        rng = np.random.default_rng(5)
         specs = [
             BranchSpec(pc=0x10, model=PatternModel([1]), weight=40),
             BranchSpec(pc=0x20, model=BiasedModel(0.5), weight=1, hard=True),

@@ -84,7 +84,6 @@ class TestDualPathModel:
 
     def test_more_path_slots_reduce_denials(self):
         trace, profile = make_workload(hard_weight=10, easy_weight=20, adjacency=1.0)
-        estimator = ClassConfidenceEstimator(profile, hard_rates(), threshold=0.2)
 
         def run(paths):
             return simulate_dual_path(
@@ -100,9 +99,9 @@ class TestDualPathModel:
         """An estimator that is always confident never forks, and the
         two cycle accounts coincide."""
         trace, _ = make_workload(hard_weight=2, easy_weight=10)
-        estimator = OneLevelEstimator(entries=16, threshold=1)  # trivially confident
-        # threshold=1 flags low confidence only right after a miss;
-        # use a fully-confident stub instead for the identity check.
+        # A OneLevelEstimator with threshold=1 flags low confidence only
+        # right after a miss; use a fully-confident stub for the identity
+        # check instead.
 
         class AlwaysConfident(OneLevelEstimator):
             def high_confidence(self, pc):

@@ -1,0 +1,121 @@
+"""Tests for the CI perf-regression gate (benchmarks/check_regression.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = str(Path(__file__).resolve().parent.parent / "benchmarks")
+if BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, BENCHMARKS_DIR)
+
+import check_regression  # noqa: E402
+
+
+def write_snapshot(path: Path, means: dict[str, float]) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"min": value, "mean": value * 1.1}}
+                    for name, value in means.items()
+                ]
+            }
+        )
+    )
+
+
+class TestBaselines:
+    def test_latest_snapshot_wins(self, tmp_path):
+        write_snapshot(tmp_path / "BENCH_0001.json", {"a": 1.0, "b": 2.0})
+        write_snapshot(tmp_path / "BENCH_0002.json", {"b": 3.0, "c": 4.0})
+        baselines, names = check_regression.committed_baselines(tmp_path)
+        assert baselines == {"a": 1.0, "b": 3.0, "c": 4.0}
+        assert names == ["BENCH_0001.json", "BENCH_0002.json"]
+
+    def test_numeric_ordering_not_lexical(self, tmp_path):
+        write_snapshot(tmp_path / "BENCH_0002.json", {"a": 2.0})
+        write_snapshot(tmp_path / "BENCH_0010.json", {"a": 10.0})
+        baselines, _ = check_regression.committed_baselines(tmp_path)
+        assert baselines["a"] == 10.0
+
+    def test_min_preferred_over_mean(self, tmp_path):
+        (tmp_path / "BENCH_0001.json").write_text(
+            json.dumps({"benchmarks": [{"name": "a", "stats": {"mean": 2.0}}]})
+        )
+        baselines, _ = check_regression.committed_baselines(tmp_path)
+        assert baselines["a"] == 2.0  # mean fallback when min is absent
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, capsys):
+        base = {"a": 1.0, "b": 2.0, "c": 3.0}
+        fresh = {"a": 1.1, "b": 2.2, "c": 3.3}
+        assert check_regression.compare(fresh, base, threshold=0.3, normalize=True) == 0
+
+    def test_uniform_slowdown_is_machine_speed_not_regression(self):
+        base = {"a": 1.0, "b": 2.0, "c": 3.0}
+        fresh = {"a": 3.0, "b": 6.0, "c": 9.0}  # 3x across the board
+        assert check_regression.compare(fresh, base, threshold=0.3, normalize=True) == 0
+        # ...but the same numbers fail an absolute comparison.
+        assert check_regression.compare(fresh, base, threshold=0.3, normalize=False) == 3
+
+    def test_single_relative_regression_fails(self, capsys):
+        base = {"a": 1.0, "b": 2.0, "c": 3.0}
+        fresh = {"a": 1.0, "b": 2.0, "c": 6.0}  # only c doubled
+        assert check_regression.compare(fresh, base, threshold=0.3, normalize=True) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_injected_2x_slowdown_fails(self):
+        base = {"a": 1.0, "b": 2.0, "c": 3.0}
+        fresh = {"a": 2.0, "b": 2.0, "c": 3.0}
+        assert check_regression.compare(fresh, base, threshold=0.3, normalize=True) == 1
+
+    def test_empty_intersection_fails_not_passes(self, capsys):
+        assert check_regression.compare({"x": 1.0}, {"y": 1.0}, threshold=0.3, normalize=True) == 1
+        assert "no benchmark names in common" in capsys.readouterr().out
+
+    def test_new_benchmarks_reported_but_not_gated(self, capsys):
+        base = {"a": 1.0, "b": 1.0, "c": 1.0}
+        fresh = {"a": 1.0, "b": 1.0, "c": 1.0, "new": 5.0}
+        assert check_regression.compare(fresh, base, threshold=0.3, normalize=True) == 0
+        assert "no baseline yet" in capsys.readouterr().out
+
+
+class TestRepoSnapshots:
+    def test_committed_history_covers_the_quick_subset(self):
+        """The gate never runs vacuously: every --quick benchmark family
+        has at least one baseline in the committed snapshots."""
+        from run_benchmarks import QUICK_SELECT
+
+        baselines, _ = check_regression.committed_baselines(
+            Path(__file__).resolve().parent.parent
+        )
+        for family in (term.strip() for term in QUICK_SELECT.split(" or ")):
+            assert any(family in name for name in baselines), family
+
+    def test_quick_flag_sets_selection(self):
+        from run_benchmarks import QUICK_SELECT, build_parser
+
+        args = build_parser().parse_args(["--quick"])
+        assert args.quick
+        assert QUICK_SELECT  # referenced by main() when -k is absent
+
+    def test_threshold_validation(self, tmp_path):
+        write_snapshot(tmp_path / "BENCH_0001.json", {"a": 1.0})
+        with pytest.raises(SystemExit):
+            check_regression.main(["--threshold", "0", "--baseline-dir", str(tmp_path)])
+
+    def test_main_with_fresh_snapshot(self, tmp_path, capsys):
+        write_snapshot(tmp_path / "BENCH_0001.json", {"a": 1.0, "b": 1.0, "c": 1.0})
+        fresh = tmp_path / "fresh.json"
+        write_snapshot(fresh, {"a": 1.05, "b": 0.95, "c": 1.0})
+        assert check_regression.main(
+            ["--fresh", str(fresh), "--baseline-dir", str(tmp_path)]
+        ) == 0
+        assert "gate: ok" in capsys.readouterr().out
+        write_snapshot(fresh, {"a": 5.0, "b": 0.95, "c": 1.0})
+        assert check_regression.main(
+            ["--fresh", str(fresh), "--baseline-dir", str(tmp_path)]
+        ) == 1

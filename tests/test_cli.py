@@ -345,6 +345,96 @@ class TestTraceInfo:
         assert main(["trace", "info", "/nonexistent/t.rbt"]) == 1
         assert "error" in capsys.readouterr().err.lower()
 
+    def test_trace_info_reports_v2_chunks(self, capsys, tmp_path):
+        from repro.trace import Trace, save_trace
+
+        path = tmp_path / "t.rbt"
+        save_trace(
+            Trace([4] * 100, [1] * 100, name="v2demo"), path,
+            version=2, compress=True, chunk_len=32,
+        )
+        assert main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rbt v2 (zlib chunks)" in out
+        assert "chunks:           4" in out
+        assert "fingerprint:" in out
+
+
+class TestTraceConvert:
+    def test_convert_v1_to_v2_roundtrip(self, capsys, tmp_path):
+        from repro.trace import Trace, load_trace, save_trace
+
+        rng = __import__("numpy").random.default_rng(0)
+        trace = Trace(rng.integers(0, 50, 4000), rng.integers(0, 2, 4000), name="c")
+        src = tmp_path / "v1.rbt"
+        dst = tmp_path / "v2.rbt"
+        save_trace(trace, src, version=1)
+        assert main([
+            "trace", "convert", str(src), str(dst),
+            "--v2", "--compress", "--chunk-len", "1024",
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        back = load_trace(dst)
+        assert back == trace
+        assert back.name == "c"
+
+    def test_convert_v2_to_v1(self, capsys, tmp_path):
+        from repro.trace import Trace, TraceReader, save_trace
+
+        trace = Trace([1, 2, 3], [1, 0, 1], name="c")
+        src = tmp_path / "v2.rbt"
+        dst = tmp_path / "v1.rbt"
+        save_trace(trace, src, version=2)
+        assert main(["trace", "convert", str(src), str(dst), "--version", "1"]) == 0
+        with TraceReader(dst) as reader:
+            assert reader.version == 1
+
+    def test_convert_rejects_v1_compress(self, capsys, tmp_path):
+        src = tmp_path / "t.rbt"
+        from repro.trace import Trace, save_trace
+
+        save_trace(Trace([1], [1]), src)
+        assert main([
+            "trace", "convert", str(src), str(tmp_path / "o.rbt"),
+            "--version", "1", "--compress",
+        ]) == 1
+        assert "compress" in capsys.readouterr().err
+
+    def test_convert_rejects_bad_chunk_len(self, capsys, tmp_path):
+        from repro.trace import Trace, save_trace
+
+        src = tmp_path / "t.rbt"
+        save_trace(Trace([1], [1]), src)
+        assert main([
+            "trace", "convert", str(src), str(tmp_path / "o.rbt"), "--chunk-len", "13",
+        ]) == 1
+        assert "multiple of 8" in capsys.readouterr().err
+        # Zero must error too, not silently fall back to the default.
+        assert main([
+            "trace", "convert", str(src), str(tmp_path / "o.rbt"), "--chunk-len", "0",
+        ]) == 1
+        assert "multiple of 8" in capsys.readouterr().err
+
+
+class TestStreamedSimulate:
+    def test_simulate_streams_large_trace_file(self, capsys, tmp_path, monkeypatch):
+        from repro.trace import Trace, save_trace
+
+        monkeypatch.setenv("REPRO_STREAM_THRESHOLD", "256")
+        rng = __import__("numpy").random.default_rng(5)
+        trace = Trace(
+            rng.integers(0, 40, 3000) * 4, rng.integers(0, 2, 3000), name="onfile"
+        )
+        path = tmp_path / "big.rbt"
+        save_trace(trace, path, version=2, chunk_len=512)
+        assert main([
+            "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+            "--workload", f"file:{path}", "--no-cache", "--show-plan",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(streamed)" in out
+        assert "big" in out
+
 
 class TestSpecCommands:
     def test_specs_lists_every_kind(self, capsys):

@@ -89,7 +89,7 @@ class TestAsciiLineplot:
 
     def test_higher_values_plot_higher(self):
         out = ascii_lineplot({"s": [0.0, 1.0]}, x_values=[0, 1], height=8)
-        lines = [l for l in out.splitlines() if "|" in l]
+        lines = [line for line in out.splitlines() if "|" in line]
         top_half = "\n".join(lines[: len(lines) // 2])
         bottom_half = "\n".join(lines[len(lines) // 2 :])
         # The 1.0 point appears in the top half, the 0.0 in the bottom.

@@ -17,7 +17,6 @@ from repro.workloads.synthetic import (
     PatternModel,
     benchmark_joint_matrix,
     input_trace,
-    make_population,
     population_from_joint,
     scaled_length,
     suite_traces,
