@@ -1,0 +1,63 @@
+"""Fault-tolerance overhead benchmarks.
+
+``chaos_overhead_clean`` times a small end-to-end pipeline run with the
+fault machinery present but idle — the price every production run pays
+for the retry/checkpoint plumbing (fault tokens, run-report writes,
+manifest locking).  ``chaos_overhead_injected`` times the same run with
+a seeded fault plan forcing store-write retries, measuring what a
+representative chaos pass costs.  The two bracket the harness: the
+first must stay near the pre-harness pipeline numbers, the second is
+allowed to be slower but bounded (retries back off in tens of
+milliseconds, not seconds).
+"""
+
+from conftest import BENCH_INPUTS
+
+from repro.experiments import ExperimentContext
+from repro.faults import FaultPlan
+from repro.pipeline import RetryPolicy
+
+#: Tiny fixed scale: these benchmarks time the machinery, not the
+#: simulation, so they run far below the suite-wide BENCH_SCALE.
+FAULTS_SCALE = 0.02
+HISTORIES = (0, 2)
+
+#: Seed verified (tests/test_pipeline_faults.py) to clear within three
+#: attempts: several store writes fail once or twice, none terminally.
+CHAOS_PLAN = "seed=3,store-write=0.3,delay=0.2:0.005"
+
+
+def _run(cache_dir, **kwargs) -> None:
+    context = ExperimentContext(
+        inputs=BENCH_INPUTS,
+        scale=FAULTS_SCALE,
+        history_lengths=HISTORIES,
+        cache_dir=cache_dir,
+        **kwargs,
+    )
+    pipeline = context.pipeline
+    report = pipeline.execute(pipeline.plan(["misclassification"]))
+    assert report.ok, report.failures
+
+
+def test_chaos_overhead_clean(benchmark, tmp_path_factory):
+    """Cold pipeline run, fault machinery idle (no active plan)."""
+
+    def fresh_store():
+        return (tmp_path_factory.mktemp("faults-clean"),), {}
+
+    benchmark.pedantic(_run, setup=fresh_store, rounds=3, iterations=1)
+
+
+def test_chaos_overhead_injected(benchmark, tmp_path_factory):
+    """Cold pipeline run under injected store faults + retries."""
+    plan = FaultPlan.from_text(CHAOS_PLAN)
+    retry = RetryPolicy(max_attempts=3, backoff_base=0.01)
+
+    def fresh_store():
+        return (
+            (tmp_path_factory.mktemp("faults-chaos"),),
+            {"faults": plan, "retry": retry},
+        )
+
+    benchmark.pedantic(_run, setup=fresh_store, rounds=3, iterations=1)

@@ -44,6 +44,7 @@ SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 #: committed.
 QUICK_SELECT = (
     "engine_throughput or sweep_throughput or kernels_run_all or materialize"
+    " or chaos_overhead"
 )
 
 

@@ -31,7 +31,12 @@ Options: ``--suite`` (named suite — ``spec95``, ``spec95-all``,
 ``kernels`` — or a workload/suite JSON file; see ``docs/WORKLOADS.md``),
 ``--scale`` (trace length multiplier), ``--inputs primary|all`` (one
 input set per benchmark vs all 34; sugar for the default spec95 suite),
-``--cache-dir``, ``--no-cache``, ``--engine``, ``--jobs``.  ``--spec``
+``--cache-dir``, ``--no-cache``, ``--engine``, ``--jobs``, plus the
+fault-tolerance knobs (see ``docs/FAULTS.md``): ``--retries N``
+(attempts per node on transient faults — worker death, timeout, store
+I/O), ``--node-timeout SECONDS`` (per-node wall-clock limit), and
+``--resume`` (continue a killed run from the store's
+``run-report.json``; only missing artifacts recompute).  ``--spec``
 and ``--workload`` accept inline JSON or a path to a JSON file; see
 ``docs/API.md`` and ``docs/WORKLOADS.md`` for the schemas.
 ``--workload`` also accepts a trace file directly (``file:<path>`` or
@@ -50,6 +55,7 @@ from pathlib import Path
 
 from .errors import ConfigurationError, ReproError
 from .experiments import ExperimentContext, all_experiment_ids, get_experiment
+from .pipeline import RetryPolicy
 from .spec import PredictorSpec, spec_class, spec_from_json, spec_kinds
 from .workload_spec import (
     NAMED_SUITES,
@@ -236,12 +242,55 @@ def _add_context_options(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for independent artifacts (default 1)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help=(
+            "attempts per artifact node on transient faults — worker "
+            "death, timeout, store I/O (default 1: no retry; see "
+            "docs/FAULTS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--node-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-node wall-clock limit; an attempt past it counts as a "
+            "transient timeout fault (default: no limit)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume a killed run from the store's run-report.json: "
+            "completed artifacts are served from the cache, only "
+            "missing nodes recompute (requires the cache)"
+        ),
+    )
 
 
 def _context_from(args: argparse.Namespace) -> ExperimentContext:
     suite = None
     if getattr(args, "suite", None) is not None:
         suite = load_suite(args.suite, scale=args.scale)
+    retries = getattr(args, "retries", 1)
+    if retries < 1:
+        raise ConfigurationError(f"--retries must be at least 1, got {retries}")
+    resume = getattr(args, "resume", False)
+    if resume and args.no_cache:
+        raise ConfigurationError(
+            "--resume needs the artifact store (it replans against "
+            "run-report.json and cached artifacts); drop --no-cache"
+        )
+    node_timeout = getattr(args, "node_timeout", None)
+    if node_timeout is not None and node_timeout <= 0:
+        raise ConfigurationError(
+            f"--node-timeout must be positive, got {node_timeout:g}"
+        )
     return ExperimentContext(
         inputs=args.inputs,
         scale=args.scale,
@@ -249,6 +298,9 @@ def _context_from(args: argparse.Namespace) -> ExperimentContext:
         engine=args.engine,
         jobs=args.jobs,
         suite=suite,
+        retry=RetryPolicy(max_attempts=retries),
+        node_timeout=node_timeout,
+        resume=resume,
     )
 
 
@@ -287,8 +339,10 @@ def _run_experiments(args: argparse.Namespace) -> int:
     # remembers broken addresses) instead of recomputing per figure.
     passed: list[str] = []
     failed: list[str] = []
+    run_report_path = None
     for experiment_id in ids:
         report = context.pipeline.run_experiments([experiment_id])
+        run_report_path = report.run_report_path or run_report_path
         key = f"render:{experiment_id}"
         if key in report.values:
             result = report.values[key]
@@ -309,6 +363,12 @@ def _run_experiments(args: argparse.Namespace) -> int:
         print(
             f"run all: {len(passed)}/{len(ids)} experiments succeeded [{status}]"
             + (f" — failed: {', '.join(failed)}" if failed else "")
+        )
+    if failed and run_report_path is not None:
+        print(
+            f"run report: {run_report_path} (rerun with --resume to "
+            "recompute only what is missing)",
+            file=sys.stderr,
         )
     return 0 if not failed else 1
 

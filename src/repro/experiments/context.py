@@ -19,7 +19,8 @@ from pathlib import Path
 from ..classify.profile import ProfileTable
 from ..analysis.history_sweep import SweepResult
 from ..analysis.misclassification import MisclassificationReport
-from ..pipeline import ArtifactStore, Pipeline, PipelineConfig
+from ..faults import FaultPlan
+from ..pipeline import ArtifactStore, Pipeline, PipelineConfig, RetryPolicy
 from ..predictors.paper_configs import HISTORY_LENGTHS
 from ..session import Session
 from ..trace.stream import Trace
@@ -63,6 +64,20 @@ class ExperimentContext:
     jobs:
         Worker processes for independent artifacts (per-trace sweeps);
         1 (the default) runs everything inline.
+    retry:
+        Per-node :class:`~repro.pipeline.executor.RetryPolicy` for
+        transient faults (worker death, timeout, store I/O); the
+        default makes a single attempt.  See ``docs/FAULTS.md``.
+    node_timeout:
+        Per-node wall-clock seconds before an attempt counts as a
+        ``TIMEOUT`` fault (``None`` disables).
+    resume:
+        Resume from the store's ``run-report.json``: artifacts the
+        prior (possibly killed) run completed are served from the
+        store; only missing nodes recompute.
+    faults:
+        An explicit chaos-testing :class:`~repro.faults.FaultPlan`
+        (``None`` defers to the ``REPRO_FAULTS`` environment variable).
     """
 
     def __init__(
@@ -75,6 +90,10 @@ class ExperimentContext:
         engine: str = "auto",
         jobs: int = 1,
         suite: SuiteSpec | None = None,
+        retry: "RetryPolicy | None" = None,
+        node_timeout: float | None = None,
+        resume: bool = False,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         config = PipelineConfig(
             inputs=inputs,
@@ -83,7 +102,15 @@ class ExperimentContext:
             engine=engine,
             suite=suite,
         )
-        self.pipeline = Pipeline(config, ArtifactStore(cache_dir), jobs=jobs)
+        self.pipeline = Pipeline(
+            config,
+            ArtifactStore(cache_dir),
+            jobs=jobs,
+            retry=retry,
+            node_timeout=node_timeout,
+            faults=faults,
+            resume=resume,
+        )
 
     # -- configuration passthrough ----------------------------------------
 

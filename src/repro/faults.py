@@ -1,0 +1,280 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+A :class:`FaultPlan` describes *where* and *how often* to inject faults
+into the executor/store machinery: worker crashes (``os._exit``), node
+delays, store write errors, and object-file corruption.  The plan is
+**seeded and stateless** — whether a given injection fires is a pure
+function of ``(seed, site, token)``, where the token identifies the
+injection point (typically ``"<node key>#a<attempt>"``).  That gives
+the properties chaos tests need:
+
+* the same plan injects the same faults on every run, in any process,
+  regardless of scheduling order (no shared RNG stream to race on);
+* retrying a faulted operation *changes the token* (the attempt number
+  is part of it), so a fault with probability < 1 deterministically
+  clears after a knowable number of retries.
+
+Plans activate in one of two ways:
+
+* the ``REPRO_FAULTS`` environment variable (inherited by worker
+  processes), parsed by :meth:`FaultPlan.from_text` — the grammar is
+  ``seed=<int>[,<site>=<prob>[:<arg>][@<match>]]...``, e.g.
+  ``seed=7,crash=0.1,delay=0.3:0.02,store-write=0.1@sweep``; or
+* explicitly via :func:`activation` (the executor does this around a
+  run, and ships the plan to workers so explicit plans work under any
+  process start method).
+
+Sites (see ``docs/FAULTS.md`` for the full grammar):
+
+``crash``
+    the process calls ``os._exit(CRASH_EXIT_CODE)`` — a worker dies
+    mid-task (pool runs) or the whole run is killed (inline runs).
+``delay``
+    ``time.sleep(arg)`` before the node computes (default 0.05 s);
+    with a per-node timeout this is how hung nodes are simulated.
+``store-write``
+    :meth:`ArtifactStore.put` raises :class:`InjectedFault` (an
+    ``OSError``) instead of writing the object file.
+``corrupt``
+    the object file is deterministically garbled *after* a successful
+    write, so a later read sees torn-write damage.
+
+This module never fires unless a plan is active: every hook in the
+pipeline is a no-op in production runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "SITES",
+    "InjectedFault",
+    "FaultRule",
+    "FaultPlan",
+    "activation",
+    "active_plan",
+    "inject",
+    "inject_corruption",
+    "stable_unit",
+]
+
+#: Exit status used by ``crash`` injections, distinctive enough to
+#: assert on in tests (and never confused with pytest/python statuses).
+CRASH_EXIT_CODE = 47
+
+#: The injection sites the pipeline exposes.
+SITES = ("crash", "delay", "store-write", "corrupt")
+
+_ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(OSError):
+    """The error raised by ``store-write`` injections.
+
+    Deliberately an :class:`OSError` subclass: the executor must
+    classify it exactly as it would a real disk fault (``STORE_IO``),
+    which is the point of injecting it.
+    """
+
+
+def stable_unit(*parts: object) -> float:
+    """A deterministic uniform in ``[0, 1)`` from the given parts.
+
+    Pure function of its inputs (sha256-based), identical across
+    processes and platforms — the randomness primitive behind both
+    fault decisions and retry-backoff jitter.
+    """
+    text = "|".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: fire at ``site`` with ``probability``.
+
+    ``arg`` carries a site-specific parameter (the ``delay`` duration
+    in seconds); ``match`` restricts the rule to tokens containing the
+    substring (e.g. ``@sweep`` targets sweep nodes only).
+    """
+
+    site: str
+    probability: float
+    arg: float | None = None
+    match: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; known sites: {', '.join(SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {self.probability!r}"
+            )
+
+    def to_text(self) -> str:
+        text = f"{self.site}={self.probability:g}"
+        if self.arg is not None:
+            text += f":{self.arg:g}"
+        if self.match:
+            text += f"@{self.match}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, stateless set of :class:`FaultRule`\\ s."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_text(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see the module docstring)."""
+        seed = 0
+        rules: list[FaultRule] = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ConfigurationError(
+                    f"bad fault token {token!r} (expected name=value); full text: {text!r}"
+                )
+            name, value = token.split("=", 1)
+            name = name.strip()
+            if name == "seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    raise ConfigurationError(f"bad fault seed {value!r}") from None
+                continue
+            value, _, match = value.partition("@")
+            prob_text, _, arg_text = value.partition(":")
+            try:
+                probability = float(prob_text)
+                arg = float(arg_text) if arg_text else None
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad fault rule {token!r} (expected site=prob[:arg][@match])"
+                ) from None
+            rules.append(FaultRule(name, probability, arg=arg, match=match.strip()))
+        return cls(seed=seed, rules=tuple(rules))
+
+    def to_text(self) -> str:
+        """The plan back in ``REPRO_FAULTS`` grammar (round-trips)."""
+        return ",".join([f"seed={self.seed}"] + [rule.to_text() for rule in self.rules])
+
+    def rule_for(self, site: str, token: str) -> FaultRule | None:
+        """The first rule that fires at ``site`` for ``token``, if any.
+
+        Deterministic: the decision hashes ``(seed, site, token)`` plus
+        the rule's position, so two rules at one site draw independent
+        coins but every process draws the same ones.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.site != site or rule.match not in token:
+                continue
+            if stable_unit(self.seed, site, token, index) < rule.probability:
+                return rule
+        return None
+
+
+# -- activation ----------------------------------------------------------
+
+_active: FaultPlan | None = None
+_env_cache: tuple[str, FaultPlan] | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The explicitly activated plan, else one parsed from ``REPRO_FAULTS``."""
+    if _active is not None:
+        return _active
+    text = os.environ.get(_ENV_VAR)
+    if not text:
+        return None
+    global _env_cache
+    if _env_cache is None or _env_cache[0] != text:
+        _env_cache = (text, FaultPlan.from_text(text))
+    return _env_cache[1]
+
+
+@contextmanager
+def activation(plan: FaultPlan | None):
+    """Activate ``plan`` for the duration of the block (``None`` = no-op).
+
+    Explicit activation shadows the environment; the executor wraps
+    each run — and each worker-side task — in one of these so a plan
+    passed as an object behaves identically to one set via env.
+    """
+    global _active
+    if plan is None:
+        yield
+        return
+    previous = _active
+    _active = plan
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+# -- injection sites ------------------------------------------------------
+
+
+def inject(site: str, token: str) -> None:
+    """Fire ``site`` for ``token`` if the active plan says so.
+
+    No-op without an active plan.  ``crash`` exits the process with
+    :data:`CRASH_EXIT_CODE`; ``delay`` sleeps; ``store-write`` raises
+    :class:`InjectedFault`.  (``corrupt`` needs the written file — see
+    :func:`inject_corruption`.)
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = plan.rule_for(site, token)
+    if rule is None:
+        return
+    if site == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif site == "delay":
+        time.sleep(rule.arg if rule.arg is not None else 0.05)
+    elif site == "store-write":
+        raise InjectedFault(f"injected store write fault at {token!r}")
+
+
+def inject_corruption(path: Path, token: str) -> bool:
+    """Deterministically garble ``path`` if a ``corrupt`` rule fires.
+
+    Half the firings truncate the file, half overwrite a span in the
+    middle with hash-derived garbage — both damage modes the store's
+    read-side validation must absorb.  Returns whether it fired.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    rule = plan.rule_for("corrupt", token)
+    if rule is None:
+        return False
+    size = path.stat().st_size
+    mode = stable_unit(plan.seed, "corrupt-mode", token)
+    if mode < 0.5 or size < 32:
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+    else:
+        garbage = hashlib.sha256(token.encode("utf-8")).digest()
+        with open(path, "r+b") as fh:
+            fh.seek(size // 3)
+            fh.write(garbage)
+    return True

@@ -12,6 +12,15 @@ The experiment layer's reuse-over-recompute machinery (see
 * :mod:`repro.pipeline.executor` — runs ready nodes (optionally across
   a process pool), isolates faults, and reports.
 
+Fault tolerance (see ``docs/FAULTS.md``):
+
+* :mod:`repro.pipeline.locking` — the advisory cross-process
+  :class:`FileLock` serializing manifest merges.
+* :mod:`repro.pipeline.runreport` — the incremental
+  ``run-report.json`` checkpoint behind ``--resume``.
+* :class:`RetryPolicy` / :class:`FaultKind` — per-node retries with a
+  structured failure taxonomy; chaos hooks live in :mod:`repro.faults`.
+
 :class:`Pipeline` is the bundled front door;
 :class:`~repro.experiments.context.ExperimentContext` is a thin facade
 over one.
@@ -31,12 +40,22 @@ from .artifacts import (
     WorkloadNode,
     node_digest,
 )
-from .executor import ExecutionReport, Executor, NodeFailure, Pipeline
+from .executor import (
+    ExecutionReport,
+    Executor,
+    FaultKind,
+    NodeFailure,
+    Pipeline,
+    RetryPolicy,
+)
+from .locking import FileLock
 from .planner import Plan, PlannedNode, Planner
+from .runreport import RUN_REPORT_NAME, NodeRecord, RunReport
 from .store import ArtifactStore, ManifestEntry
 
 __all__ = [
     "STORE_VERSION",
+    "RUN_REPORT_NAME",
     "ArtifactNode",
     "ArtifactView",
     "ArtifactStore",
@@ -55,6 +74,11 @@ __all__ = [
     "Planner",
     "Executor",
     "ExecutionReport",
+    "FaultKind",
+    "RetryPolicy",
     "NodeFailure",
+    "NodeRecord",
+    "RunReport",
+    "FileLock",
     "Pipeline",
 ]

@@ -171,6 +171,23 @@ class ArtifactNode:
         """Produce the value from upstream values (keyed by dep key)."""
         raise NotImplementedError
 
+    def compute_guarded(
+        self, config: PipelineConfig, deps: Mapping[str, Any], fault_token: str = ""
+    ) -> Any:
+        """:meth:`compute` with the chaos hooks armed.
+
+        The executor routes every attempt through here; ``fault_token``
+        names the attempt (``"<key>#a<n>"``) so an active
+        :class:`~repro.faults.FaultPlan` can deterministically delay the
+        node or crash the computing process at this exact site.  With no
+        active plan both hooks are no-ops and this *is* ``compute``.
+        """
+        from .. import faults  # local import: keep the hot path lazy
+
+        faults.inject("delay", fault_token)
+        faults.inject("crash", fault_token)
+        return self.compute(config, deps)
+
     def narrow(self, deps: dict[str, Any]) -> dict[str, Any]:
         """Trim dep values to what :meth:`compute` consumes.
 

@@ -1,4 +1,4 @@
-"""Plan execution: cache resolution, process-pool fan-out, fault isolation.
+"""Plan execution: cache resolution, process-pool fan-out, fault tolerance.
 
 The :class:`Executor` takes a :class:`~repro.pipeline.planner.Plan` and
 materializes its targets:
@@ -14,10 +14,43 @@ materializes its targets:
    sweep artifacts are the wide tier this is built for.  Results are
    identical either way: every aggregation follows declared dependency
    order, never completion order.
-3. **Fault isolation.**  A failing node records a
-   :class:`NodeFailure`, its dependents are skipped, and every
-   independent subgraph keeps running — ``repro run all`` reports all
-   failures at the end instead of aborting on the first.
+3. **Fault tolerance.**  Failures carry a :class:`FaultKind` taxonomy:
+
+   * ``NODE_ERROR`` — the node's own computation raised; deterministic,
+     never retried (rerunning the same code on the same inputs fails
+     the same way).
+   * ``WORKER_CRASH`` — a worker process died (``BrokenProcessPool``,
+     OOM-kill, ``kill -9``); the pool is rebuilt and in-flight nodes
+     requeue.  Transient: retried.
+   * ``TIMEOUT`` — the node exceeded ``node_timeout`` wall-clock
+     seconds; enforced worker-side via ``SIGALRM`` with a main-side
+     backstop that terminates genuinely wedged workers.  Transient:
+     retried.
+   * ``STORE_IO`` — persisting the computed value failed (disk fault,
+     injected write error).  Transient: retried.
+
+   The per-node :class:`RetryPolicy` bounds attempts and spaces them
+   with exponential backoff plus *deterministic* jitter (hashed from
+   the node key and attempt, so reruns behave identically).  A node
+   that exhausts its attempts records a :class:`NodeFailure`, its
+   dependents are skipped (each remembering which ancestor actually
+   failed), and every independent subgraph keeps running — ``repro run
+   all`` reports all failures at the end instead of aborting on the
+   first.
+4. **Checkpointing.**  When the store is on disk, the executor
+   persists an incremental ``run-report.json``
+   (:mod:`~repro.pipeline.runreport`) after every node completion.
+   A killed run resumes with ``resume=True`` (CLI ``--resume``):
+   the planner replans against the store — which content-addresses
+   everything already on disk — and the prior report, so only the
+   missing nodes recompute.
+
+Chaos hooks (:mod:`repro.faults`) thread through every stage: node
+delays and worker crashes fire inside
+:meth:`~repro.pipeline.artifacts.ArtifactNode.compute_guarded`, store
+write faults and object corruption inside
+:meth:`~repro.pipeline.store.ArtifactStore.put`.  All of them are
+no-ops unless a :class:`~repro.faults.FaultPlan` is active.
 
 :class:`Pipeline` bundles config + store + planner + executor behind
 the two calls everything else uses: ``value(key)`` for one artifact and
@@ -26,28 +59,158 @@ the two calls everything else uses: ``value(key)`` for one artifact and
 
 from __future__ import annotations
 
+import heapq
+import logging
+import signal
+import threading
+import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
 from typing import Any
 
+from .. import faults
 from ..errors import ConfigurationError, PipelineError
+from ..faults import FaultPlan, stable_unit
 from .artifacts import ArtifactNode, PipelineConfig
 from .planner import Plan, Planner
+from .runreport import NodeRecord, RunReport
 from .store import ArtifactStore
 
-__all__ = ["NodeFailure", "ExecutionReport", "Executor", "Pipeline"]
+__all__ = [
+    "FaultKind",
+    "RetryPolicy",
+    "NodeFailure",
+    "ExecutionReport",
+    "Executor",
+    "Pipeline",
+]
+
+logger = logging.getLogger("repro.pipeline")
+
+
+class FaultKind(str, Enum):
+    """Structured failure taxonomy (see the module docstring)."""
+
+    NODE_ERROR = "node-error"
+    WORKER_CRASH = "worker-crash"
+    TIMEOUT = "timeout"
+    STORE_IO = "store-io"
+
+
+#: Fault classes that are transient by nature: retrying can succeed.
+TRANSIENT_FAULTS = frozenset(
+    {FaultKind.WORKER_CRASH, FaultKind.TIMEOUT, FaultKind.STORE_IO}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how patiently, a node is retried.
+
+    Only fault kinds in ``retry_on`` are retried — by default the
+    transient classes (worker death, timeout, store I/O), never
+    ``NODE_ERROR``: a deterministic exception recurs on every attempt,
+    so retrying it only burns time.  Backoff grows exponentially from
+    ``backoff_base`` by ``backoff_factor`` per attempt, capped at
+    ``backoff_max``, with up to ``jitter`` (fractional) spread hashed
+    deterministically from the node key and attempt number — reruns of
+    the same plan behave identically, but a wide tier of requeued nodes
+    does not thundering-herd the pool.
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    retry_on: frozenset[FaultKind] = TRANSIENT_FAULTS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff times must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        object.__setattr__(self, "retry_on", frozenset(self.retry_on))
+
+    def should_retry(self, kind: FaultKind, attempts: int) -> bool:
+        """Whether a node that just failed its ``attempts``-th attempt
+        with ``kind`` gets another."""
+        return attempts < self.max_attempts and kind in self.retry_on
+
+    def delay(self, key: str, attempts: int) -> float:
+        """Seconds to wait before the attempt after ``attempts`` failures."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** max(attempts - 1, 0),
+            self.backoff_max,
+        )
+        return base * (1.0 + self.jitter * stable_unit("retry", key, attempts))
+
+
+class _NodeTimeout(Exception):
+    """Raised by the SIGALRM handler inside a timed-out node."""
 
 
 def _compute_node(
-    node: ArtifactNode, config: PipelineConfig, dep_values: dict[str, Any]
-) -> tuple[bool, Any]:
+    node: ArtifactNode,
+    config: PipelineConfig,
+    dep_values: dict[str, Any],
+    fault_token: str = "",
+    fault_plan: FaultPlan | None = None,
+    timeout: float | None = None,
+) -> tuple[str, Any]:
     """Worker entry point: never raises, so failures cross process
-    boundaries as data rather than as maybe-unpicklable exceptions."""
+    boundaries as data rather than as maybe-unpicklable exceptions.
+
+    Returns ``(status, payload)`` with status ``"ok"`` (payload is the
+    value), ``"timeout"`` or ``"error"`` (payload is the message).  The
+    wall-clock timeout is enforced here — in the worker (or inline in
+    the caller) — via ``SIGALRM``, which requires the main thread of a
+    POSIX process; elsewhere the main-side backstop still applies.
+    A ``crash`` fault injection exits the process instead of returning,
+    exactly like an OOM kill would.
+    """
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler: Any = None
     try:
-        return (True, node.compute(config, dep_values))
-    except Exception as exc:  # noqa: BLE001 - isolate any node fault
-        return (False, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+        if use_alarm:
+
+            def _on_alarm(signum: int, frame: Any) -> None:
+                raise _NodeTimeout()
+
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        with faults.activation(fault_plan):
+            try:
+                return ("ok", node.compute_guarded(config, dep_values, fault_token))
+            except _NodeTimeout:
+                return (
+                    "timeout",
+                    f"node exceeded wall-clock timeout of {timeout:g}s",
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate any node fault
+                return (
+                    "error",
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous_handler)
 
 
 @dataclass(frozen=True)
@@ -56,9 +219,14 @@ class NodeFailure:
 
     key: str
     error: str
+    kind: FaultKind = FaultKind.NODE_ERROR
+    attempts: int = 1
 
     def summary(self) -> str:
-        return f"{self.key}: {self.error.splitlines()[0]}"
+        detail = self.kind.value
+        if self.attempts > 1:
+            detail += f" after {self.attempts} attempts"
+        return f"{self.key}: [{detail}] {self.error.splitlines()[0]}"
 
 
 @dataclass
@@ -70,47 +238,164 @@ class ExecutionReport:
     cached: list[str] = field(default_factory=list)
     failures: list[NodeFailure] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
+    #: skipped key -> the ancestor key whose failure caused the skip.
+    skip_causes: dict[str, str] = field(default_factory=dict)
+    #: node key -> compute attempts made (only nodes that ran).
+    attempts: dict[str, int] = field(default_factory=dict)
+    #: node key -> fault kinds hit on the way (including the final one).
+    fault_kinds: dict[str, list[str]] = field(default_factory=dict)
+    #: where the incremental run report was checkpointed (None: memory-only).
+    run_report_path: Path | None = None
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def failure_for(self, key: str) -> NodeFailure | None:
+        for failure in self.failures:
+            if failure.key == key:
+                return failure
+        return None
 
     def value(self, key: str) -> Any:
         """The materialized value for ``key``; raises with the causing
         failure when it (or an ancestor) did not complete."""
         if key in self.values:
             return self.values[key]
-        for failure in self.failures:
-            if failure.key == key:
-                raise PipelineError(f"artifact {key} failed: {failure.error}")
+        failure = self.failure_for(key)
+        if failure is not None:
+            raise PipelineError(f"artifact {key} failed: {failure.error}")
         if key in self.skipped:
+            # Report the *actual* ancestor failure for this key (walking
+            # the recorded dependency chain), not every failure in the run.
+            cause = self.failure_for(self.skip_causes.get(key, ""))
+            if cause is not None:
+                raise PipelineError(
+                    f"artifact {key} skipped (upstream failed: {cause.summary()})"
+                )
             causes = "; ".join(f.summary() for f in self.failures) or "unknown"
             raise PipelineError(f"artifact {key} skipped (upstream failed: {causes})")
         raise PipelineError(f"artifact {key} was not materialized by this run")
 
 
-class Executor:
-    """Executes plans against a store, optionally across processes."""
+@dataclass
+class _NodeState:
+    """Mutable per-node progress while a plan runs."""
 
-    def __init__(self, store: ArtifactStore, *, jobs: int = 1) -> None:
+    attempts: int = 0
+    faults: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+
+class Executor:
+    """Executes plans against a store, optionally across processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for independent nodes (1 runs inline).
+    retry:
+        The per-node :class:`RetryPolicy`; the default makes a single
+        attempt (no retries), preserving historical behavior.
+    node_timeout:
+        Per-node wall-clock seconds before an attempt is cancelled and
+        counted as a ``TIMEOUT`` fault (``None`` disables).
+    faults:
+        An explicit :class:`~repro.faults.FaultPlan` for chaos testing;
+        ``None`` defers to the ``REPRO_FAULTS`` environment variable.
+    resume:
+        Resume bookkeeping from the store's ``run-report.json``: nodes
+        the prior run completed (and whose artifacts are still on disk)
+        are served from cache and marked ``resumed`` in the new report.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        jobs: int = 1,
+        retry: RetryPolicy | None = None,
+        node_timeout: float | None = None,
+        faults: FaultPlan | None = None,
+        resume: bool = False,
+    ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if node_timeout is not None and node_timeout <= 0:
+            raise ConfigurationError("node_timeout must be positive seconds")
         self.store = store
         self.jobs = jobs
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.node_timeout = node_timeout
+        self.faults = faults
+        self.resume = resume
         # Content addresses that failed in this executor's lifetime: a
         # known-broken artifact fails fast on resubmission instead of
         # recomputing (e.g. 16 more times during a streamed `run all`).
-        self._failed: dict[str, str] = {}
+        self._failed: dict[str, tuple[FaultKind, str]] = {}
+        # The cumulative run report (spans every run() of this executor,
+        # so `repro run all`'s per-experiment calls share one ledger).
+        self._report: RunReport | None = None
+        self._prior: RunReport | None = None
+        self._prior_loaded = False
+
+    # -- resume / run-report bookkeeping --------------------------------
+
+    @property
+    def prior_report(self) -> RunReport | None:
+        """The previous run's report, when resuming (lazily loaded)."""
+        if not self._prior_loaded:
+            self._prior_loaded = True
+            if self.resume:
+                self._prior = RunReport.load(self.store.root)
+        return self._prior
+
+    def _run_report(self, plan: Plan) -> RunReport:
+        if self._report is None:
+            assert plan.config.suite is not None
+            self._report = RunReport(
+                config={
+                    "suite": plan.config.suite.content_key(),
+                    "scale": plan.config.scale,
+                    "history_lengths": list(plan.config.history_lengths),
+                }
+            )
+        return self._report
+
+    def _checkpoint(self) -> Path | None:
+        """Persist the run report (atomic, under the store lock).
+
+        Checkpointing must never fail the run: a locked or unwritable
+        report path degrades to warn-and-continue.
+        """
+        if self.store.root is None or self._report is None:
+            return None
+        try:
+            with self.store.lock:
+                return self._report.save(self.store.root)
+        except OSError as exc:  # pragma: no cover - environment-dependent
+            logger.warning("could not checkpoint run report: %s", exc)
+            return None
+
+    # -- execution -------------------------------------------------------
 
     def run(self, plan: Plan) -> ExecutionReport:
         """Materialize the plan's targets; see the module docstring."""
-        try:
-            return self._run(plan)
-        finally:
-            self.store.flush_manifest()
+        with faults.activation(self.faults):
+            try:
+                return self._run(plan)
+            finally:
+                # The manifest is advisory metadata: a corrupt or locked
+                # manifest path must not mask the (more useful) report.
+                try:
+                    self.store.flush_manifest()
+                except Exception as exc:  # noqa: BLE001 - advisory only
+                    logger.warning("could not flush store manifest: %s", exc)
 
     def _run(self, plan: Plan) -> ExecutionReport:
         report = ExecutionReport()
+        run_report = self._run_report(plan)
+        prior = self.prior_report
         values = report.values
         run_set: set[str] = set()
         targets = set(plan.targets)
@@ -125,6 +410,16 @@ class Executor:
                 if value is not None:
                     values[key] = value
                     report.cached.append(key)
+                    resumed = prior is not None and prior.completed(
+                        key, planned.digest
+                    )
+                    prior_record = prior.record(key, planned.digest) if prior else None
+                    run_report.nodes[key] = NodeRecord(
+                        digest=planned.digest,
+                        status="cached",
+                        attempts=prior_record.attempts if prior_record else 0,
+                        resumed=resumed,
+                    )
                     return
                 # Corrupt/truncated object: recompute (its upstreams may
                 # themselves be idle-cached, so prepare them too).
@@ -148,117 +443,347 @@ class Executor:
             if needs_value[key]:
                 prepare(key)
 
+        report.run_report_path = self._checkpoint()
         ordered_run = [key for key in plan.nodes if key in run_set]
         if not ordered_run:
             return report
 
         dead: set[str] = set()
+        states: dict[str, _NodeState] = {key: _NodeState() for key in ordered_run}
 
-        def mark_dead(key: str) -> None:
+        def mark_dead(key: str, cause: str) -> None:
             for consumer in plan.nodes[key].consumers:
                 if consumer in run_set and consumer not in dead:
                     dead.add(consumer)
                     report.skipped.append(consumer)
-                    mark_dead(consumer)
-
-        def finish(key: str, ok: bool, payload: Any) -> None:
-            if ok:
-                planned = plan.nodes[key]
-                try:
-                    self.store.put(
-                        planned.digest,
-                        planned.node,
-                        payload,
-                        plan.config,
-                        {dep: plan.digest_of(dep) for dep in planned.node.deps},
+                    report.skip_causes[consumer] = cause
+                    run_report.nodes[consumer] = NodeRecord(
+                        digest=plan.nodes[consumer].digest,
+                        status="skipped",
+                        error=f"upstream artifact {cause} failed",
                     )
-                except Exception as exc:  # noqa: BLE001 - encode/disk faults
-                    # Persistence failures (unencodable value, full disk)
-                    # are node failures like any other: recorded and
-                    # isolated, never a crashed `run all`.
-                    ok = False
-                    payload = (
-                        f"storing artifact failed: {type(exc).__name__}: {exc}\n"
-                        f"{traceback.format_exc()}"
-                    )
-                else:
-                    values[key] = payload
-                    report.computed.append(key)
-            if not ok:
-                self._failed[plan.nodes[key].digest] = payload
-                report.failures.append(NodeFailure(key=key, error=payload))
-                dead.add(key)
-                mark_dead(key)
+                    mark_dead(consumer, cause)
 
-        if self.jobs == 1 or len(ordered_run) == 1:
-            for key in ordered_run:
-                if key in dead:
-                    continue
-                prior = self._failed.get(plan.nodes[key].digest)
-                if prior is not None:
-                    finish(key, False, prior)
-                    continue
-                node = plan.nodes[key].node
-                ok, payload = _compute_node(
-                    node,
-                    plan.config,
-                    node.narrow({dep: values[dep] for dep in node.deps}),
+        def finish_success(key: str, payload: Any) -> None:
+            state = states[key]
+            values[key] = payload
+            report.computed.append(key)
+            report.attempts[key] = state.attempts
+            if state.faults:
+                report.fault_kinds[key] = list(state.faults)
+            run_report.nodes[key] = NodeRecord(
+                digest=plan.nodes[key].digest,
+                status="computed",
+                attempts=state.attempts,
+                faults=list(state.faults),
+                elapsed=state.elapsed,
+            )
+            self._checkpoint()
+
+        def finish_failure(key: str, kind: FaultKind, error: str) -> None:
+            state = states[key]
+            self._failed[plan.nodes[key].digest] = (kind, error)
+            report.failures.append(
+                NodeFailure(
+                    key=key, error=error, kind=kind, attempts=max(state.attempts, 1)
                 )
-                finish(key, ok, payload)
-            return report
+            )
+            report.attempts[key] = state.attempts
+            report.fault_kinds[key] = list(state.faults) or [kind.value]
+            run_report.nodes[key] = NodeRecord(
+                digest=plan.nodes[key].digest,
+                status="failed",
+                attempts=state.attempts,
+                faults=list(state.faults) or [kind.value],
+                error=error[:2000],
+            )
+            dead.add(key)
+            mark_dead(key, cause=key)
+            self._checkpoint()
 
-        self._run_pool(plan, ordered_run, values, dead, finish)
+        def store_value(key: str, payload: Any, token: str) -> tuple[bool, str]:
+            """Persist one computed value; (ok, error message)."""
+            planned = plan.nodes[key]
+            try:
+                self.store.put(
+                    planned.digest,
+                    planned.node,
+                    payload,
+                    plan.config,
+                    {dep: plan.digest_of(dep) for dep in planned.node.deps},
+                    fault_token=token,
+                )
+            except Exception as exc:  # noqa: BLE001 - encode/disk faults
+                # Persistence failures (unencodable value, full disk)
+                # are node failures like any other: recorded and
+                # isolated, never a crashed `run all`.
+                return False, (
+                    f"storing artifact failed: {type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}"
+                )
+            return True, ""
+
+        helpers = _RunHelpers(
+            plan=plan,
+            values=values,
+            dead=dead,
+            states=states,
+            finish_success=finish_success,
+            finish_failure=finish_failure,
+            store_value=store_value,
+        )
+        if self.jobs == 1 or len(ordered_run) == 1:
+            self._run_inline(ordered_run, helpers)
+        else:
+            self._run_pool(ordered_run, helpers)
         return report
 
-    def _run_pool(self, plan, ordered_run, values, dead, finish) -> None:
+    # -- inline execution ------------------------------------------------
+
+    def _run_inline(self, ordered_run: list[str], h: "_RunHelpers") -> None:
+        for key in ordered_run:
+            if key in h.dead:
+                continue
+            prior = self._failed.get(h.plan.nodes[key].digest)
+            if prior is not None:
+                kind, error = prior
+                h.finish_failure(key, kind, error)
+                continue
+            self._attempt_until_final(key, h)
+
+    def _attempt_until_final(self, key: str, h: "_RunHelpers") -> None:
+        """Inline attempt loop: compute, classify, back off, retry."""
+        node = h.plan.nodes[key].node
+        state = h.states[key]
+        while True:
+            state.attempts += 1
+            token = f"{key}#a{state.attempts}"
+            started = time.monotonic()
+            status, payload = _compute_node(
+                node,
+                h.plan.config,
+                node.narrow({dep: h.values[dep] for dep in node.deps}),
+                fault_token=token,
+                fault_plan=self.faults,
+                timeout=self.node_timeout,
+            )
+            state.elapsed = time.monotonic() - started
+            if status == "ok":
+                stored, error = h.store_value(key, payload, token)
+                if stored:
+                    h.finish_success(key, payload)
+                    return
+                kind = FaultKind.STORE_IO
+            elif status == "timeout":
+                kind, error = FaultKind.TIMEOUT, payload
+            else:
+                kind, error = FaultKind.NODE_ERROR, payload
+            state.faults.append(kind.value)
+            if self.retry.should_retry(kind, state.attempts):
+                time.sleep(self.retry.delay(key, state.attempts))
+                continue
+            h.finish_failure(key, kind, error)
+            return
+
+    # -- pooled execution ------------------------------------------------
+
+    def _new_pool(self, width: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.jobs, width))
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate a pool's workers (hung or broken) without waiting."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - already-dead workers etc.
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pool(self, ordered_run: list[str], h: "_RunHelpers") -> None:
+        plan = h.plan
+        run_set = set(ordered_run)
         remaining = {
-            key: {dep for dep in plan.nodes[key].node.deps if dep in set(ordered_run)}
+            key: {dep for dep in plan.nodes[key].node.deps if dep in run_set}
             for key in ordered_run
         }
         ready = [key for key in ordered_run if not remaining[key]]
-        launched: set[str] = set()
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(ordered_run))) as pool:
-            inflight: dict[Any, str] = {}
-            while ready or inflight:
+        delayed: list[tuple[float, str]] = []  # (due monotonic time, key)
+        scheduled: set[str] = set()  # keys ever moved out of "waiting on deps"
+        finished: set[str] = set()  # keys with a terminal outcome
+        # Main-side backstop for wedged workers: the worker-side alarm
+        # should fire at node_timeout; if a worker stops responding
+        # entirely, terminate the pool this far past the deadline.
+        backstop = None
+        if self.node_timeout is not None:
+            backstop = self.node_timeout * 1.5 + 2.0
+
+        def finalize(key: str, good: bool, payload_or_kind, error: str = "") -> None:
+            finished.add(key)
+            if good:
+                h.finish_success(key, payload_or_kind)
+            else:
+                h.finish_failure(key, payload_or_kind, error)
+            for consumer in plan.nodes[key].consumers:
+                pending = remaining.get(consumer)
+                if pending is None or consumer in scheduled:
+                    continue
+                pending.discard(key)
+                if not pending:
+                    ready.append(consumer)
+
+        def attempt_failed(key: str, kind: FaultKind, error: str) -> None:
+            """Record one failed attempt; requeue with backoff or finalize."""
+            state = h.states[key]
+            state.faults.append(kind.value)
+            if self.retry.should_retry(kind, state.attempts):
+                heapq.heappush(
+                    delayed,
+                    (time.monotonic() + self.retry.delay(key, state.attempts), key),
+                )
+            else:
+                finalize(key, False, kind, error)
+
+        pool = self._new_pool(len(ordered_run))
+        inflight: dict[Any, str] = {}
+        deadlines: dict[Any, float] = {}
+
+        def recover_pool(kinds: dict[str, FaultKind], reason: str) -> None:
+            """Tear down a broken/wedged pool; requeue its in-flight work."""
+            nonlocal pool
+            casualties = list(inflight.items())
+            inflight.clear()
+            deadlines.clear()
+            self._kill_pool(pool)
+            pool = self._new_pool(len(ordered_run))
+            for _, key in casualties:
+                kind = kinds.get(key, FaultKind.WORKER_CRASH)
+                attempt_failed(key, kind, f"{reason} while computing {key}")
+
+        def submit(key: str) -> None:
+            if key in h.dead or key in finished:
+                scheduled.add(key)
+                return
+            prior = self._failed.get(plan.nodes[key].digest)
+            if prior is not None:
+                scheduled.add(key)
+                finalize(key, False, prior[0], prior[1])
+                return
+            scheduled.add(key)
+            state = h.states[key]
+            state.attempts += 1
+            node = plan.nodes[key].node
+            token = f"{key}#a{state.attempts}"
+            # narrow() trims dep values to what the node consumes,
+            # so wide tiers don't pickle the whole suite per task.
+            try:
+                future = pool.submit(
+                    _compute_node,
+                    node,
+                    plan.config,
+                    node.narrow({dep: h.values[dep] for dep in node.deps}),
+                    fault_token=token,
+                    fault_plan=self.faults,
+                    timeout=self.node_timeout,
+                )
+            except BrokenExecutor:
+                # The pool died between completions; recover and let the
+                # outer loop resubmit this attempt's requeue.
+                attempt_failed(key, FaultKind.WORKER_CRASH, "worker pool broken")
+                recover_pool({}, "worker pool broken")
+                return
+            inflight[future] = key
+            if backstop is not None:
+                deadlines[future] = time.monotonic() + backstop
+
+        try:
+            while ready or inflight or delayed:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, key = heapq.heappop(delayed)
+                    ready.append(key)
                 for key in ready:
-                    if key in dead:
-                        launched.add(key)
-                        continue
-                    prior = self._failed.get(plan.nodes[key].digest)
-                    if prior is not None:
-                        finish(key, False, prior)
-                        launched.add(key)
-                        continue
-                    node = plan.nodes[key].node
-                    # narrow() trims dep values to what the node consumes,
-                    # so wide tiers don't pickle the whole suite per task.
-                    future = pool.submit(
-                        _compute_node,
-                        node,
-                        plan.config,
-                        node.narrow({dep: values[dep] for dep in node.deps}),
-                    )
-                    inflight[future] = key
-                    launched.add(key)
+                    submit(key)
                 ready = []
                 if not inflight:
+                    if delayed:
+                        time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                        continue
                     break
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                timeout = None
+                now = time.monotonic()
+                if delayed:
+                    timeout = max(0.0, delayed[0][0] - now)
+                if deadlines:
+                    hard = max(0.01, min(deadlines.values()) - now)
+                    timeout = hard if timeout is None else min(timeout, hard)
+                done, _ = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    now = time.monotonic()
+                    expired = {
+                        inflight[f]: FaultKind.TIMEOUT
+                        for f, deadline in deadlines.items()
+                        if deadline <= now
+                    }
+                    if expired:
+                        # A worker blew straight through its alarm: it is
+                        # wedged beyond signals.  Kill the pool; expired
+                        # nodes count as timeouts, collateral in-flight
+                        # nodes as worker crashes — both retry.
+                        recover_pool(expired, "worker unresponsive past timeout")
+                    continue
+                pool_broken = False
                 for future in done:
                     key = inflight.pop(future)
+                    deadlines.pop(future, None)
                     exc = future.exception()
-                    if exc is not None:  # pool infrastructure fault
-                        ok, payload = False, f"{type(exc).__name__}: {exc}"
+                    if exc is not None:
+                        if isinstance(exc, BrokenExecutor):
+                            pool_broken = True
+                            attempt_failed(
+                                key,
+                                FaultKind.WORKER_CRASH,
+                                f"worker process died: {type(exc).__name__}: {exc}",
+                            )
+                        else:  # pool infrastructure fault (unpicklable task…)
+                            attempt_failed(
+                                key,
+                                FaultKind.NODE_ERROR,
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                        continue
+                    status, payload = future.result()
+                    if status == "ok":
+                        token = f"{key}#a{h.states[key].attempts}"
+                        stored, error = h.store_value(key, payload, token)
+                        if stored:
+                            finalize(key, True, payload)
+                        else:
+                            attempt_failed(key, FaultKind.STORE_IO, error)
+                    elif status == "timeout":
+                        attempt_failed(key, FaultKind.TIMEOUT, payload)
                     else:
-                        ok, payload = future.result()
-                    finish(key, ok, payload)
-                    for consumer in plan.nodes[key].consumers:
-                        pending = remaining.get(consumer)
-                        if pending is None or consumer in launched:
-                            continue
-                        pending.discard(key)
-                        if not pending:
-                            ready.append(consumer)
+                        attempt_failed(key, FaultKind.NODE_ERROR, payload)
+                if pool_broken:
+                    recover_pool({}, "worker process died")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _RunHelpers:
+    """The shared mutable state both execution modes operate on."""
+
+    plan: Plan
+    values: dict[str, Any]
+    dead: set[str]
+    states: dict[str, _NodeState]
+    finish_success: Any
+    finish_failure: Any
+    store_value: Any
 
 
 class Pipeline:
@@ -270,6 +795,10 @@ class Pipeline:
     values are memoized in the store's in-process cache, so repeated
     calls — and every consumer sharing this pipeline — reuse rather
     than recompute.
+
+    ``retry``, ``node_timeout``, ``faults`` and ``resume`` configure
+    the executor's fault tolerance (see :class:`Executor` and
+    ``docs/FAULTS.md``).
     """
 
     def __init__(
@@ -278,11 +807,22 @@ class Pipeline:
         store: ArtifactStore | None = None,
         *,
         jobs: int = 1,
+        retry: RetryPolicy | None = None,
+        node_timeout: float | None = None,
+        faults: FaultPlan | None = None,
+        resume: bool = False,
     ) -> None:
         self.config = config or PipelineConfig()
         self.store = store if store is not None else ArtifactStore(None)
         self.planner = Planner(self.config)
-        self.executor = Executor(self.store, jobs=jobs)
+        self.executor = Executor(
+            self.store,
+            jobs=jobs,
+            retry=retry,
+            node_timeout=node_timeout,
+            faults=faults,
+            resume=resume,
+        )
 
     @property
     def jobs(self) -> int:
@@ -290,11 +830,13 @@ class Pipeline:
 
     def plan(self, targets: list[str]) -> Plan:
         """Plan (but do not run) the given artifact keys."""
-        return self.planner.plan(targets, self.store)
+        return self.planner.plan(targets, self.store, prior=self.executor.prior_report)
 
     def plan_experiments(self, experiment_ids: list[str]) -> Plan:
         """Plan (but do not run) the given experiments' renders."""
-        return self.planner.plan_experiments(experiment_ids, self.store)
+        return self.planner.plan_experiments(
+            experiment_ids, self.store, prior=self.executor.prior_report
+        )
 
     def execute(self, plan: Plan) -> ExecutionReport:
         """Run a previously built plan."""

@@ -1,0 +1,89 @@
+"""Advisory cross-process file locking for the artifact store.
+
+Concurrent ``repro`` runs may share one cache directory (two shells,
+a CI matrix, the chaos suite's concurrent-executor tests).  Object
+writes are already safe — content-addressed temp-file-plus-rename —
+but the *manifest* is a read-merge-write of one JSON file, and two
+simultaneous merges can silently drop each other's records.
+:class:`FileLock` serializes those critical sections.
+
+``fcntl.flock`` on POSIX, ``msvcrt.locking`` on Windows; on platforms
+with neither, the lock degrades to a no-op (single-process semantics —
+exactly what the store guaranteed before locking existed).  Locks are
+advisory: only cooperating ``FileLock`` users are excluded, which is
+all the store needs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+try:  # Windows
+    import msvcrt
+except ImportError:
+    msvcrt = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """An exclusive advisory lock on ``path`` (created on first use).
+
+    Reentrant within one instance (nested ``with`` blocks on the same
+    object are counted, not deadlocked), blocking across processes.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+        self._depth = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._depth > 0
+
+    def acquire(self) -> None:
+        if self._depth > 0:
+            self._depth += 1
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            elif msvcrt is not None:  # pragma: no cover - Windows only
+                msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        fd, self._fd = self._fd, None
+        assert fd is not None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            elif msvcrt is not None:  # pragma: no cover - Windows only
+                msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

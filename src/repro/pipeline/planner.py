@@ -41,6 +41,7 @@ from .artifacts import (
     WorkloadNode,
     node_digest,
 )
+from .runreport import RunReport
 from .store import ArtifactStore
 
 __all__ = ["PlannedNode", "Plan", "Planner"]
@@ -48,12 +49,19 @@ __all__ = ["PlannedNode", "Plan", "Planner"]
 
 @dataclass(frozen=True)
 class PlannedNode:
-    """One scheduled DAG node: the node plus its address and cache state."""
+    """One scheduled DAG node: the node plus its address and cache state.
+
+    ``prior_status`` carries what a previous run's
+    :class:`~repro.pipeline.runreport.RunReport` recorded for this node
+    *at the same content address* (``None`` when not resuming, or when
+    the address changed — a stale record is never trusted).
+    """
 
     node: ArtifactNode
     digest: str
     cached: bool
     consumers: tuple[str, ...]
+    prior_status: str | None = None
 
     @property
     def key(self) -> str:
@@ -84,16 +92,31 @@ class Plan:
     def digest_of(self, key: str) -> str:
         return self.nodes[key].digest
 
+    @property
+    def num_from_prior(self) -> int:
+        """Cached nodes a prior (resumed) run already completed."""
+        return sum(
+            1
+            for planned in self.nodes.values()
+            if planned.cached and planned.prior_status in ("computed", "cached")
+        )
+
     def describe(self) -> str:
         """Human-readable schedule (``repro plan``): one line per node,
-        dependency order, with content address, cache state and how many
-        downstream nodes share the artifact."""
-        lines = [
+        dependency order, with content address, cache state (plus what a
+        resumed run's prior report recorded) and how many downstream
+        nodes share the artifact."""
+        header = (
             f"plan: {len(self.targets)} target(s) -> {len(self.nodes)} node(s), "
             f"{self.num_cached} cached, {self.num_to_run} to run"
-        ]
+        )
+        if self.num_from_prior:
+            header += f" ({self.num_from_prior} completed by prior run)"
+        lines = [header]
         for planned in self.nodes.values():
             state = "cached" if planned.cached else "run"
+            if planned.prior_status is not None:
+                state += f", prior: {planned.prior_status}"
             shared = ""
             if len(planned.consumers) > 1:
                 shared = f"  shared by {len(planned.consumers)} consumers"
@@ -202,12 +225,21 @@ class Planner:
     # -- planning -------------------------------------------------------
 
     def plan(
-        self, targets: list[str], store: ArtifactStore | None = None
+        self,
+        targets: list[str],
+        store: ArtifactStore | None = None,
+        prior: "RunReport | None" = None,
     ) -> Plan:
         """Schedule the ancestor closure of ``targets``.
 
         Content addresses are assigned bottom-up; a node is marked
-        ``cached`` when the store already holds its address.
+        ``cached`` when the store already holds its address.  With
+        ``prior`` (a resumed run's
+        :class:`~repro.pipeline.runreport.RunReport`), nodes carry the
+        prior run's recorded status when their address is unchanged —
+        resume is pure bookkeeping on top of content addressing: what
+        the store holds is reused, what it lacks is recomputed, and the
+        report says which is which.
         """
         universe = self.universe()
         for key in targets:
@@ -241,20 +273,27 @@ class Planner:
                 consumers[dep].append(key)
         for key in ordered:
             node = universe[key]
+            prior_record = prior.record(key, digests[key]) if prior is not None else None
             planned[key] = PlannedNode(
                 node=node,
                 digest=digests[key],
                 cached=store.has(digests[key]) if store is not None else False,
                 consumers=tuple(consumers[key]),
+                prior_status=prior_record.status if prior_record is not None else None,
             )
         return Plan(config=self.config, nodes=planned, targets=tuple(targets))
 
     def plan_experiments(
-        self, experiment_ids: list[str], store: ArtifactStore | None = None
+        self,
+        experiment_ids: list[str],
+        store: ArtifactStore | None = None,
+        prior: "RunReport | None" = None,
     ) -> Plan:
         """Plan the render artifacts of the given experiments."""
         return self.plan(
-            [f"render:{experiment_id}" for experiment_id in experiment_ids], store
+            [f"render:{experiment_id}" for experiment_id in experiment_ids],
+            store,
+            prior=prior,
         )
 
     def live_digests(self, store: ArtifactStore | None = None) -> set[str]:

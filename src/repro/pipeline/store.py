@@ -24,6 +24,20 @@ Properties the pipeline relies on:
   other's entries.  (A run killed before its flush leaves valid but
   manifest-untracked objects; ``has``/``gc`` key on digests, not the
   manifest, so correctness is unaffected.)
+* **Concurrency** — the manifest read-merge-write (``flush_manifest``
+  and ``gc``'s rewrite) runs under an advisory cross-process
+  :class:`~repro.pipeline.locking.FileLock` (``<root>/.lock``), so
+  concurrent runs sharing one cache directory cannot drop each other's
+  records even when their flushes are truly simultaneous.  ``gc``
+  additionally re-merges this process's still-pending records into the
+  rewritten manifest, and sweeps stale ``*.tmp`` litter left by
+  crashed writers.
+
+Chaos hooks: with an active :class:`~repro.faults.FaultPlan`, ``put``
+can raise an injected write error (``store-write`` site) or garble the
+object file after a successful write (``corrupt`` site) — the executor
+and the read-side corruption tolerance are tested through exactly
+these paths.  Without a plan both hooks are no-ops.
 
 A store with ``root=None`` is memory-only: artifacts are cached for
 the process lifetime but nothing touches disk (``--no-cache``).
@@ -31,6 +45,7 @@ the process lifetime but nothing touches disk (``--no-cache``).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
@@ -40,12 +55,20 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .. import faults
+from .locking import FileLock
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .artifacts import ArtifactNode, PipelineConfig
 
 __all__ = ["ArtifactStore", "ManifestEntry"]
 
 _META_KEY = "__meta__"
+
+#: Temp litter from a *crashed* writer is only swept by gc once it is
+#: this old (seconds): a live concurrent writer's temp file is never
+#: older, so sweeping cannot race an in-progress put.
+TMP_LITTER_MIN_AGE = 3600.0
 
 
 class ManifestEntry(dict):
@@ -70,6 +93,20 @@ class ArtifactStore:
         self.root = Path(root) if root is not None else None
         self._memory: dict[str, Any] = {}
         self._pending_manifest: dict[str, dict[str, Any]] = {}
+        self._lock: FileLock | None = None
+
+    @property
+    def lock(self) -> FileLock:
+        """The store's cross-process advisory lock (disk stores only).
+
+        Serializes manifest merges and run-report checkpoints across
+        runs sharing this cache directory.  Reentrant within one
+        store object.
+        """
+        assert self.root is not None, "memory-only stores have nothing to lock"
+        if self._lock is None:
+            self._lock = FileLock(self.root / ".lock")
+        return self._lock
 
     # -- paths ----------------------------------------------------------
 
@@ -127,6 +164,7 @@ class ArtifactStore:
         value: Any,
         config: "PipelineConfig",
         dep_digests: Mapping[str, str] | None = None,
+        fault_token: str | None = None,
     ) -> None:
         """Store a value under its content address.
 
@@ -135,6 +173,10 @@ class ArtifactStore:
         leaves this store claiming an artifact it does not hold.  The
         manifest record is queued; callers batch it to disk with
         :meth:`flush_manifest` (the executor does, once per run).
+
+        ``fault_token`` names this write for the chaos hooks (the
+        executor passes the node's attempt token); it defaults to the
+        digest and has no effect without an active fault plan.
         """
         if self.root is None:
             self._memory[digest] = value
@@ -145,6 +187,7 @@ class ArtifactStore:
         objects.mkdir(parents=True, exist_ok=True)
         path = self.object_path(digest)
         assert path is not None
+        faults.inject("store-write", fault_token or digest)
         # Per-process temp name: concurrent runs sharing a cache dir may
         # race to write the same digest; each must land its own temp
         # file, with os.replace arbitrating (last rename wins, both
@@ -155,8 +198,14 @@ class ArtifactStore:
                 np.savez_compressed(fh, **{_META_KEY: json.dumps(meta)}, **arrays)
             os.replace(tmp, path)
         finally:
-            if tmp.exists():  # failed write: do not leave temp litter
-                tmp.unlink()
+            # Failed write: do not leave temp litter.  The cleanup must
+            # itself be exception-safe — the file may already be gone
+            # (successful rename, or a concurrent gc sweeping litter) and
+            # an unlink race here would otherwise mask the original
+            # write exception.
+            with contextlib.suppress(OSError):
+                tmp.unlink(missing_ok=True)
+        faults.inject_corruption(path, fault_token or digest)
         self._memory[digest] = value
         self._pending_manifest[digest] = {
             "key": node.key,
@@ -170,16 +219,18 @@ class ArtifactStore:
     def flush_manifest(self) -> None:
         """Merge queued manifest records into ``manifest.json``.
 
-        Reads the current manifest immediately before writing, so
-        records from other processes sharing the cache directory are
-        preserved (short of a truly simultaneous write), and one run
-        costs one manifest write instead of one per artifact.
+        The read-merge-write runs under the store's cross-process
+        :attr:`lock`, so records from other runs sharing the cache
+        directory are preserved even when flushes are simultaneous,
+        and one run costs one manifest write instead of one per
+        artifact.
         """
         if self.root is None or not self._pending_manifest:
             return
-        manifest = self.manifest()
-        manifest.update(self._pending_manifest)
-        self._write_manifest(manifest)
+        with self.lock:
+            manifest = self.manifest()
+            manifest.update(self._pending_manifest)
+            self._write_manifest(manifest)
         self._pending_manifest.clear()
 
     # -- manifest --------------------------------------------------------
@@ -221,12 +272,34 @@ class ArtifactStore:
         ``dry_run=True`` nothing is touched and the counts describe
         what *would* be removed.  Untracked files in the objects
         directory (manifest lost, older layouts) are swept by the same
-        rule.
+        rule, as is ``*.tmp`` litter left behind by crashed writers
+        (only once :data:`TMP_LITTER_MIN_AGE` old, so a live concurrent
+        writer's in-progress temp file is never touched).
+
+        The manifest rewrite runs under the store's cross-process
+        :attr:`lock` and re-merges this process's still-pending records
+        for live digests, so a gc racing concurrent writers never loses
+        their (or its own) entries.
         """
         objects = self.objects_dir
         if objects is None or not objects.exists():
             return (0, 0)
         removed = reclaimed = 0
+        now = time.time()
+        for litter in sorted(objects.glob("*.tmp")):
+            try:
+                stat = litter.stat()
+            except OSError:
+                continue
+            if now - stat.st_mtime < TMP_LITTER_MIN_AGE:
+                continue
+            if not dry_run:
+                try:
+                    litter.unlink()
+                except OSError:
+                    continue
+            removed += 1
+            reclaimed += stat.st_size
         for path in sorted(objects.glob("*.npz")):
             digest = path.stem
             if digest in live:
@@ -241,8 +314,12 @@ class ArtifactStore:
             removed += 1
             reclaimed += size
         if not dry_run:
-            manifest = self.manifest()
-            pruned = {d: r for d, r in manifest.items() if d in live}
-            if len(pruned) != len(manifest):
-                self._write_manifest(pruned)
+            with self.lock:
+                manifest = self.manifest()
+                pruned = {d: r for d, r in manifest.items() if d in live}
+                for digest, record in self._pending_manifest.items():
+                    if digest in live:
+                        pruned.setdefault(digest, dict(record))
+                if pruned != manifest:
+                    self._write_manifest(pruned)
         return (removed, reclaimed)

@@ -1,0 +1,348 @@
+"""Tests for the deterministic fault-injection harness (repro.faults):
+grammar parsing, stable decisions, activation scoping, injection sites,
+and file corruption — plus the FileLock and RunReport building blocks."""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    activation,
+    active_plan,
+    inject,
+    inject_corruption,
+    stable_unit,
+)
+from repro.pipeline import FileLock, NodeRecord, RunReport
+from repro.pipeline.runreport import RUN_REPORT_VERSION
+
+
+class TestStableUnit:
+    def test_in_unit_interval(self):
+        for i in range(100):
+            assert 0.0 <= stable_unit("x", i) < 1.0
+
+    def test_deterministic(self):
+        assert stable_unit(7, "crash", "sweep:gcc#a1", 0) == stable_unit(
+            7, "crash", "sweep:gcc#a1", 0
+        )
+
+    def test_distinct_inputs_distinct_draws(self):
+        draws = {stable_unit("site", token) for token in range(200)}
+        assert len(draws) == 200
+
+    def test_roughly_uniform(self):
+        draws = [stable_unit("u", i) for i in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+
+
+class TestGrammar:
+    def test_full_grammar_parses(self):
+        plan = FaultPlan.from_text("seed=7,crash=0.1,delay=0.3:0.02,store-write=0.1@sweep")
+        assert plan.seed == 7
+        assert [r.site for r in plan.rules] == ["crash", "delay", "store-write"]
+        assert plan.rules[1].arg == pytest.approx(0.02)
+        assert plan.rules[2].match == "sweep"
+
+    def test_round_trips(self):
+        text = "seed=13,crash=0.25@sweep,delay=0.5:0.01,corrupt=1"
+        plan = FaultPlan.from_text(text)
+        assert FaultPlan.from_text(plan.to_text()) == plan
+
+    def test_whitespace_and_empty_tokens_tolerated(self):
+        plan = FaultPlan.from_text(" seed=3 , , crash=0.5 ")
+        assert plan.seed == 3
+        assert len(plan.rules) == 1
+
+    def test_seed_defaults_to_zero(self):
+        assert FaultPlan.from_text("crash=0.5").seed == 0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bogus",  # no name=value
+            "seed=x",  # non-integer seed
+            "crash=maybe",  # non-float probability
+            "crash=0.5:often",  # non-float arg
+            "explode=0.5",  # unknown site
+            "crash=1.5",  # probability out of range
+        ],
+    )
+    def test_bad_grammar_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_text(text)
+
+    def test_rule_validates_site_and_probability(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule("explode", 0.5)
+        with pytest.raises(ConfigurationError):
+            FaultRule("crash", -0.1)
+
+
+class TestDecisions:
+    def test_zero_probability_never_fires(self):
+        plan = FaultPlan.from_text("seed=1,crash=0")
+        assert all(plan.rule_for("crash", f"t{i}") is None for i in range(50))
+
+    def test_unit_probability_always_fires(self):
+        plan = FaultPlan.from_text("seed=1,crash=1")
+        assert all(plan.rule_for("crash", f"t{i}") is not None for i in range(50))
+
+    def test_match_restricts_tokens(self):
+        plan = FaultPlan.from_text("seed=1,crash=1@sweep")
+        assert plan.rule_for("crash", "sweep:gcc#a1") is not None
+        assert plan.rule_for("crash", "profile:gcc#a1") is None
+
+    def test_decisions_deterministic_across_plan_objects(self):
+        text = "seed=9,store-write=0.5"
+        a = FaultPlan.from_text(text)
+        b = FaultPlan.from_text(text)
+        tokens = [f"node{i}#a1" for i in range(100)]
+        assert [a.rule_for("store-write", t) for t in tokens] == [
+            b.rule_for("store-write", t) for t in tokens
+        ]
+
+    def test_attempt_number_changes_the_draw(self):
+        # With p=0.5 the fault must clear within a few attempts for at
+        # least some node: the token (which carries the attempt) is part
+        # of the hash, so retries draw fresh coins.
+        plan = FaultPlan.from_text("seed=2,store-write=0.5")
+        outcomes = [
+            plan.rule_for("store-write", f"sweep:x#a{attempt}") is not None
+            for attempt in range(1, 9)
+        ]
+        assert True in outcomes and False in outcomes
+
+    def test_seed_changes_the_draw(self):
+        tokens = [f"n{i}" for i in range(200)]
+        fired = {
+            seed: [
+                FaultPlan.from_text(f"seed={seed},crash=0.5").rule_for("crash", t)
+                is not None
+                for t in tokens
+            ]
+            for seed in (1, 2)
+        }
+        assert fired[1] != fired[2]
+
+    def test_rules_draw_independent_coins(self):
+        # Two rules at one site with p=0.5: some token must hit only the
+        # second (the rule index is part of the hash).
+        plan = FaultPlan.from_text("seed=4,delay=0.5@aaa,delay=0.5")
+        hit_second = any(
+            (rule := plan.rule_for("delay", f"n{i}")) is not None and rule.match == ""
+            for i in range(50)
+        )
+        assert hit_second
+
+
+class TestActivation:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+
+    def test_activation_scopes_the_plan(self):
+        plan = FaultPlan.from_text("seed=1,crash=1")
+        with activation(plan):
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_none_activation_is_noop(self):
+        with activation(None):
+            assert active_plan() is None
+
+    def test_activation_nests(self):
+        outer = FaultPlan.from_text("seed=1")
+        inner = FaultPlan.from_text("seed=2")
+        with activation(outer):
+            with activation(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+
+    def test_env_var_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=5,delay=1:0")
+        plan = active_plan()
+        assert plan is not None and plan.seed == 5
+        # Cached per text: same object until the text changes.
+        assert active_plan() is plan
+        monkeypatch.setenv("REPRO_FAULTS", "seed=6")
+        assert active_plan().seed == 6
+
+    def test_explicit_plan_shadows_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=5")
+        explicit = FaultPlan.from_text("seed=9")
+        with activation(explicit):
+            assert active_plan() is explicit
+
+
+class TestInjection:
+    def test_inject_noop_without_plan(self):
+        inject("store-write", "anything")  # must not raise
+
+    def test_store_write_raises_injected_fault(self):
+        with activation(FaultPlan.from_text("seed=1,store-write=1")):
+            with pytest.raises(InjectedFault):
+                inject("store-write", "token")
+
+    def test_injected_fault_is_oserror(self):
+        # The executor classifies store faults via OSError.
+        assert issubclass(InjectedFault, OSError)
+
+    def test_delay_sleeps(self):
+        with activation(FaultPlan.from_text("seed=1,delay=1:0.05")):
+            start = time.monotonic()
+            inject("delay", "token")
+            assert time.monotonic() - start >= 0.04
+
+    def test_crash_exits_the_process(self):
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_crash_victim)
+        proc.start()
+        proc.join(30)
+        assert proc.exitcode == CRASH_EXIT_CODE
+
+
+class TestCorruption:
+    def test_noop_without_plan(self, tmp_path):
+        target = tmp_path / "obj.npz"
+        target.write_bytes(b"x" * 100)
+        assert inject_corruption(target, "t") is False
+        assert target.read_bytes() == b"x" * 100
+
+    def test_fires_and_damages(self, tmp_path):
+        original = bytes(range(200))
+        with activation(FaultPlan.from_text("seed=1,corrupt=1")):
+            damaged = 0
+            for i in range(8):
+                target = tmp_path / f"obj{i}.bin"
+                target.write_bytes(original)
+                assert inject_corruption(target, f"token{i}") is True
+                if target.read_bytes() != original:
+                    damaged += 1
+        assert damaged == 8
+
+    def test_both_damage_modes_occur(self, tmp_path):
+        # Truncation shrinks the file; overwrite keeps the size.
+        sizes = set()
+        with activation(FaultPlan.from_text("seed=1,corrupt=1")):
+            for i in range(16):
+                target = tmp_path / f"obj{i}.bin"
+                target.write_bytes(b"y" * 120)
+                inject_corruption(target, f"token{i}")
+                sizes.add(target.stat().st_size)
+        assert 60 in sizes and 120 in sizes
+
+    def test_tiny_files_truncate(self, tmp_path):
+        with activation(FaultPlan.from_text("seed=1,corrupt=1")):
+            target = tmp_path / "tiny.bin"
+            target.write_bytes(b"z" * 8)
+            inject_corruption(target, "tok")
+            assert target.stat().st_size == 4
+
+
+def _crash_victim():
+    with activation(FaultPlan.from_text("seed=1,crash=1")):
+        inject("crash", "token")
+
+
+def _hold_lock(path, hold_seconds):
+    with FileLock(path):
+        time.sleep(hold_seconds)
+
+
+class TestFileLock:
+    def test_context_manager_and_reentrancy(self, tmp_path):
+        lock = FileLock(tmp_path / ".lock")
+        assert not lock.locked
+        with lock:
+            assert lock.locked
+            with lock:  # reentrant within one instance
+                assert lock.locked
+            assert lock.locked
+        assert not lock.locked
+
+    def test_cross_process_mutual_exclusion(self, tmp_path):
+        path = tmp_path / ".lock"
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_hold_lock, args=(str(path), 1.0))
+        proc.start()
+        # Wait for the child to take the lock.
+        deadline = time.monotonic() + 10
+        while not path.exists() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.2)
+        start = time.monotonic()
+        with FileLock(path):
+            waited = time.monotonic() - start
+        proc.join(30)
+        assert waited >= 0.3  # blocked until the child released
+
+
+class TestRunReport:
+    def test_save_load_round_trip(self, tmp_path):
+        report = RunReport(config={"scale": 0.02})
+        report.nodes["sweep"] = NodeRecord(
+            digest="d" * 64, status="computed", attempts=2,
+            faults=["store-io"], elapsed=1.25,
+        )
+        report.nodes["render:fig3"] = NodeRecord(
+            digest="e" * 64, status="failed", error="boom", attempts=1,
+        )
+        path = report.save(tmp_path)
+        assert path is not None and path.name == "run-report.json"
+        loaded = RunReport.load(tmp_path)
+        assert loaded is not None
+        assert loaded.nodes["sweep"] == report.nodes["sweep"]
+        assert loaded.nodes["render:fig3"].error == "boom"
+        assert loaded.config == {"scale": 0.02}
+
+    def test_record_requires_matching_digest(self):
+        report = RunReport()
+        report.nodes["sweep"] = NodeRecord(digest="abc", status="computed")
+        assert report.record("sweep", "abc") is not None
+        assert report.record("sweep", "other") is None  # stale: config changed
+        assert report.completed("sweep", "abc")
+        assert not report.completed("sweep", "other")
+
+    def test_counts(self):
+        report = RunReport()
+        report.nodes["a"] = NodeRecord(digest="x", status="computed")
+        report.nodes["b"] = NodeRecord(digest="y", status="computed")
+        report.nodes["c"] = NodeRecord(digest="z", status="skipped")
+        assert report.counts() == {"computed": 2, "skipped": 1}
+
+    def test_missing_loads_as_none(self, tmp_path):
+        assert RunReport.load(tmp_path) is None
+        assert RunReport.load(None) is None
+
+    def test_corrupt_loads_as_none(self, tmp_path):
+        (tmp_path / "run-report.json").write_text("{not json")
+        assert RunReport.load(tmp_path) is None
+
+    def test_foreign_version_loads_as_none(self, tmp_path):
+        doc = {"version": RUN_REPORT_VERSION + 1, "nodes": {}}
+        (tmp_path / "run-report.json").write_text(json.dumps(doc))
+        assert RunReport.load(tmp_path) is None
+
+    def test_save_to_none_root_is_noop(self):
+        assert RunReport().save(None) is None
+
+
+class TestFaultPlanImmutable:
+    def test_frozen(self):
+        plan = FaultPlan.from_text("seed=1,crash=0.5")
+        with pytest.raises(Exception):
+            plan.seed = 2
+
+
+def test_module_cleanup():
+    # Paranoia: no test above may leak an active plan into the suite.
+    assert faults.active_plan() is None
