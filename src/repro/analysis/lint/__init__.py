@@ -1,0 +1,74 @@
+"""``repro lint``: self-hosted static analysis for repro's invariants.
+
+The test suite can only *sample* the properties this reproduction is
+built on — bit-identical results across ``--jobs`` counts and
+processes, content keys that change iff content changes, nodes that
+survive a trip through a process pool.  This package checks the source
+itself, compiler-style: an AST rule battery encoding the invariants,
+inline ``# repro: noqa[RULE]`` suppressions for justified exceptions,
+and a committed baseline for grandfathered findings, wired into a CLI
+subcommand (``repro lint``) and a CI gate that fails on anything new.
+
+Rule categories (full catalogue in ``docs/ANALYSIS.md``):
+
+* ``D1xx`` determinism — unseeded/global RNG streams, wall clocks in
+  key-producing code, unsorted directory enumeration, unsorted JSON,
+  set-iteration order.
+* ``S2xx`` spec contracts — ``*Spec`` dataclasses frozen, registered,
+  and fully serialized by any overriding ``to_dict``.
+* ``W3xx`` worker safety — only module-level callables cross the
+  process pool; no ``global`` mutation in worker-executed modules.
+* ``P4xx`` store discipline — manifest/report writes stay inside the
+  store's cross-process ``FileLock``.
+
+Typical use::
+
+    from repro.analysis.lint import lint_paths, all_rules
+    findings = lint_paths(["src/repro"])   # [] when clean
+
+Importing this package registers the built-in battery; the rule
+modules are imported for that side effect below.
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+from .core import (
+    FileContext,
+    Rule,
+    all_rules,
+    collect_files,
+    lint_file,
+    lint_paths,
+    register_rule,
+    rule_by_id,
+    rule_ids,
+)
+from .findings import Finding, Severity
+
+# Built-in rule battery: importing registers every rule.
+from . import rules_determinism  # noqa: F401
+from . import rules_spec  # noqa: F401
+from . import rules_store  # noqa: F401
+from . import rules_worker  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "FileContext",
+    "register_rule",
+    "rule_ids",
+    "rule_by_id",
+    "all_rules",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "filter_baselined",
+]

@@ -1,0 +1,105 @@
+"""Baseline files: grandfathering known findings without hiding new ones.
+
+A baseline is a committed JSON file listing findings the team has seen
+and explicitly decided to tolerate for now (with the *why* recorded in
+the entry).  ``repro lint`` subtracts baselined findings from its
+report and fails only on what is new; ``repro lint --write-baseline``
+regenerates the file from the current findings.
+
+Entries deliberately carry no line numbers — a baselined finding that
+merely moves (unrelated edits above it) still matches; one whose
+message changes (the violation itself changed) resurfaces.  Matching
+is multiset-style: a baseline entry with ``count: 2`` absorbs at most
+two identical findings, so *adding* a third occurrence of a
+grandfathered pattern still fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from ...errors import ConfigurationError
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+    "filter_baselined",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_Identity = tuple[str, str, str]
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """The baseline as a ``Counter`` of finding identities.
+
+    A missing file is an empty baseline; a corrupt or wrong-version
+    file is an error (a silently ignored baseline would hide that the
+    gate stopped gating).
+    """
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"corrupt lint baseline {path}: {exc}") from None
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"lint baseline {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else '?'!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    counter: Counter = Counter()
+    for entry in data.get("entries", []):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"malformed lint baseline entry in {path}")
+        identity: _Identity = (
+            str(entry.get("rule", "")),
+            str(entry.get("path", "")),
+            str(entry.get("message", "")),
+        )
+        counter[identity] += int(entry.get("count", 1))
+    return counter
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, counted)."""
+    counter: Counter = Counter(finding.identity() for finding in findings)
+    entries: list[dict[str, Any]] = []
+    for (rule, rel_path, message), count in sorted(counter.items()):
+        entry: dict[str, Any] = {"rule": rule, "path": rel_path, "message": message}
+        if count > 1:
+            entry["count"] = count
+        entries.append(entry)
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def filter_baselined(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """``(new_findings, absorbed_count)`` after subtracting the baseline.
+
+    Findings are consumed against the baseline in report order; each
+    entry absorbs at most its ``count`` occurrences.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        identity = finding.identity()
+        if remaining[identity] > 0:
+            remaining[identity] -= 1
+            absorbed += 1
+        else:
+            new.append(finding)
+    return new, absorbed

@@ -1,0 +1,283 @@
+"""The analyzer core: rule registry, per-file AST context, the driver.
+
+The framework is deliberately the same shape as the rest of the
+codebase's registries (:mod:`repro.spec`, :mod:`repro.workload_spec`):
+a :class:`Rule` subclass declares a unique id and registers itself with
+:func:`register_rule`; the driver parses each file once into a
+:class:`FileContext` (AST + parent links + suppression map + relative
+path) and hands it to every rule whose :meth:`Rule.applies_to` scope
+matches.  Rules return :class:`~repro.analysis.lint.findings.Finding`
+lists; the driver drops suppressed ones and sorts the rest by
+location.
+
+Suppressions are inline comments on the *flagged line*::
+
+    now = time.time()  # repro: noqa[D102] -- litter age needs wall clock
+
+``# repro: noqa`` (no bracket) suppresses every rule on the line; the
+bracketed form takes a comma-separated rule-id list.  Anything after
+the closing bracket is free-text justification (encouraged).
+
+Determinism of the analyzer itself is held to the standard it
+enforces: files are collected in sorted order, rules run in registry
+(id) order, findings sort by location — the same tree produces the
+same report byte for byte, everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from ...errors import ConfigurationError
+from .findings import Finding, Severity
+
+__all__ = [
+    "Rule",
+    "FileContext",
+    "register_rule",
+    "rule_ids",
+    "rule_by_id",
+    "all_rules",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+]
+
+_RULES: dict[str, "Rule"] = {}
+
+#: ``# repro: noqa`` or ``# repro: noqa[D101,W301] optional justification``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9,\s]+)\])?")
+
+
+def register_rule(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator: instantiate ``cls`` into the id-keyed registry."""
+    rule = cls()
+    if not rule.id or rule.id in _RULES:
+        raise ConfigurationError(f"duplicate or empty lint rule id {rule.id!r}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def rule_ids() -> list[str]:
+    """Registered rule ids, sorted (the execution order)."""
+    return sorted(_RULES)
+
+
+def rule_by_id(rule_id: str) -> "Rule":
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lint rule {rule_id!r}; known: {', '.join(rule_ids())}"
+        ) from None
+
+
+def all_rules() -> list["Rule"]:
+    return [_RULES[rule_id] for rule_id in rule_ids()]
+
+
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._noqa: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            if match.group(1) is None:
+                self._noqa[lineno] = None  # blanket: every rule
+            else:
+                ids = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+                self._noqa[lineno] = ids
+
+    # -- tree helpers ----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def walk(self) -> Iterable[ast.AST]:
+        return ast.walk(self.tree)
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def enclosing_functions(self, node: ast.AST) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Function definitions lexically containing ``node``, innermost first."""
+        chain: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    def enclosing_withs(self, node: ast.AST) -> list[ast.With | ast.AsyncWith]:
+        """``with`` blocks lexically containing ``node``, innermost first."""
+        chain: list[ast.With | ast.AsyncWith] = []
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.With, ast.AsyncWith)):
+                chain.append(current)
+            current = self.parent(current)
+        return chain
+
+    # -- suppressions ----------------------------------------------------
+
+    def suppressed(self, rule_id: str, lineno: int) -> bool:
+        if lineno not in self._noqa:
+            return False
+        ids = self._noqa[lineno]
+        return ids is None or rule_id in ids
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`id` (``<category letter><number>``, e.g.
+    ``D101``), :attr:`name` (short kebab-case), :attr:`severity`,
+    :attr:`description` (one sentence for ``--list-rules`` and the
+    docs), optionally :attr:`scope` (path patterns; empty = every
+    file), and implement :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: Path patterns this rule is restricted to.  A pattern ending in
+    #: ``/`` matches any file under a directory of that name; any other
+    #: pattern matches files whose relative path ends with it.  Empty
+    #: means the rule applies everywhere.
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str) -> bool:
+        if not self.scope:
+            return True
+        probe = "/" + rel_path
+        for pattern in self.scope:
+            if pattern.endswith("/"):
+                if "/" + pattern in probe + "/":
+                    return True
+            elif probe.endswith("/" + pattern):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for ``node`` under this rule."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """``(file, relative posix path)`` pairs for every ``.py`` under
+    ``paths``, sorted — directory enumeration feeding a report obeys the
+    rules this module enforces on everyone else.
+
+    Relative paths are against the argument that contained the file
+    (a directory argument strips its own prefix; a file argument keeps
+    its name only), so scoped rules see ``pipeline/store.py`` whether
+    the analyzer was pointed at ``src/repro`` or at a fixture tree.
+    """
+    collected: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise ConfigurationError(f"lint path {str(raw)!r} does not exist")
+        if root.is_file():
+            files = [root]
+            base = root.parent
+        else:
+            files = sorted(root.rglob("*.py"))
+            base = root
+        for file in files:
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            collected.append((file, file.relative_to(base).as_posix()))
+    collected.sort(key=lambda pair: pair[1])
+    return collected
+
+
+def lint_file(
+    path: str | Path,
+    rel_path: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: all registered) over one file."""
+    path = Path(path)
+    rel = rel_path if rel_path is not None else path.name
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from None
+    try:
+        ctx = FileContext(path, rel, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="E000",
+                severity=Severity.ERROR,
+                path=rel,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run the rule battery over every ``.py`` file under ``paths``."""
+    findings: list[Finding] = []
+    for path, rel in collect_files(paths):
+        findings.extend(lint_file(path, rel, rules))
+    findings.sort(key=Finding.sort_key)
+    return findings

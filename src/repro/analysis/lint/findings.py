@@ -1,0 +1,89 @@
+"""The :class:`Finding` model: one rule violation at one source location.
+
+Findings are plain frozen data — rule id, severity, file, line, column,
+message — ordered by location so reports are stable, and serializable
+to JSON both for ``repro lint --format json`` and for the committed
+baseline file (which deliberately drops line/column: a baseline entry
+must survive unrelated edits shifting code up and down a file, so it
+keys on ``(rule, path, message)`` only — see
+:mod:`repro.analysis.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Mapping
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    Both severities gate CI identically (any non-baselined finding
+    fails); the split exists so reports communicate *invariant broken*
+    (``ERROR``: determinism, spec contracts, worker safety) versus
+    *hazard pattern* (``WARNING``: code that is correct today but one
+    refactor away from breaking an invariant).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One violation: ``rule`` at ``path:line:col`` with a ``message``.
+
+    ``path`` is stored POSIX-relative to the lint root (the directory
+    or file the analyzer was pointed at), so the same finding has the
+    same identity no matter which machine or checkout produced it.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """The one-line text-report form."""
+        return f"{self.location()}: {self.rule} [{self.severity.value}] {self.message}"
+
+    # -- identity for baseline matching ---------------------------------
+
+    def identity(self) -> tuple[str, str, str]:
+        """The location-free identity used by the baseline: a finding
+        that merely moved to another line still matches its entry."""
+        return (self.rule, self.path, self.message)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            severity=Severity(data.get("severity", "error")),
+            path=str(data["path"]),
+            line=int(data.get("line", 0)),
+            col=int(data.get("col", 0)),
+            message=str(data.get("message", "")),
+        )

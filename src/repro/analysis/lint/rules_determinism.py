@@ -1,0 +1,324 @@
+"""Determinism rules (``D1xx``): the bit-identical-everywhere invariant.
+
+The chaos suite proves runs converge bit-identically across ``--jobs``
+counts and processes; these rules keep new code from quietly breaking
+that by reaching for ambient nondeterminism — hidden-global RNG
+streams, wall clocks in key-producing code, filesystem enumeration
+order, set iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, register_rule
+from .findings import Finding, Severity
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockInKeyCodeRule",
+    "UnsortedDirListingRule",
+    "UnsortedJsonRule",
+    "SetIterationRule",
+]
+
+#: Modules where content keys, digests and persisted artifacts are
+#: produced — the blast radius of a nondeterministic value here is a
+#: silently wrong cache hit or a cross-process mismatch.
+KEY_PRODUCING_SCOPE = (
+    "pipeline/",
+    "spec.py",
+    "workload_spec.py",
+    "faults.py",
+    "trace/io.py",
+)
+
+#: numpy legacy global-state RNG entry points (``np.random.<fn>``).
+#: Seeded or not, they share one hidden stream: two call sites racing
+#: across workers draw order-dependent values.
+_NP_LEGACY = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "seed",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "binomial",
+        "poisson",
+    }
+)
+
+
+def _receiver_chain(ctx: FileContext, call: ast.Call) -> str | None:
+    return ctx.dotted_name(call.func)
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """Global-stream or unseeded RNG calls."""
+
+    id = "D101"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    description = (
+        "stdlib `random.*` and numpy legacy `np.random.*` draw from hidden "
+        "global streams, and `default_rng()` without a seed is "
+        "run-dependent; every RNG must be an explicitly seeded Generator"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _receiver_chain(ctx, node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            # stdlib: any module-level random.<fn>() shares the hidden
+            # global Mersenne state; random.Random(seed) is fine.
+            if parts[0] == "random" and len(parts) == 2 and parts[1] != "Random":
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"call to stdlib `{dotted}()` uses the hidden global "
+                        "RNG stream; use a seeded `random.Random(seed)` or "
+                        "`np.random.default_rng(seed)` instead",
+                    )
+                )
+                continue
+            # numpy legacy: np.random.<fn>() / numpy.random.<fn>().
+            if (
+                len(parts) >= 3
+                and parts[-3] in ("np", "numpy")
+                and parts[-2] == "random"
+                and parts[-1] in _NP_LEGACY
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"call to numpy legacy `{dotted}()` uses the hidden "
+                        "global RNG stream; use a seeded "
+                        "`np.random.default_rng(seed)` Generator",
+                    )
+                )
+                continue
+            # default_rng() with no arguments seeds from the OS: every
+            # run draws differently.
+            if parts[-1] == "default_rng" and not node.args and not node.keywords:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "`default_rng()` without a seed draws OS entropy; pass "
+                        "an explicit seed so runs are reproducible",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class WallClockInKeyCodeRule(Rule):
+    """Wall-clock reads inside key/artifact-producing modules."""
+
+    id = "D102"
+    name = "wallclock-in-key-code"
+    severity = Severity.ERROR
+    description = (
+        "`time.time`/`time.time_ns`/`datetime.now`/`utcnow`/`date.today` in "
+        "key- or artifact-producing modules make content keys and stored "
+        "artifacts run-dependent (timing code should use `time.monotonic`; "
+        "genuine timestamps need a justified suppression)"
+    )
+    scope = KEY_PRODUCING_SCOPE
+
+    _BANNED = frozenset(
+        {
+            ("time", "time"),
+            ("time", "time_ns"),
+            ("datetime", "now"),
+            ("datetime", "utcnow"),
+            ("date", "today"),
+        }
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _receiver_chain(ctx, node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) >= 2 and (parts[-2], parts[-1]) in self._BANNED:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock call `{dotted}()` in key/artifact code: "
+                        "the value differs across runs and processes; use "
+                        "`time.monotonic()` for durations, or suppress with "
+                        "justification if this is a genuine metadata timestamp",
+                    )
+                )
+        return findings
+
+
+#: Call wrappers that make enumeration order irrelevant: sorting fixes
+#: it, and pure cardinality/membership aggregations cannot observe it.
+_ORDER_NEUTRALIZERS = frozenset({"sorted", "len", "set", "frozenset"})
+
+_DIR_ENUMERATORS = frozenset({"glob", "rglob", "iterdir", "listdir", "scandir"})
+
+
+@register_rule
+class UnsortedDirListingRule(Rule):
+    """Directory enumeration consumed without ``sorted()``."""
+
+    id = "D103"
+    name = "unsorted-dir-listing"
+    severity = Severity.ERROR
+    description = (
+        "`os.listdir`/`os.scandir`/`Path.glob`/`rglob`/`iterdir` return "
+        "entries in filesystem order, which differs across machines and "
+        "runs; wrap the call in `sorted(...)` (or an order-insensitive "
+        "aggregate like `len`/`set`) before consuming it"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute) and func.attr in _DIR_ENUMERATORS:
+                name = func.attr
+            elif isinstance(func, ast.Name) and func.id in ("listdir", "scandir"):
+                name = func.id
+            if name is None:
+                continue
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_NEUTRALIZERS
+            ):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"`{name}()` enumerates the filesystem in arbitrary "
+                    "order; wrap it in `sorted(...)` before iterating so "
+                    "results do not depend on the machine",
+                )
+            )
+        return findings
+
+
+@register_rule
+class UnsortedJsonRule(Rule):
+    """``json.dumps`` without ``sort_keys=True`` in pipeline code."""
+
+    id = "D104"
+    name = "unsorted-json-serialization"
+    severity = Severity.WARNING
+    scope = ("pipeline/", "faults.py")
+    description = (
+        "`json.dumps` without `sort_keys=True` in pipeline code serializes "
+        "in dict insertion order; anything persisted, hashed or compared "
+        "must canonicalize key order"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if _receiver_chain(ctx, node) != "json.dumps":
+                continue
+            sort_keys = None
+            has_star_kwargs = False
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    has_star_kwargs = True
+                elif keyword.arg == "sort_keys":
+                    sort_keys = keyword.value
+            if has_star_kwargs:
+                continue  # caller-provided kwargs: cannot decide statically
+            if (
+                isinstance(sort_keys, ast.Constant)
+                and sort_keys.value is True
+            ):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    "`json.dumps` without `sort_keys=True` in pipeline code: "
+                    "serialized key order follows dict construction order, "
+                    "not content",
+                )
+            )
+        return findings
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Iteration over set expressions without ``sorted()``."""
+
+    id = "D105"
+    name = "set-iteration"
+    severity = Severity.ERROR
+    description = (
+        "iterating a set literal, set comprehension or `set()`/`frozenset()` "
+        "call feeds hash-randomized order into whatever consumes it "
+        "(content keys, reports, joined strings); wrap in `sorted(...)`"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        message = (
+            "set iteration order is hash-randomized across processes "
+            "(PYTHONHASHSEED); wrap the set in `sorted(...)` before "
+            "iterating or joining"
+        )
+        for node in ctx.walk():
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(
+                node.iter
+            ):
+                findings.append(self.finding(ctx, node.iter, message))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        findings.append(self.finding(ctx, generator.iter, message))
+            elif isinstance(node, ast.Call):
+                # tuple(<set>), list(<set>), "sep".join(<set>): an ordered
+                # container built straight from unordered input.
+                func = node.func
+                orders = (
+                    isinstance(func, ast.Name) and func.id in ("tuple", "list")
+                ) or (isinstance(func, ast.Attribute) and func.attr == "join")
+                if orders and node.args and _is_set_expression(node.args[0]):
+                    findings.append(self.finding(ctx, node.args[0], message))
+        return findings

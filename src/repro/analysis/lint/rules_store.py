@@ -1,0 +1,102 @@
+"""Store-discipline rules (``P4xx``): shared-cache mutation protocol.
+
+Concurrent runs share one cache directory; the manifest and the run
+report are read-merge-write JSON files whose merges must serialize
+under the store's cross-process
+:class:`~repro.pipeline.locking.FileLock`.  An unlocked write works in
+every single-process test and silently drops records the first time
+two runs race — exactly the bug class static analysis exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, register_rule
+from .findings import Finding, Severity
+
+__all__ = ["UnlockedManifestWriteRule"]
+
+
+#: Direct-call names that rewrite a shared JSON ledger on disk.
+_PROTECTED_CALLS = frozenset({"_write_manifest"})
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    """Whether one ``with`` item acquires a store/file lock.
+
+    Matches ``with <anything>.lock:``, ``with <anything>.lock():``,
+    ``with lock:`` and ``with FileLock(...):`` — the spellings the
+    store and executor use.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        target = expr.func
+        if isinstance(target, ast.Name) and target.id == "FileLock":
+            return True
+        expr = target
+    if isinstance(expr, ast.Attribute) and expr.attr == "lock":
+        return True
+    if isinstance(expr, ast.Name) and expr.id == "lock":
+        return True
+    return False
+
+
+@register_rule
+class UnlockedManifestWriteRule(Rule):
+    """Manifest/report writes outside a ``FileLock`` context."""
+
+    id = "P401"
+    name = "unlocked-manifest-write"
+    severity = Severity.ERROR
+    scope = ("pipeline/",)
+    description = (
+        "manifest rewrites (`_write_manifest`) and run-report saves "
+        "(`<report>.save(...)`) in pipeline code must run inside a "
+        "`with <store>.lock:` block; unlocked read-merge-writes drop "
+        "records when two runs share a cache directory"
+    )
+
+    def _is_protected_write(self, ctx: FileContext, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _PROTECTED_CALLS:
+            return func.id
+        if isinstance(func, ast.Attribute):
+            if func.attr in _PROTECTED_CALLS:
+                return func.attr
+            # <something named *report*>.save(...): the run-report
+            # checkpoint (RunReport.save rewrites a shared JSON file).
+            if func.attr == "save":
+                receiver = ctx.dotted_name(func.value)
+                if receiver is not None and "report" in receiver.lower():
+                    return f"{receiver}.save"
+        return None
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._is_protected_write(ctx, node)
+            if name is None:
+                continue
+            locked = any(
+                _is_lock_context(item)
+                for with_node in ctx.enclosing_withs(node)
+                for item in with_node.items
+            )
+            if locked:
+                continue
+            # The method that *defines* the locked critical section is
+            # allowed to call the raw writer if the lock wraps it; an
+            # unlocked call anywhere else is the finding.
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"`{name}(...)` outside a `with <store>.lock:` block: "
+                    "concurrent runs sharing this cache can interleave the "
+                    "read-merge-write and drop each other's records",
+                )
+            )
+        return findings

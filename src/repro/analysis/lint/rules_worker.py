@@ -1,0 +1,112 @@
+"""Worker-safety rules (``W3xx``): code shipped across process pools.
+
+The executor fans plan nodes out over a ``ProcessPoolExecutor``;
+anything submitted must survive pickling into a worker and must not
+communicate back through module globals (each worker has its own copy
+— mutations are silently invisible to the main process and to other
+workers).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, register_rule
+from .findings import Finding, Severity
+
+__all__ = ["NonPortableSubmitRule", "WorkerGlobalMutationRule"]
+
+
+@register_rule
+class NonPortableSubmitRule(Rule):
+    """Lambdas/nested functions handed to an executor pool."""
+
+    id = "W301"
+    name = "nonportable-submit"
+    severity = Severity.ERROR
+    description = (
+        "callables submitted to a process pool must be module-level: "
+        "lambdas and closures do not pickle, failing only at runtime "
+        "(and only on the `--jobs > 1` path)"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        # Names of functions defined *inside* another function: these
+        # close over their frame and cannot cross a process boundary.
+        nested_names: set[str] = set()
+        for node in ctx.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if ctx.enclosing_functions(node):
+                    nested_names.add(node.name)
+
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+                continue
+            for arg in node.args:
+                target = arg
+                # functools.partial(f, ...) ships f itself: check inside.
+                if (
+                    isinstance(arg, ast.Call)
+                    and (name := ctx.dotted_name(arg.func)) is not None
+                    and name.split(".")[-1] == "partial"
+                    and arg.args
+                ):
+                    target = arg.args[0]
+                if isinstance(target, ast.Lambda):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            target,
+                            "lambda submitted to an executor pool: lambdas do "
+                            "not pickle across process boundaries; hoist it to "
+                            "a module-level function",
+                        )
+                    )
+                elif (
+                    isinstance(target, ast.Name) and target.id in nested_names
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            target,
+                            f"nested function `{target.id}` submitted to an "
+                            "executor pool: closures do not pickle across "
+                            "process boundaries; hoist it to module level",
+                        )
+                    )
+        return findings
+
+
+@register_rule
+class WorkerGlobalMutationRule(Rule):
+    """``global`` mutation in modules whose functions run in workers."""
+
+    id = "W302"
+    name = "worker-global-mutation"
+    severity = Severity.WARNING
+    scope = ("pipeline/", "engine/", "faults.py")
+    description = (
+        "a `global` statement in worker-executed modules mutates per-process "
+        "module state: the write is invisible to the main process and to "
+        "sibling workers; thread state through arguments/returns, or "
+        "suppress with justification for deliberate per-process caches"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if isinstance(node, ast.Global):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"`global {', '.join(node.names)}` inside a function "
+                        "in worker-executed code: each worker process mutates "
+                        "its own copy; the main process never sees the write",
+                    )
+                )
+        return findings

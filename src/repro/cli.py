@@ -19,6 +19,8 @@
     python -m repro simulate --spec S --workload file:big.rbt  # streams
     python -m repro trace info FILE           # inspect a saved trace
     python -m repro trace convert IN OUT --v2 --compress  # re-chunk/zlib
+    python -m repro lint [PATHS]              # invariant static analysis
+    python -m repro lint --list-rules         # the rule catalogue
 
 Experiments run through the artifact pipeline (see ``docs/API.md``,
 *Pipeline & artifacts*): expensive artifacts are content-addressed in
@@ -157,6 +159,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the session execution plan before the results",
     )
     _add_context_options(sim)
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "statically analyze source for determinism / spec-contract / "
+            "worker-safety / store-discipline violations (see docs/ANALYSIS.md)"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text; json emits machine-readable findings)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings (default "
+            "lint-baseline.json next to the analyzed tree, when present)"
+        ),
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (id, severity, scope, description)",
+    )
 
     trace = sub.add_parser("trace", help="inspect and convert saved trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -571,6 +617,81 @@ def _run_trace_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_baseline(paths: list[Path]) -> Path:
+    """Where the baseline lives for this invocation.
+
+    Search order: next to the current directory, then next to (or up to
+    three levels above) the first analyzed path — so ``repro lint`` run
+    from the repo root and ``repro lint src/repro`` both find the
+    committed ``lint-baseline.json``.  When none exists yet, the first
+    candidate is where ``--write-baseline`` will create it.
+    """
+    from .analysis.lint import DEFAULT_BASELINE_NAME
+
+    candidates = [Path.cwd() / DEFAULT_BASELINE_NAME]
+    if paths:
+        first = paths[0] if paths[0].is_dir() else paths[0].parent
+        for ancestor in (first, *list(first.resolve().parents)[:3]):
+            candidates.append(ancestor / DEFAULT_BASELINE_NAME)
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return candidates[0]
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis.lint import (
+        all_rules,
+        filter_baselined,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.id}  {rule.name}  [{rule.severity.value}]  scope: {scope}")
+            print(f"      {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else [Path(__file__).parent]
+    findings = lint_paths(paths)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else _default_lint_baseline(paths)
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to baseline {baseline_path}")
+        return 0
+    absorbed = 0
+    if not args.no_baseline:
+        findings, absorbed = filter_baselined(findings, load_baseline(baseline_path))
+
+    if args.lint_format == "json":
+        print(
+            json_module.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "baselined": absorbed,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = f"lint: {len(findings)} finding(s)"
+        if absorbed:
+            summary += f" ({absorbed} baselined in {baseline_path})"
+        print(summary if findings or absorbed else "lint: clean")
+    return 1 if findings else 0
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     context = _context_from(args)
@@ -662,6 +783,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         if args.command == "simulate":
             return _run_simulate(args)
+
+        if args.command == "lint":
+            return _run_lint(args)
 
         if args.command == "trace":
             if args.trace_command == "convert":

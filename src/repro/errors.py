@@ -54,3 +54,7 @@ class ExperimentError(ReproError):
 
 class PipelineError(ReproError):
     """The experiment pipeline failed to plan or execute an artifact."""
+
+
+class LockTimeout(PipelineError):
+    """A cross-process file lock was not acquired within its timeout."""

@@ -203,7 +203,7 @@ def active_plan() -> FaultPlan | None:
     text = os.environ.get(_ENV_VAR)
     if not text:
         return None
-    global _env_cache
+    global _env_cache  # repro: noqa[W302] -- per-process parse cache by design
     if _env_cache is None or _env_cache[0] != text:
         _env_cache = (text, FaultPlan.from_text(text))
     return _env_cache[1]
@@ -217,7 +217,7 @@ def activation(plan: FaultPlan | None):
     each run — and each worker-side task — in one of these so a plan
     passed as an object behaves identically to one set via env.
     """
-    global _active
+    global _active  # repro: noqa[W302] -- activation is deliberately per-process
     if plan is None:
         yield
         return

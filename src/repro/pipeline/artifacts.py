@@ -606,7 +606,12 @@ class RenderNode(ArtifactNode):
         # and a warm store load hand consumers identically-typed values
         # (tuples->lists, numpy scalars->floats) — and unencodable data
         # fails here, inside fault isolation, not at store time.
-        return replace(result, data=json.loads(json.dumps(result.data)))
+        return replace(
+            result,
+            # Round-trip normalization, not persistence: the text is
+            # parsed straight back, so key order can never be observed.
+            data=json.loads(json.dumps(result.data)),  # repro: noqa[D104]
+        )
 
     def encode(self, value) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
         return {}, {

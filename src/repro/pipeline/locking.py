@@ -17,7 +17,10 @@ all the store needs.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
+
+from ..errors import LockTimeout
 
 try:  # POSIX
     import fcntl
@@ -48,7 +51,17 @@ class FileLock:
     def locked(self) -> bool:
         return self._depth > 0
 
-    def acquire(self) -> None:
+    #: Seconds between non-blocking retry attempts when a timeout is set.
+    POLL_INTERVAL = 0.02
+
+    def acquire(self, timeout: float | None = None) -> None:
+        """Take the lock, blocking until available.
+
+        With ``timeout`` (seconds), poll with non-blocking attempts and
+        raise :class:`~repro.errors.LockTimeout` if the holder has not
+        released by the deadline; ``timeout=0`` is a single try-once.
+        Reentrant acquires never block and ignore the timeout.
+        """
         if self._depth > 0:
             self._depth += 1
             return
@@ -56,7 +69,21 @@ class FileLock:
         fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
         try:
             if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_EX)
+                if timeout is None:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                else:
+                    deadline = time.monotonic() + timeout
+                    while True:
+                        try:
+                            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                            break
+                        except OSError:
+                            if time.monotonic() >= deadline:
+                                raise LockTimeout(
+                                    f"could not acquire {self.path} "
+                                    f"within {timeout:g}s"
+                                ) from None
+                            time.sleep(self.POLL_INTERVAL)
             elif msvcrt is not None:  # pragma: no cover - Windows only
                 msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
         except BaseException:

@@ -195,7 +195,9 @@ class ArtifactStore:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             with open(tmp, "wb") as fh:
-                np.savez_compressed(fh, **{_META_KEY: json.dumps(meta)}, **arrays)
+                np.savez_compressed(
+                    fh, **{_META_KEY: json.dumps(meta, sort_keys=True)}, **arrays
+                )
             os.replace(tmp, path)
         finally:
             # Failed write: do not leave temp litter.  The cleanup must
@@ -285,7 +287,9 @@ class ArtifactStore:
         if objects is None or not objects.exists():
             return (0, 0)
         removed = reclaimed = 0
-        now = time.time()
+        # Litter age is judged against file mtimes, which are wall-clock:
+        # monotonic time cannot be compared to them.
+        now = time.time()  # repro: noqa[D102] -- mtime comparison needs wall clock
         for litter in sorted(objects.glob("*.tmp")):
             try:
                 stat = litter.stat()

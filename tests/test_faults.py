@@ -4,6 +4,7 @@ and file corruption — plus the FileLock and RunReport building blocks."""
 
 import json
 import multiprocessing
+import os
 import time
 
 import pytest
@@ -258,6 +259,11 @@ def _hold_lock(path, hold_seconds):
         time.sleep(hold_seconds)
 
 
+def _die_holding_lock(path):
+    FileLock(path).acquire()
+    os._exit(0)  # no release: simulate a crashed holder
+
+
 class TestFileLock:
     def test_context_manager_and_reentrancy(self, tmp_path):
         lock = FileLock(tmp_path / ".lock")
@@ -284,6 +290,64 @@ class TestFileLock:
             waited = time.monotonic() - start
         proc.join(30)
         assert waited >= 0.3  # blocked until the child released
+
+    def test_acquire_timeout_raises_then_recovers(self, tmp_path):
+        from repro.errors import LockTimeout
+
+        path = tmp_path / ".lock"
+        holder = FileLock(path)
+        holder.acquire()
+        waiter = FileLock(path)
+        try:
+            start = time.monotonic()
+            with pytest.raises(LockTimeout):
+                waiter.acquire(timeout=0.1)
+            assert time.monotonic() - start >= 0.1
+            assert not waiter.locked
+        finally:
+            holder.release()
+        # The failed attempt leaked nothing: the same waiter object can
+        # take the lock once the holder is gone.
+        waiter.acquire(timeout=1.0)
+        assert waiter.locked
+        waiter.release()
+
+    def test_acquire_timeout_zero_is_try_once(self, tmp_path):
+        from repro.errors import LockTimeout
+
+        path = tmp_path / ".lock"
+        with FileLock(path):
+            with pytest.raises(LockTimeout):
+                FileLock(path).acquire(timeout=0)
+        # Uncontended, timeout=0 succeeds immediately.
+        free = FileLock(path)
+        free.acquire(timeout=0)
+        free.release()
+
+    def test_reentrant_acquire_ignores_timeout(self, tmp_path):
+        lock = FileLock(tmp_path / ".lock")
+        with lock:
+            # Already held by this instance: depth counting, no flock
+            # call, so the timeout cannot fire.
+            lock.acquire(timeout=0)
+            assert lock.locked
+            lock.release()
+            assert lock.locked
+        assert not lock.locked
+
+    def test_dead_process_holder_does_not_wedge_the_lock(self, tmp_path):
+        path = tmp_path / ".lock"
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_die_holding_lock, args=(str(path),))
+        proc.start()
+        proc.join(30)
+        assert proc.exitcode == 0
+        # The OS dropped the dead holder's flock with its fd table: a
+        # bounded acquire succeeds instead of timing out.
+        survivor = FileLock(path)
+        survivor.acquire(timeout=5.0)
+        assert survivor.locked
+        survivor.release()
 
 
 class TestRunReport:

@@ -1,0 +1,125 @@
+"""Tests for the ``repro lint`` command-line surface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+BAD_SOURCE = "def label(names):\n    return ','.join(set(names))\n"
+GOOD_SOURCE = "def label(names):\n    return ','.join(sorted(names))\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "labels.py").write_text(BAD_SOURCE)
+    return tmp_path
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == []
+        assert args.lint_format == "text"
+        assert not args.no_baseline
+        assert not args.write_baseline
+        assert not args.list_rules
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "tests", "--format", "json", "--baseline", "b.json"]
+        )
+        assert args.paths == ["src", "tests"]
+        assert args.lint_format == "json"
+        assert args.baseline == "b.json"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+
+
+class TestTextOutput:
+    def test_findings_fail_with_locations(self, tree, capsys):
+        assert main(["lint", str(tree), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "labels.py:2:" in out
+        assert "D105" in out
+        assert "lint: 1 finding(s)" in out
+
+    def test_clean_tree_passes(self, tree, capsys):
+        (tree / "labels.py").write_text(GOOD_SOURCE)
+        assert main(["lint", str(tree), "--no-baseline"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_machine_readable_findings(self, tree, capsys):
+        assert main(["lint", str(tree), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "D105"
+        assert finding["path"] == "labels.py"
+        assert finding["line"] == 2
+
+    def test_clean_payload(self, tree, capsys):
+        (tree / "labels.py").write_text(GOOD_SOURCE)
+        assert main(["lint", str(tree), "--no-baseline", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"baselined": 0, "findings": []}
+
+
+class TestBaselineWorkflow:
+    def test_write_then_absorb_then_resurface(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+
+        # Grandfather the existing finding ...
+        assert main(["lint", str(tree), "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        # ... so the same tree now passes, reporting the absorption ...
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # ... but a new violation in another file still fails.
+        (tree / "fresh.py").write_text(BAD_SOURCE)
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "labels.py" not in out
+
+    def test_no_baseline_ignores_grandfathering(self, tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        main(["lint", str(tree), "--write-baseline", "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert main(["lint", str(tree), "--no-baseline", "--baseline", str(baseline)]) == 1
+
+    def test_default_baseline_found_next_to_tree(self, tree, capsys, monkeypatch):
+        main(["lint", str(tree), "--write-baseline", "--baseline",
+              str(tree / "lint-baseline.json")])
+        capsys.readouterr()
+        # No --baseline: the search checks the working directory, then
+        # walks up from the analyzed path (chdir away from the repo
+        # root so its committed baseline doesn't shadow the tree's).
+        monkeypatch.chdir(tree)
+        assert main(["lint", str(tree)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+
+class TestListRules:
+    def test_catalogue_lists_every_rule(self, capsys):
+        from repro.analysis.lint import rule_ids
+
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+
+class TestSelfRun:
+    def test_default_invocation_lints_own_package_clean(self, capsys):
+        # `repro lint` with no paths analyzes the installed repro
+        # package — the dogfooding acceptance criterion.
+        assert main(["lint"]) == 0
