@@ -1,0 +1,143 @@
+"""Service front-end overhead: warm-cache latency and throughput.
+
+Starts a real ``repro serve`` stack in-process — :class:`Scheduler` +
+:class:`ServiceServer` on a background event-loop thread — pre-warms the
+store by running the small VM-kernel fig3 job once, then measures the
+served path with everything cached: each request is an HTTP ``POST
+/jobs`` that dedupes onto the finished job plus the ``GET`` that
+collects its results.  That isolates the daemon's own overhead (HTTP
+framing, job registry, content-key hashing) from analysis cost, which
+the pipeline benchmarks already track.
+
+``test_serve_warm_latency`` is parametrized over 1/4/8 concurrent
+clients; per-request p50/p95 latencies land in the snapshot's
+``extra_info`` (see ``BENCH_0006.json``) alongside the requests/s
+throughput that pytest-benchmark derives from the batch wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import Scheduler, ServiceClient, ServiceServer
+
+#: Requests issued per measured batch, split across the client pool.
+REQUESTS_PER_BATCH = 24
+
+#: The job every request dedupes onto: tiny suite, short history grid.
+WARM_REQUEST = {
+    "experiments": ["fig3"],
+    "suite": "kernels",
+    "scale": 0.05,
+    "history_lengths": [0, 2, 4],
+}
+
+
+class _ServedStack:
+    """Scheduler + server on a daemon thread (mirrors tests/test_service)."""
+
+    def __init__(self, cache_dir):
+        self.scheduler = Scheduler(cache_dir, workers=1, max_running=2)
+        self.server = ServiceServer(self.scheduler, port=0)
+        self._started = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._stop = asyncio.Event()
+
+        async def main():
+            await self.server.start()
+            self._started.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._started.set()
+            self._loop.close()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(timeout=30), "server did not start"
+        assert self.server.port, "server failed to bind"
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def client(self) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.server.port)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A running service with the warm job already computed and cached."""
+    cache = tmp_path_factory.mktemp("serve-bench") / "cache"
+    with _ServedStack(cache) as stack:
+        client = stack.client()
+        job = client.submit(dict(WARM_REQUEST))
+        final = client.wait(job["id"], timeout=300)
+        assert final["state"] == "done", final.get("error")
+        yield stack
+
+
+def _timed_request(stack: _ServedStack) -> float:
+    """One warm submit→collect round trip; returns its wall time."""
+    client = stack.client()
+    start = time.perf_counter()
+    job = client.submit(dict(WARM_REQUEST))
+    final = client.wait(job["id"], timeout=60, poll=0.005)
+    elapsed = time.perf_counter() - start
+    assert final["state"] == "done"
+    assert not job["created_job"], "warm request missed the dedupe path"
+    return elapsed
+
+
+@pytest.mark.parametrize("clients", [1, 4, 8])
+def test_serve_warm_latency(benchmark, served, clients):
+    latencies: list[float] = []
+
+    def batch():
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = [
+                pool.submit(_timed_request, served)
+                for _ in range(REQUESTS_PER_BATCH)
+            ]
+            latencies.extend(f.result() for f in futures)
+
+    # A networked benchmark is noisy round to round; the gate compares
+    # the *min*, so enough rounds for the minimum to settle matters
+    # more than per-round cost (each round is ~tens of ms).
+    benchmark.pedantic(batch, rounds=10, iterations=1, warmup_rounds=3)
+
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    wall = sum(latencies) / clients  # approximate aggregate batch wall
+    benchmark.extra_info.update(
+        {
+            "clients": clients,
+            "requests": len(latencies),
+            "latency_p50_ms": round(p50 * 1e3, 3),
+            "latency_p95_ms": round(p95 * 1e3, 3),
+            "throughput_rps": round(len(latencies) / max(wall, 1e-9), 1),
+        }
+    )
+    print(
+        f"\nserve warm ({clients} client{'s' if clients > 1 else ''}): "
+        f"p50 {p50 * 1e3:.2f} ms, p95 {p95 * 1e3:.2f} ms over "
+        f"{len(latencies)} requests"
+    )

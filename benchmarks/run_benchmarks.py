@@ -36,15 +36,15 @@ SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 
 #: The ``--quick`` subset: fast, representative benchmarks covering the
 #: engines (reference/vectorized throughput), the batched sweep, the
-#: pipeline cold/warm path and workload materialization.  This is what
-#: the CI ``bench-gate`` job runs and what
-#: ``benchmarks/check_regression.py`` compares against the committed
-#: ``BENCH_<n>.json`` history.  Keep the names stable: renaming a
-#: benchmark silently drops it from the gate until a new snapshot is
-#: committed.
+#: pipeline cold/warm path, workload materialization and the service
+#: front end (warm-cache request latency).  This is what the CI
+#: ``bench-gate`` job runs and what ``benchmarks/check_regression.py``
+#: compares against the committed ``BENCH_<n>.json`` history.  Keep the
+#: names stable: renaming a benchmark silently drops it from the gate
+#: until a new snapshot is committed.
 QUICK_SELECT = (
     "engine_throughput or sweep_throughput or kernels_run_all or materialize"
-    " or chaos_overhead"
+    " or chaos_overhead or serve_warm"
 )
 
 

@@ -17,7 +17,8 @@ Rule categories (full catalogue in ``docs/ANALYSIS.md``):
 * ``S2xx`` spec contracts — ``*Spec`` dataclasses frozen, registered,
   and fully serialized by any overriding ``to_dict``.
 * ``W3xx`` worker safety — only module-level callables cross the
-  process pool; no ``global`` mutation in worker-executed modules.
+  process pool; no ``global`` mutation in worker-executed modules; no
+  blocking calls inside the service layer's coroutines.
 * ``P4xx`` store discipline — manifest/report writes stay inside the
   store's cross-process ``FileLock``.
 
@@ -51,6 +52,7 @@ from .findings import Finding, Severity
 
 # Built-in rule battery: importing registers every rule.
 from . import rules_determinism  # noqa: F401
+from . import rules_service  # noqa: F401
 from . import rules_spec  # noqa: F401
 from . import rules_store  # noqa: F401
 from . import rules_worker  # noqa: F401

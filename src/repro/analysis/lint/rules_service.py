@@ -1,0 +1,108 @@
+"""Service-layer rules (``W3xx`` continued): async front-end hygiene.
+
+The analysis service's HTTP front end (:mod:`repro.service.server`)
+runs on a single asyncio event loop; one blocking call inside a
+coroutine stalls *every* connection — submissions, status polls and
+progress streams alike — for its duration.  The scheduler exists
+precisely so blocking work (planning, execution, store I/O) runs on
+threads and worker processes; coroutines must only await.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, register_rule
+from .findings import Finding, Severity
+
+__all__ = ["AsyncBlockingCallRule"]
+
+#: ``module.function`` calls that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() stalls the event loop; use asyncio.sleep()",
+    "subprocess.run": "subprocess.run() blocks until the child exits",
+    "subprocess.call": "subprocess.call() blocks until the child exits",
+    "subprocess.check_call": "subprocess.check_call() blocks until the child exits",
+    "subprocess.check_output": "subprocess.check_output() blocks until the child exits",
+}
+
+#: Method names that are synchronous file I/O wherever they appear.
+_BLOCKING_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+
+@register_rule
+class AsyncBlockingCallRule(Rule):
+    """Blocking calls inside ``async def`` bodies in the service layer."""
+
+    id = "W303"
+    name = "async-blocking-call"
+    severity = Severity.ERROR
+    scope = ("service/",)
+    description = (
+        "a blocking call (`time.sleep`, sync file I/O, `subprocess.run`) "
+        "inside an `async def` stalls the whole event loop — every "
+        "connection, not just this one; await asyncio.sleep(), or push "
+        "the work to a thread with asyncio.to_thread()"
+    )
+
+    def _nearest_function(
+        self, ctx: FileContext, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        enclosing = ctx.enclosing_functions(node)  # innermost first
+        return enclosing[0] if enclosing else None
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            # Only calls whose *nearest* enclosing function is a
+            # coroutine: a sync helper nested in an async def runs on
+            # whatever thread calls it, which the async caller should
+            # arrange via to_thread — flagging its body would punish
+            # exactly that fix.
+            owner = self._nearest_function(ctx, node)
+            if not isinstance(owner, ast.AsyncFunctionDef):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted in _BLOCKING_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted}()` in coroutine `{owner.name}`: "
+                        f"{_BLOCKING_CALLS[dotted]}; use asyncio.to_thread() "
+                        "or an async equivalent",
+                    )
+                )
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"sync `open()` in coroutine `{owner.name}` blocks "
+                        "the event loop on disk; wrap the file work in "
+                        "asyncio.to_thread()",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _BLOCKING_METHODS
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"sync file I/O `.{func.attr}()` in coroutine "
+                        f"`{owner.name}` blocks the event loop on disk; "
+                        "wrap it in asyncio.to_thread()",
+                    )
+                )
+        return findings

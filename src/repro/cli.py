@@ -21,6 +21,8 @@
     python -m repro trace convert IN OUT --v2 --compress  # re-chunk/zlib
     python -m repro lint [PATHS]              # invariant static analysis
     python -m repro lint --list-rules         # the rule catalogue
+    python -m repro serve --port 8765         # analysis-service daemon
+    python -m repro submit fig3               # run via a serve daemon
 
 Experiments run through the artifact pipeline (see ``docs/API.md``,
 *Pipeline & artifacts*): expensive artifacts are content-addressed in
@@ -55,7 +57,7 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from .errors import ConfigurationError, ReproError
+from .errors import ConfigurationError, LockTimeout, ReproError
 from .experiments import ExperimentContext, all_experiment_ids, get_experiment
 from .pipeline import RetryPolicy
 from .spec import PredictorSpec, spec_class, spec_from_json, spec_kinds
@@ -118,6 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="report what would be removed without deleting anything",
+    )
+    art_gc.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "how long to wait for the store's serve lock before failing "
+            "with 'store busy' when a repro serve daemon holds the cache "
+            "(default 5.0)"
+        ),
     )
     _add_context_options(art_gc)
 
@@ -202,6 +215,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue (id, severity, scope, description)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the analysis service daemon: HTTP/JSON job submission "
+            "with dedupe, backpressure and a shared worker pool "
+            "(see docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral one; default 8765)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"shared artifact store root (default {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes shared across jobs (default: "
+            "$REPRO_SERVE_WORKERS or 1)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help=(
+            "queued jobs before submissions get 429 backpressure "
+            "(default: $REPRO_SERVE_QUEUE or 8)"
+        ),
+    )
+    serve.add_argument(
+        "--max-running",
+        type=int,
+        default=2,
+        help="jobs executing concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per artifact node on transient faults (default 3)",
+    )
+    serve.add_argument(
+        "--node-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-node wall-clock limit (default: no limit)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit an experiment to a running repro serve daemon",
+    )
+    submit.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig3, table2) or an artifact target key",
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="service host")
+    submit.add_argument("--port", type=int, default=8765, help="service port")
+    submit.add_argument(
+        "--suite",
+        default=None,
+        help="workload suite name or suite JSON file (default: spec95)",
+    )
+    submit.add_argument(
+        "--scale", type=float, default=1.0, help="trace length multiplier"
+    )
+    submit.add_argument(
+        "--inputs", choices=("primary", "all"), default="primary",
+        help="input sets for the default spec95 suite",
+    )
+    submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream per-node NDJSON progress events while waiting",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long to wait for the job to finish (default 600)",
     )
 
     trace = sub.add_parser("trace", help="inspect and convert saved trace files")
@@ -453,7 +557,27 @@ def _run_artifacts(args: argparse.Namespace) -> int:
 
     config = context.config
     live = context.pipeline.planner.live_digests(store)
-    removed, reclaimed = store.gc(live, dry_run=args.dry_run)
+    # Destructive maintenance defers to a live `repro serve` daemon: gc
+    # under a server would delete objects its in-flight jobs are about
+    # to read.  The daemon holds the serve lock for its lifetime, so a
+    # bounded acquire either wins (no server; safe to sweep) or names
+    # the holder and fails fast instead of hanging or corrupting.
+    try:
+        store.serve_lock.acquire(timeout=max(0.0, args.lock_timeout))
+    except LockTimeout:
+        info = store.read_serve_info() or {}
+        holder = f"serve pid {info['pid']}" if "pid" in info else "a repro serve daemon"
+        address = f" at {info['address']}" if "address" in info else ""
+        print(
+            f"error: store busy (held by {holder}{address}): stop the "
+            "server or raise --lock-timeout before gc",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        removed, reclaimed = store.gc(live, dry_run=args.dry_run)
+    finally:
+        store.serve_lock.release()
     verb = "would remove" if args.dry_run else "removed"
     assert config.suite is not None
     print(
@@ -741,6 +865,101 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .service import Scheduler, ServiceServer
+    from .service.scheduler import QUEUE_ENV, WORKERS_ENV
+
+    workers = args.workers
+    if workers is None:
+        workers = int(os.environ.get(WORKERS_ENV, "1"))
+    queue_limit = args.queue_limit
+    if queue_limit is None:
+        queue_limit = int(os.environ.get(QUEUE_ENV, "8"))
+    scheduler = Scheduler(
+        args.cache_dir,
+        workers=workers,
+        max_running=args.max_running,
+        queue_limit=queue_limit,
+        retries=args.retries,
+        node_timeout=args.node_timeout,
+    )
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"repro serve on http://{server.host}:{server.port} "
+            f"(cache {args.cache_dir}, {workers} worker(s), "
+            f"queue limit {queue_limit}) — Ctrl-C stops",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    request: dict[str, object] = {"scale": args.scale, "inputs": args.inputs}
+    selector = args.experiment
+    if ":" in selector or selector in ("sweep", "misclassification", "traces"):
+        request["targets"] = [selector]
+        render_keys: list[str] = []
+    else:
+        ids = _experiment_ids(selector)
+        request["experiments"] = ids
+        render_keys = [f"render:{experiment_id}" for experiment_id in ids]
+    if args.suite is not None:
+        request["suite"] = args.suite
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    job = client.submit(request)
+    job_id = job["id"]
+    shared = "" if job.get("created_job") else " (deduped onto in-flight job)"
+    print(f"job {job_id[:12]} [{job['state']}]{shared}", file=sys.stderr)
+
+    if args.follow:
+        for event in client.events(job_id, timeout=args.timeout):
+            if event.get("event") == "job":
+                break
+            print(
+                f"  {event.get('status', '?'):9s} {event.get('key', '?')} "
+                f"(attempts {event.get('attempts', 0)})",
+                file=sys.stderr,
+            )
+    job = client.wait(job_id, timeout=args.timeout)
+    if job["state"] != "done":
+        print(f"error: job failed: {job.get('error')}", file=sys.stderr)
+        return 1
+    results = job.get("results", {})
+    # Render output exactly as `repro run` does, so served results are
+    # byte-comparable with the one-shot path.
+    for target, result in results.items():
+        if render_keys and target not in render_keys:
+            continue
+        if "rendered" in result:
+            print(result["rendered"])
+            if result.get("paper_note"):
+                print(f"[paper] {result['paper_note']}")
+            print(flush=True)
+        else:
+            print(f"{target}: stored at {result['digest']}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -786,6 +1005,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         if args.command == "lint":
             return _run_lint(args)
+
+        if args.command == "serve":
+            return _run_serve(args)
+
+        if args.command == "submit":
+            return _run_submit(args)
 
         if args.command == "trace":
             if args.trace_command == "convert":

@@ -58,3 +58,24 @@ class PipelineError(ReproError):
 
 class LockTimeout(PipelineError):
     """A cross-process file lock was not acquired within its timeout."""
+
+
+class ServiceError(ReproError):
+    """The analysis service rejected or failed a request."""
+
+
+class QueueFull(ServiceError):
+    """The service job queue is at capacity (back off and retry).
+
+    ``retry_after`` is the suggested wait (seconds) before retrying —
+    the HTTP front end surfaces it as a ``Retry-After`` header on its
+    429 response.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id is known to the service."""

@@ -43,10 +43,12 @@ from .artifacts import (
 from .executor import (
     ExecutionReport,
     Executor,
+    FailureMemo,
     FaultKind,
     NodeFailure,
     Pipeline,
     RetryPolicy,
+    WorkerPool,
 )
 from .locking import FileLock
 from .planner import Plan, PlannedNode, Planner
@@ -74,6 +76,8 @@ __all__ = [
     "Planner",
     "Executor",
     "ExecutionReport",
+    "FailureMemo",
+    "WorkerPool",
     "FaultKind",
     "RetryPolicy",
     "NodeFailure",

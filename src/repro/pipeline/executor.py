@@ -87,6 +87,8 @@ from .store import ArtifactStore
 __all__ = [
     "FaultKind",
     "RetryPolicy",
+    "FailureMemo",
+    "WorkerPool",
     "NodeFailure",
     "ExecutionReport",
     "Executor",
@@ -154,6 +156,128 @@ class RetryPolicy:
             self.backoff_max,
         )
         return base * (1.0 + self.jitter * stable_unit("retry", key, attempts))
+
+
+class FailureMemo:
+    """Known-broken content addresses, shareable across runs and jobs.
+
+    The executor records every terminal failure here by content
+    address, so resubmitting a known-broken artifact fails fast instead
+    of recomputing (e.g. 16 more times during a streamed ``run all``).
+    Historically this memo was private per-:class:`Executor`; hoisted
+    behind this interface, a long-running service scheduler hands one
+    memo to every job's executor and the knowledge spans jobs.
+    Thread-safe: service runner threads record concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._failed: dict[str, tuple[FaultKind, str]] = {}
+
+    def record(self, digest: str, kind: FaultKind, error: str) -> None:
+        with self._lock:
+            self._failed[digest] = (kind, error)
+
+    def get(self, digest: str) -> tuple[FaultKind, str] | None:
+        with self._lock:
+            return self._failed.get(digest)
+
+    def forget(self, digest: str) -> None:
+        """Drop one address (a deliberately requeued failed job retries
+        its computation instead of failing fast on stale knowledge)."""
+        with self._lock:
+            self._failed.pop(digest, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._failed)
+
+    def snapshot(self) -> dict[str, dict[str, str]]:
+        """Digest -> ``{kind, error}`` (first line), for the run report."""
+        with self._lock:
+            return {
+                digest: {"kind": kind.value, "error": error.splitlines()[0][:500]}
+                for digest, (kind, error) in self._failed.items()
+            }
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers (hung or broken) without waiting."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers etc.
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class WorkerPool:
+    """A persistent, crash-surviving process pool shared across runs.
+
+    Wraps a ``ProcessPoolExecutor`` behind two thread-safe operations:
+    :meth:`submit` (which lazily creates the pool and transparently
+    replaces a broken one) and :meth:`rebuild` (kill + recreate after a
+    worker crash or wedge).  Rebuilds are *generation-guarded*: every
+    submit returns the pool generation it ran against, and a rebuild
+    request carrying a stale generation is a no-op — so several
+    concurrent plan runs sharing one pool (the ``repro serve``
+    scheduler) cannot stampede-rebuild when a single crash breaks all
+    their in-flight futures at once.
+
+    An :class:`Executor` without an explicit pool creates a private one
+    per ``run()`` (the historical behavior); the service scheduler
+    creates one ``WorkerPool`` at startup and shares it across every
+    job's executor.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def _rebuild_locked(self) -> None:
+        self._generation += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            _terminate_pool(pool)
+
+    def submit(self, fn: Any, /, *args: Any, **kwargs: Any) -> tuple[Any, int]:
+        """Submit work; returns ``(future, generation)``.
+
+        A pool found broken at submit time is replaced once before the
+        submit is retried, so callers only ever see ``BrokenExecutor``
+        through their futures, not from the submit itself.
+        """
+        with self._lock:
+            for _ in range(2):
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                try:
+                    return self._pool.submit(fn, *args, **kwargs), self._generation
+                except BrokenExecutor:
+                    self._rebuild_locked()
+            raise BrokenExecutor("worker pool broken immediately after rebuild")
+
+    def rebuild(self, generation: int) -> None:
+        """Kill and replace the pool *iff* ``generation`` is current."""
+        with self._lock:
+            if generation == self._generation:
+                self._rebuild_locked()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 class _NodeTimeout(Exception):
@@ -307,6 +431,23 @@ class Executor:
         Resume bookkeeping from the store's ``run-report.json``: nodes
         the prior run completed (and whose artifacts are still on disk)
         are served from cache and marked ``resumed`` in the new report.
+    memo:
+        A shared :class:`FailureMemo`; ``None`` creates a private one.
+        The service scheduler shares one memo across every job's
+        executor so known-broken artifacts fail fast service-wide.
+    pool:
+        A shared persistent :class:`WorkerPool`; ``None`` creates (and
+        shuts down) a private pool per ``run()``.  Ignored at
+        ``jobs=1``.
+    on_event:
+        Callback receiving one dict per node completion — the
+        incremental run-report record plus ``{"event": "node", "key":
+        …}`` — for progress streaming.  Exceptions in the callback are
+        logged, never fail the run.
+    checkpoint:
+        Whether to persist the incremental ``run-report.json`` (the
+        service disables it: its job registry is the ledger, and many
+        concurrent jobs would clobber one report file).
     """
 
     def __init__(
@@ -318,6 +459,10 @@ class Executor:
         node_timeout: float | None = None,
         faults: FaultPlan | None = None,
         resume: bool = False,
+        memo: FailureMemo | None = None,
+        pool: WorkerPool | None = None,
+        on_event: Any = None,
+        checkpoint: bool = True,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
@@ -329,15 +474,24 @@ class Executor:
         self.node_timeout = node_timeout
         self.faults = faults
         self.resume = resume
-        # Content addresses that failed in this executor's lifetime: a
-        # known-broken artifact fails fast on resubmission instead of
-        # recomputing (e.g. 16 more times during a streamed `run all`).
-        self._failed: dict[str, tuple[FaultKind, str]] = {}
+        self.memo = memo if memo is not None else FailureMemo()
+        self.pool = pool
+        self.on_event = on_event
+        self.checkpoint = checkpoint
         # The cumulative run report (spans every run() of this executor,
         # so `repro run all`'s per-experiment calls share one ledger).
         self._report: RunReport | None = None
         self._prior: RunReport | None = None
         self._prior_loaded = False
+
+    def _emit(self, key: str, record: NodeRecord) -> None:
+        """Hand one node event to the progress callback, if any."""
+        if self.on_event is None:
+            return
+        try:
+            self.on_event({"event": "node", "key": key, **record.to_dict()})
+        except Exception:  # noqa: BLE001 - observer must not fail the run
+            logger.warning("progress event callback failed", exc_info=True)
 
     # -- resume / run-report bookkeeping --------------------------------
 
@@ -368,8 +522,9 @@ class Executor:
         Checkpointing must never fail the run: a locked or unwritable
         report path degrades to warn-and-continue.
         """
-        if self.store.root is None or self._report is None:
+        if not self.checkpoint or self.store.root is None or self._report is None:
             return None
+        self._report.known_failures = self.memo.snapshot()
         try:
             with self.store.lock:
                 return self._report.save(self.store.root)
@@ -420,6 +575,7 @@ class Executor:
                         attempts=prior_record.attempts if prior_record else 0,
                         resumed=resumed,
                     )
+                    self._emit(key, run_report.nodes[key])
                     return
                 # Corrupt/truncated object: recompute (its upstreams may
                 # themselves be idle-cached, so prepare them too).
@@ -462,6 +618,7 @@ class Executor:
                         status="skipped",
                         error=f"upstream artifact {cause} failed",
                     )
+                    self._emit(consumer, run_report.nodes[consumer])
                     mark_dead(consumer, cause)
 
         def finish_success(key: str, payload: Any) -> None:
@@ -478,11 +635,12 @@ class Executor:
                 faults=list(state.faults),
                 elapsed=state.elapsed,
             )
+            self._emit(key, run_report.nodes[key])
             self._checkpoint()
 
         def finish_failure(key: str, kind: FaultKind, error: str) -> None:
             state = states[key]
-            self._failed[plan.nodes[key].digest] = (kind, error)
+            self.memo.record(plan.nodes[key].digest, kind, error)
             report.failures.append(
                 NodeFailure(
                     key=key, error=error, kind=kind, attempts=max(state.attempts, 1)
@@ -497,6 +655,7 @@ class Executor:
                 faults=list(state.faults) or [kind.value],
                 error=error[:2000],
             )
+            self._emit(key, run_report.nodes[key])
             dead.add(key)
             mark_dead(key, cause=key)
             self._checkpoint()
@@ -544,7 +703,7 @@ class Executor:
         for key in ordered_run:
             if key in h.dead:
                 continue
-            prior = self._failed.get(h.plan.nodes[key].digest)
+            prior = self.memo.get(h.plan.nodes[key].digest)
             if prior is not None:
                 kind, error = prior
                 h.finish_failure(key, kind, error)
@@ -586,20 +745,6 @@ class Executor:
             return
 
     # -- pooled execution ------------------------------------------------
-
-    def _new_pool(self, width: int) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=min(self.jobs, width))
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Terminate a pool's workers (hung or broken) without waiting."""
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except Exception:  # noqa: BLE001 - already-dead workers etc.
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
 
     def _run_pool(self, ordered_run: list[str], h: "_RunHelpers") -> None:
         plan = h.plan
@@ -645,18 +790,29 @@ class Executor:
             else:
                 finalize(key, False, kind, error)
 
-        pool = self._new_pool(len(ordered_run))
+        # A private pool lives for this run only; a shared (service)
+        # pool outlives it — rebuilds go through the generation guard
+        # either way, so concurrent runs sharing one pool cannot
+        # stampede-rebuild after a single crash.
+        owned = self.pool is None
+        pool = (
+            self.pool
+            if self.pool is not None
+            else WorkerPool(min(self.jobs, len(ordered_run)))
+        )
         inflight: dict[Any, str] = {}
         deadlines: dict[Any, float] = {}
+        generations: dict[Any, int] = {}
 
-        def recover_pool(kinds: dict[str, FaultKind], reason: str) -> None:
+        def recover_pool(
+            kinds: dict[str, FaultKind], reason: str, generation: int
+        ) -> None:
             """Tear down a broken/wedged pool; requeue its in-flight work."""
-            nonlocal pool
             casualties = list(inflight.items())
             inflight.clear()
             deadlines.clear()
-            self._kill_pool(pool)
-            pool = self._new_pool(len(ordered_run))
+            generations.clear()
+            pool.rebuild(generation)
             for _, key in casualties:
                 kind = kinds.get(key, FaultKind.WORKER_CRASH)
                 attempt_failed(key, kind, f"{reason} while computing {key}")
@@ -665,7 +821,7 @@ class Executor:
             if key in h.dead or key in finished:
                 scheduled.add(key)
                 return
-            prior = self._failed.get(plan.nodes[key].digest)
+            prior = self.memo.get(plan.nodes[key].digest)
             if prior is not None:
                 scheduled.add(key)
                 finalize(key, False, prior[0], prior[1])
@@ -678,7 +834,7 @@ class Executor:
             # narrow() trims dep values to what the node consumes,
             # so wide tiers don't pickle the whole suite per task.
             try:
-                future = pool.submit(
+                future, generation = pool.submit(
                     _compute_node,
                     node,
                     plan.config,
@@ -688,12 +844,12 @@ class Executor:
                     timeout=self.node_timeout,
                 )
             except BrokenExecutor:
-                # The pool died between completions; recover and let the
-                # outer loop resubmit this attempt's requeue.
+                # The pool broke immediately after its own rebuild —
+                # count a crash attempt and let the requeue retry.
                 attempt_failed(key, FaultKind.WORKER_CRASH, "worker pool broken")
-                recover_pool({}, "worker pool broken")
                 return
             inflight[future] = key
+            generations[future] = generation
             if backstop is not None:
                 deadlines[future] = time.monotonic() + backstop
 
@@ -733,16 +889,27 @@ class Executor:
                         # wedged beyond signals.  Kill the pool; expired
                         # nodes count as timeouts, collateral in-flight
                         # nodes as worker crashes — both retry.
-                        recover_pool(expired, "worker unresponsive past timeout")
+                        stale = max(
+                            generations[f]
+                            for f, deadline in deadlines.items()
+                            if deadline <= now
+                        )
+                        recover_pool(
+                            expired, "worker unresponsive past timeout", stale
+                        )
                     continue
-                pool_broken = False
+                broken_generation: int | None = None
                 for future in done:
                     key = inflight.pop(future)
                     deadlines.pop(future, None)
+                    generation = generations.pop(future, 0)
                     exc = future.exception()
                     if exc is not None:
                         if isinstance(exc, BrokenExecutor):
-                            pool_broken = True
+                            broken_generation = max(
+                                generation,
+                                -1 if broken_generation is None else broken_generation,
+                            )
                             attempt_failed(
                                 key,
                                 FaultKind.WORKER_CRASH,
@@ -767,10 +934,11 @@ class Executor:
                         attempt_failed(key, FaultKind.TIMEOUT, payload)
                     else:
                         attempt_failed(key, FaultKind.NODE_ERROR, payload)
-                if pool_broken:
-                    recover_pool({}, "worker process died")
+                if broken_generation is not None:
+                    recover_pool({}, "worker process died", broken_generation)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owned:
+                pool.shutdown()
 
 
 @dataclass
@@ -811,6 +979,10 @@ class Pipeline:
         node_timeout: float | None = None,
         faults: FaultPlan | None = None,
         resume: bool = False,
+        memo: FailureMemo | None = None,
+        pool: WorkerPool | None = None,
+        on_event: Any = None,
+        checkpoint: bool = True,
     ) -> None:
         self.config = config or PipelineConfig()
         self.store = store if store is not None else ArtifactStore(None)
@@ -822,6 +994,10 @@ class Pipeline:
             node_timeout=node_timeout,
             faults=faults,
             resume=resume,
+            memo=memo,
+            pool=pool,
+            on_event=on_event,
+            checkpoint=checkpoint,
         )
 
     @property

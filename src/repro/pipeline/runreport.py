@@ -27,6 +27,9 @@ Schema (``version`` 1)::
           "error":    "...",              # failed nodes only
           "resumed":  true                # served from a prior run
         }, ...
+      },
+      "known_failures": {                 # executor FailureMemo snapshot
+        "<digest>": {"kind": "node-error", "error": "..."}, ...
       }
     }
 
@@ -105,6 +108,10 @@ class RunReport:
     config: dict[str, Any] = field(default_factory=dict)
     started: str = field(default_factory=_utcnow)
     updated: str = field(default_factory=_utcnow)
+    #: Known-broken content addresses (the executor's shared
+    #: :class:`~repro.pipeline.executor.FailureMemo` snapshot):
+    #: digest -> {"kind": <fault kind>, "error": <first line>}.
+    known_failures: dict[str, dict[str, str]] = field(default_factory=dict)
 
     # -- queries ---------------------------------------------------------
 
@@ -160,6 +167,11 @@ class RunReport:
             config=dict(data.get("config") or {}),
             started=str(data.get("started", "")),
             updated=str(data.get("updated", "")),
+            known_failures={
+                str(digest): {str(k): str(v) for k, v in record.items()}
+                for digest, record in (data.get("known_failures") or {}).items()
+                if isinstance(record, dict)
+            },
         )
         return report
 
@@ -178,6 +190,8 @@ class RunReport:
             "config": self.config,
             "nodes": {key: record.to_dict() for key, record in self.nodes.items()},
         }
+        if self.known_failures:
+            payload["known_failures"] = self.known_failures
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         os.replace(tmp, path)

@@ -61,9 +61,15 @@ from .locking import FileLock
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .artifacts import ArtifactNode, PipelineConfig
 
-__all__ = ["ArtifactStore", "ManifestEntry"]
+__all__ = ["SERVE_INFO_NAME", "SERVE_LOCK_NAME", "ArtifactStore", "ManifestEntry"]
 
 _META_KEY = "__meta__"
+
+#: Long-lived lock a ``repro serve`` scheduler holds on its cache root
+#: (see :attr:`ArtifactStore.serve_lock`) and the holder-identity file
+#: written next to it.
+SERVE_LOCK_NAME = ".serve.lock"
+SERVE_INFO_NAME = "serve.json"
 
 #: Temp litter from a *crashed* writer is only swept by gc once it is
 #: this old (seconds): a live concurrent writer's temp file is never
@@ -94,6 +100,7 @@ class ArtifactStore:
         self._memory: dict[str, Any] = {}
         self._pending_manifest: dict[str, dict[str, Any]] = {}
         self._lock: FileLock | None = None
+        self._serve_lock: FileLock | None = None
 
     @property
     def lock(self) -> FileLock:
@@ -107,6 +114,62 @@ class ArtifactStore:
         if self._lock is None:
             self._lock = FileLock(self.root / ".lock")
         return self._lock
+
+    @property
+    def serve_lock(self) -> FileLock:
+        """The *service* lock on this cache directory (``.serve.lock``).
+
+        A ``repro serve`` scheduler holds it for its whole lifetime —
+        distinct from :attr:`lock`, which is taken and released around
+        each manifest merge.  Destructive maintenance (``repro
+        artifacts gc``) takes it with ``acquire(timeout=…)`` first and
+        fails fast with the holder's identity (:meth:`read_serve_info`)
+        instead of deleting a live server's in-progress artifacts.
+        Being an OS-level ``flock``, it self-releases if the server
+        dies, so a stale pid never wedges maintenance.
+        """
+        assert self.root is not None, "memory-only stores have nothing to lock"
+        if self._serve_lock is None:
+            self._serve_lock = FileLock(self.root / SERVE_LOCK_NAME)
+        return self._serve_lock
+
+    # -- serve holder info ----------------------------------------------
+
+    @property
+    def serve_info_path(self) -> Path | None:
+        return self.root / SERVE_INFO_NAME if self.root is not None else None
+
+    def write_serve_info(self, info: Mapping[str, Any]) -> None:
+        """Record who holds :attr:`serve_lock` (pid, address, started).
+
+        Written by the scheduler *after* it takes the serve lock, so a
+        reader that just failed to acquire the lock can name the
+        holder in its error message.
+        """
+        path = self.serve_info_path
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(dict(info), indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+    def read_serve_info(self) -> dict[str, Any] | None:
+        """The recorded serve-lock holder, or ``None`` (absent/corrupt)."""
+        path = self.serve_info_path
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def clear_serve_info(self) -> None:
+        path = self.serve_info_path
+        if path is not None:
+            with contextlib.suppress(OSError):
+                path.unlink(missing_ok=True)
 
     # -- paths ----------------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Analysis-as-a-service: the ``repro serve`` daemon.
+
+Promotes the one-shot experiment pipeline into a long-running service
+(see ``docs/SERVICE.md``).  Everything the pipeline computes is
+content-addressed, and this package rides that property end to end:
+
+* :mod:`repro.service.jobs` — the job model.  A request normalizes
+  into a :class:`JobSpec` whose content key is the job id, which makes
+  *in-flight dedupe* a dictionary lookup: identical concurrent
+  requests share one computation and one result.
+* :mod:`repro.service.scheduler` — runs jobs over shared long-lived
+  substrate: one persistent :class:`~repro.pipeline.executor.WorkerPool`
+  shards ready nodes from all running jobs across worker processes
+  (crash-surviving, via the retry machinery in ``docs/FAULTS.md``),
+  and one shared :class:`~repro.pipeline.executor.FailureMemo` makes
+  known-broken artifacts fail fast service-wide.
+* :mod:`repro.service.server` — the stdlib-asyncio HTTP/JSON front
+  end: submission, status, backpressure (429 + ``Retry-After``) and
+  NDJSON per-node progress streaming.
+* :mod:`repro.service.client` — the synchronous client behind
+  ``repro submit`` and the integration tests.
+"""
+
+from .client import ServiceClient
+from .jobs import Job, JobRegistry, JobSpec, JobState
+from .scheduler import Scheduler
+from .server import ServiceServer
+
+__all__ = [
+    "Job",
+    "JobRegistry",
+    "JobSpec",
+    "JobState",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceServer",
+]

@@ -1,0 +1,154 @@
+"""Synchronous client for the analysis service.
+
+A thin, dependency-free helper over :mod:`http.client` — what the
+``repro submit`` CLI verb and the integration tests use to talk to a
+``repro serve`` daemon.  Every call is one short-lived connection
+(the server closes after each response), so the client carries no
+connection state and is safe to share across threads.
+
+Error mapping mirrors the server's status codes:
+
+* 400 → :class:`~repro.errors.ConfigurationError`
+* 404 → :class:`~repro.errors.JobNotFound`
+* 429 → :class:`~repro.errors.QueueFull` (``retry_after`` from the
+  ``Retry-After`` header)
+* anything else non-2xx → :class:`~repro.errors.ServiceError`
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from ..errors import (
+    ConfigurationError,
+    JobNotFound,
+    QueueFull,
+    ServiceError,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Any | None = None) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return self._decode(response, raw)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from None
+        finally:
+            connection.close()
+
+    def _decode(self, response: http.client.HTTPResponse,
+                raw: bytes) -> dict[str, Any]:
+        try:
+            data = json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            data = {"error": raw.decode(errors="replace")[:200]}
+        if 200 <= response.status < 300:
+            return data if isinstance(data, dict) else {"value": data}
+        message = data.get("error", f"HTTP {response.status}")
+        if response.status == 400:
+            raise ConfigurationError(message)
+        if response.status == 404:
+            raise JobNotFound(message)
+        if response.status == 429:
+            try:
+                retry_after = float(response.getheader("Retry-After") or 1.0)
+            except ValueError:
+                retry_after = 1.0
+            raise QueueFull(message, retry_after=retry_after)
+        raise ServiceError(f"HTTP {response.status}: {message}")
+
+    # -- API -------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz`` — scheduler stats."""
+        return self._request("GET", "/healthz")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /jobs`` — every known job, submission order."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """``POST /jobs`` — submit a request document.
+
+        The returned job dict carries ``created_job`` (False when the
+        submission deduped onto an in-flight or completed job).
+        """
+        return self._request("POST", "/jobs", payload=request)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/<id>`` — one job's current state (+ results)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.1) -> dict[str, Any]:
+        """Poll until the job is terminal; returns its final dict.
+
+        Raises :class:`~repro.errors.ServiceError` on deadline — the
+        job keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job.get("state") in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id[:12]} not finished within {timeout:g}s "
+                    f"(state {job.get('state')!r})"
+                )
+            time.sleep(poll)
+
+    def events(self, job_id: str, *, timeout: float = 300.0):
+        """``GET /jobs/<id>/events`` — yield NDJSON progress events.
+
+        Streams until the server sends the terminal ``job`` event;
+        yields each event as a dict.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                self._decode(response, response.read())
+                raise ServiceError(f"HTTP {response.status} on event stream")
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        except OSError as exc:
+            raise ServiceError(
+                f"event stream to {self.host}:{self.port} failed: {exc}"
+            ) from None
+        finally:
+            connection.close()

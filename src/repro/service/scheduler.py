@@ -1,0 +1,257 @@
+"""The service scheduler: many concurrent jobs over one shared executor
+substrate.
+
+One :class:`Scheduler` owns the long-lived resources a daemon
+amortizes across requests:
+
+* a shared :class:`~repro.pipeline.executor.WorkerPool` — ready plan
+  nodes from *every* running job shard across the same worker
+  processes, so concurrency is bounded by ``workers`` regardless of
+  how many jobs are in flight, and a crashed worker is rebuilt once
+  (generation-guarded) rather than per-job;
+* a shared :class:`~repro.pipeline.executor.FailureMemo` — an artifact
+  that failed deterministically in one job fails fast in every later
+  job that plans the same content address, instead of recomputing the
+  same crash;
+* the store **serve lock** (held for the scheduler's lifetime, with a
+  ``serve.json`` identity record) so destructive maintenance like
+  ``repro artifacts gc`` refuses to run under a live daemon.
+
+Each job gets its *own* :class:`~repro.pipeline.executor.Pipeline`
+over a fresh :class:`~repro.pipeline.store.ArtifactStore` on the
+shared cache root: per-job manifests merge under the store's file
+lock, content addressing dedupes artifacts across jobs on disk, and
+run-report checkpointing is disabled (the job registry is the ledger —
+many concurrent jobs would clobber one ``run-report.json``).
+
+Job-level concurrency is bounded by ``max_running`` runner threads;
+submissions beyond the registry's queue limit are rejected with
+backpressure (see :class:`~repro.service.jobs.JobRegistry`).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from collections.abc import Mapping
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError, ServiceError
+from ..pipeline import (
+    ArtifactStore,
+    FailureMemo,
+    Pipeline,
+    RetryPolicy,
+    WorkerPool,
+)
+from .jobs import Job, JobRegistry, JobSpec, JobState
+
+__all__ = ["Scheduler"]
+
+logger = logging.getLogger(__name__)
+
+#: Environment knobs (see ``docs/SERVICE.md``): worker processes per
+#: scheduler and the queued-job bound, read by the CLI when the
+#: corresponding flags are not given.
+WORKERS_ENV = "REPRO_SERVE_WORKERS"
+QUEUE_ENV = "REPRO_SERVE_QUEUE"
+
+
+class Scheduler:
+    """Validates, queues, dedupes and runs service jobs.
+
+    Parameters
+    ----------
+    cache_dir:
+        The shared artifact store root.  ``None`` runs memory-only
+        (tests): artifacts are not shared across jobs and no serve
+        lock is taken.
+    workers:
+        Worker processes the shared pool shards node computations
+        over; 1 runs every job's nodes inline on its runner thread.
+    max_running:
+        Jobs executing concurrently (runner threads).
+    queue_limit:
+        Bound on *queued* jobs before submissions get backpressure.
+    retries / node_timeout:
+        Per-node fault tolerance for every job (see ``docs/FAULTS.md``).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None,
+        *,
+        workers: int = 1,
+        max_running: int = 2,
+        queue_limit: int = 8,
+        retries: int = 3,
+        node_timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if max_running < 1:
+            raise ConfigurationError("max_running must be >= 1")
+        if retries < 1:
+            raise ConfigurationError("retries must be >= 1")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.workers = workers
+        self.retry = RetryPolicy(max_attempts=retries)
+        self.node_timeout = node_timeout
+        self.registry = JobRegistry(queue_limit=queue_limit)
+        self.memo = FailureMemo()
+        self.pool = WorkerPool(workers) if workers > 1 else None
+        self._runners = ThreadPoolExecutor(
+            max_workers=max_running, thread_name_prefix="repro-serve-job"
+        )
+        self._store = ArtifactStore(self.cache_dir)
+        self._started = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, *, address: str | None = None) -> None:
+        """Take the serve lock and announce this scheduler's identity.
+
+        Fails fast (single non-blocking attempt) when another daemon
+        already holds the cache directory — two servers on one store
+        would fight over gc coordination and double-compute jobs.
+        """
+        if self._started:
+            return
+        if self._store.root is not None:
+            try:
+                self._store.serve_lock.acquire(timeout=0)
+            except Exception as exc:
+                info = self._store.read_serve_info() or {}
+                holder = f" (held by serve pid {info['pid']})" if "pid" in info else ""
+                raise ServiceError(
+                    f"cache {self._store.root} already served{holder}: {exc}"
+                ) from None
+            self.announce(address)
+        self._started = True
+
+    def announce(self, address: str | None) -> None:
+        """(Re)write ``serve.json`` — called again once the HTTP front
+        end knows its bound address."""
+        if self._store.root is None or not self._store.serve_lock.locked:
+            return
+        info: dict[str, Any] = {
+            "pid": os.getpid(),
+            "started": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+            "workers": self.workers,
+        }
+        if address is not None:
+            info["address"] = address
+        self._store.write_serve_info(info)
+
+    def close(self) -> None:
+        """Stop runners and workers, release the serve lock."""
+        if self._closed:
+            return
+        self._closed = True
+        self._runners.shutdown(wait=True, cancel_futures=True)
+        if self.pool is not None:
+            self.pool.shutdown()
+        if self._store.root is not None and self._store.serve_lock.locked:
+            self._store.clear_serve_info()
+            self._store.serve_lock.release()
+
+    def __enter__(self) -> "Scheduler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: Mapping[str, Any]) -> tuple[Job, bool]:
+        """Validate and register a request; returns ``(job, created)``.
+
+        Raises :class:`~repro.errors.ConfigurationError` (bad request),
+        :class:`~repro.errors.QueueFull` (backpressure) or
+        :class:`~repro.errors.ServiceError` (scheduler closed).
+        """
+        if self._closed:
+            raise ServiceError("scheduler is shut down")
+        spec = JobSpec.from_request(request)
+        prior = self.registry.peek(spec.content_key())
+        job, created = self.registry.submit(spec)
+        if created:
+            if prior is not None and prior.state is JobState.FAILED:
+                # A requeued failed job deserves a fresh attempt: drop
+                # its digests from the shared fail-fast memo, or the new
+                # run would be stillborn on the stale verdict.
+                for event in prior.events:
+                    digest = event.get("digest")
+                    if event.get("status") == "failed" and digest:
+                        self.memo.forget(digest)
+            self._runners.submit(self._run_job, job)
+        return job, created
+
+    # -- execution -------------------------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started = time.time()
+        try:
+            pipeline = Pipeline(
+                job.spec.pipeline_config(),
+                ArtifactStore(self.cache_dir),
+                jobs=self.workers,
+                retry=self.retry,
+                node_timeout=self.node_timeout,
+                memo=self.memo,
+                pool=self.pool,
+                on_event=job.events.append,
+                checkpoint=False,
+            )
+            plan = pipeline.plan(list(job.spec.targets))
+            report = pipeline.execute(plan)
+            for target in job.spec.targets:
+                if target not in report.values:
+                    continue
+                value = report.values[target]
+                result: dict[str, Any] = {"digest": plan.nodes[target].digest}
+                rendered = getattr(value, "rendered", None)
+                if isinstance(rendered, str):
+                    result["rendered"] = rendered
+                note = getattr(value, "paper_note", None)
+                if isinstance(note, str) and note:
+                    result["paper_note"] = note
+                job.results[target] = result
+            missing = [t for t in job.spec.targets if t not in job.results]
+            if missing:
+                causes = "; ".join(f.summary() for f in report.failures)
+                job.error = (
+                    f"{len(missing)} target(s) failed "
+                    f"({', '.join(missing)}): {causes or 'upstream artifact failed'}"
+                )
+                job.state = JobState.FAILED
+            else:
+                job.state = JobState.DONE
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            logger.exception("job %s crashed", job.key[:12])
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+        finally:
+            job.finished = time.time()
+            # A terminal marker event unblocks streamers promptly.
+            job.events.append({"event": "job", "id": job.key,
+                               "state": job.state.value, "error": job.error})
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "jobs": self.registry.counts(),
+            "workers": self.workers,
+            "queue_limit": self.registry.queue_limit,
+            "known_failures": len(self.memo),
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+        }

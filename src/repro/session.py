@@ -30,6 +30,12 @@ The plan is inspectable before execution (:meth:`Session.plan`), and
 results come back keyed by the job handles that :meth:`Session.submit`
 returned.  See ``docs/API.md`` for the lifecycle walk-through.
 
+The same dedupe-by-content principle extends up the stack: the
+analysis service (:mod:`repro.service`, ``docs/SERVICE.md``) keys
+whole *service jobs* by request content, so concurrent identical
+requests share one computation exactly as duplicate session jobs
+share one engine invocation here.
+
 Every routing decision preserves bit-exactness: the batched, vectorized
 and reference engines produce identical
 :class:`~repro.engine.results.SimulationResult` objects for the

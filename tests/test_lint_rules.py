@@ -140,6 +140,22 @@ FIXTURES = {
         "def with_cache(cache, value):\n"
         "    return {**cache, 'value': value}\n",
     ),
+    "W303": (
+        "service/handler.py",
+        "import time\n"
+        "async def poll(job, path):\n"
+        "    time.sleep(0.1)\n"
+        "    body = path.read_text()\n"
+        "    with open(path) as fp:\n"
+        "        extra = fp.read()\n"
+        "    return body + extra\n",
+        "import asyncio\n"
+        "def _read(path):\n"
+        "    return path.read_text()\n"
+        "async def poll(job, path):\n"
+        "    await asyncio.sleep(0.1)\n"
+        "    return await asyncio.to_thread(_read, path)\n",
+    ),
     "P401": (
         "pipeline/ledger.py",
         "def flush(store, manifest):\n"
@@ -188,7 +204,7 @@ class TestRuleFixtures:
 class TestScopedRulesStayInScope:
     """A scoped rule's bad fixture is clean outside the rule's scope."""
 
-    @pytest.mark.parametrize("rule_id", ["D102", "D104", "W302", "P401"])
+    @pytest.mark.parametrize("rule_id", ["D102", "D104", "W302", "W303", "P401"])
     def test_scope_miss(self, tmp_path, rule_id):
         _, bad, _ = FIXTURES[rule_id]
         findings = run_fixture(tmp_path, "elsewhere.py", bad)
@@ -198,6 +214,40 @@ class TestScopedRulesStayInScope:
         _, bad, _ = FIXTURES["S202"]
         findings = run_fixture(tmp_path, "models.py", bad)
         assert [f for f in findings if f.rule == "S202"] == []
+
+
+class TestW303Semantics:
+    def test_sync_helper_nested_in_async_is_clean(self, tmp_path):
+        # The fix W303 recommends — hoist blocking work into a sync
+        # function and to_thread it — must itself be clean, even when
+        # the helper is nested inside the coroutine.
+        source = (
+            "import asyncio\n"
+            "async def handler(path):\n"
+            "    def read():\n"
+            "        with open(path) as fp:\n"
+            "            return fp.read()\n"
+            "    return await asyncio.to_thread(read)\n"
+        )
+        findings = run_fixture(tmp_path, "service/h.py", source)
+        assert [f for f in findings if f.rule == "W303"] == []
+
+    def test_w303_findings_are_baselinable(self, tmp_path):
+        from repro.analysis.lint import (
+            filter_baselined,
+            load_baseline,
+            write_baseline,
+        )
+
+        relpath, bad, _ = FIXTURES["W303"]
+        findings = run_fixture(tmp_path, relpath, bad)
+        assert findings
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, findings)
+        kept, absorbed = filter_baselined(
+            lint_paths([tmp_path]), load_baseline(baseline_path)
+        )
+        assert kept == [] and absorbed == len(findings)
 
 
 class TestRuleEdgeCases:
