@@ -1,0 +1,80 @@
+"""Ingest-layer benchmarks: perf-script parse throughput and the
+adversarial generator sweep.
+
+``test_ingest_throughput`` streams a synthetic multi-megabyte
+``perf script -F brstack`` dump (seeded, regenerated per session)
+through :func:`repro.ingest.ingest_perf` into a chunked v2 trace — the
+full conversion cost a real-hardware capture pays once.  The source
+size in MiB lands in ``extra_info`` so MB/s can be read off any
+snapshot.  ``test_adversarial_suite_sweep`` materializes the whole
+``adversarial`` suite (eight generated kernels, VM-executed and
+output-verified) at benchmark scale — the cold cost of
+``repro run all --suite adversarial``'s workload root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.ingest import ingest_perf
+from repro.trace.io import TraceReader
+from repro.workload_spec import adversarial_suite
+
+#: brstack entries per sample line in the synthetic dump.
+ENTRIES_PER_LINE = 16
+
+#: Sample lines in the synthetic dump (~9 MiB of text at scale 1.0).
+LINES = int(6_000 * BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def perf_dump(tmp_path_factory) -> Path:
+    """A synthetic ``perf script -F brstack`` dump, seeded and reusable."""
+    rng = np.random.default_rng(1812)
+    path = tmp_path_factory.mktemp("ingest") / "synthetic.perf.txt"
+    pcs = 0x400000 + 8 * rng.integers(0, 4096, size=(LINES, ENTRIES_PER_LINE))
+    taken = rng.random((LINES, ENTRIES_PER_LINE)) < 0.6
+    with path.open("w") as handle:
+        for row, mask in zip(pcs, taken):
+            entries = " ".join(
+                f"0x{pc:x}/0x{pc + 64:x}/{'P' if t else 'MN'}/-/-/3/COND"
+                for pc, t in zip(row, mask)
+            )
+            handle.write(f"bench 4242 101.5: branches:u: {entries}\n")
+    return path
+
+
+def test_ingest_throughput(benchmark, perf_dump, tmp_path):
+    out = tmp_path / "synthetic.rbt"
+
+    def convert():
+        return ingest_perf(perf_dump, out)
+
+    report = benchmark(convert)
+    assert report.records == LINES * ENTRIES_PER_LINE
+    assert report.skipped_lines == 0
+    with TraceReader(out) as reader:
+        assert len(reader) == report.records
+    benchmark.extra_info.update(
+        source_mib=round(perf_dump.stat().st_size / 2**20, 3),
+        records=report.records,
+    )
+
+
+def test_adversarial_suite_sweep(benchmark):
+    suite = adversarial_suite(max(0.15, 0.3 * BENCH_SCALE))
+
+    def materialize_all():
+        return [member.materialize() for member in suite.members]
+
+    traces = benchmark(materialize_all)
+    assert len(traces) == 8
+    assert all(len(trace) > 0 for trace in traces)
+    benchmark.extra_info.update(
+        members=len(suite.members),
+        total_records=int(sum(len(t) for t in traces)),
+    )

@@ -44,7 +44,7 @@ SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 #: until a new snapshot is committed.
 QUICK_SELECT = (
     "engine_throughput or sweep_throughput or kernels_run_all or materialize"
-    " or chaos_overhead or serve_warm"
+    " or chaos_overhead or serve_warm or ingest_throughput or adversarial_suite_sweep"
 )
 
 

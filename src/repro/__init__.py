@@ -119,13 +119,16 @@ from .spec import (
 )
 from .workload_spec import (
     ConcatSpec,
+    GenKernelSpec,
     KernelSpec,
+    PerfLbrSpec,
     PopulationBranch,
     PopulationSpec,
     Spec95InputSpec,
     SuiteSpec,
     TraceFileSpec,
     WorkloadSpec,
+    adversarial_suite,
     kernel_suite,
     load_suite,
     named_suite,
@@ -249,6 +252,8 @@ __all__ = [
     "PopulationSpec",
     "PopulationBranch",
     "KernelSpec",
+    "GenKernelSpec",
+    "PerfLbrSpec",
     "TraceFileSpec",
     "ConcatSpec",
     "SuiteSpec",
@@ -257,6 +262,7 @@ __all__ = [
     "workload_spec_from_json",
     "spec95_suite",
     "kernel_suite",
+    "adversarial_suite",
     "named_suite",
     "load_suite",
     # session

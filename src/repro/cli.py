@@ -63,6 +63,7 @@ from .pipeline import RetryPolicy
 from .spec import PredictorSpec, spec_class, spec_from_json, spec_kinds
 from .workload_spec import (
     NAMED_SUITES,
+    GenKernelSpec,
     SuiteSpec,
     load_suite,
     model_spec_kinds,
@@ -71,6 +72,7 @@ from .workload_spec import (
     workload_spec_class,
     workload_spec_kinds,
 )
+from .workloads.generator import PATTERNS as GEN_PATTERNS
 
 __all__ = ["main", "build_parser"]
 
@@ -318,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     trace_info.add_argument("path", help="trace file (.rbt binary or text format)")
+    trace_info.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="machine-readable output (one JSON object, sorted keys)",
+    )
     trace_convert = trace_sub.add_parser(
         "convert",
         help="convert a trace file between formats (v1 <-> chunked v2, zlib)",
@@ -349,6 +357,123 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="records per chunk (default 1<<20; must be a multiple of 8)",
+    )
+
+    ingest = sub.add_parser(
+        "ingest", help="convert externally captured branch traces to RBT"
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+    ingest_perf = ingest_sub.add_parser(
+        "perf",
+        help=(
+            "parse `perf script -F brstack` output (or plain FROM => TO "
+            "branch lines) into a chunked RBT v2 file, streaming — "
+            "constant memory on multi-GB inputs (see docs/INGEST.md)"
+        ),
+    )
+    ingest_perf.add_argument("input", help="perf script text dump")
+    ingest_perf.add_argument(
+        "-o", "--output", required=True, help="destination .rbt file"
+    )
+    ingest_perf.add_argument(
+        "--event", default=None, help="keep only this perf event (e.g. branches)"
+    )
+    ingest_perf.add_argument(
+        "--pid", type=int, default=None, help="keep only this process id"
+    )
+    ingest_perf.add_argument(
+        "--cond-only",
+        action="store_true",
+        help="drop branch-typed entries that are not conditional (save_type captures)",
+    )
+    ingest_perf.add_argument(
+        "--compress", action="store_true", help="zlib-compress the chunk payloads"
+    )
+    ingest_perf.add_argument(
+        "--chunk-len",
+        type=int,
+        default=None,
+        help="records per chunk (default 1<<20; must be a multiple of 8)",
+    )
+    ingest_perf.add_argument(
+        "--name", default="", help="trace name to store (default: input stem)"
+    )
+    ingest_perf.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the ingest report as JSON (sorted keys)",
+    )
+
+    gen = sub.add_parser(
+        "gen-kernel",
+        help=(
+            "generate a parametric VM kernel (branch count, unroll, nest "
+            "depth, jump pattern, per-branch rate targets), run it and "
+            "report — or emit its assembly/spec/trace"
+        ),
+    )
+    gen.add_argument("--branches", type=int, default=4, help="logical branches (default 4)")
+    gen.add_argument(
+        "--iters", type=int, default=256, help="executions per branch site (default 256)"
+    )
+    gen.add_argument(
+        "-n", "--unroll", type=int, default=1, help="body unroll factor (default 1)"
+    )
+    gen.add_argument("--depth", type=int, default=1, help="loop-nest depth 1-3 (default 1)")
+    gen.add_argument(
+        "--pattern",
+        choices=GEN_PATTERNS,
+        default="seq",
+        help="physical block layout (default seq)",
+    )
+    gen.add_argument(
+        "--align",
+        type=int,
+        default=0,
+        help="0 or 2-12: align branch blocks to 2**align-byte PCs (aliasing stress)",
+    )
+    gen.add_argument(
+        "--taken-rate",
+        dest="taken_rates",
+        type=float,
+        action="append",
+        metavar="RATE",
+        help="per-branch taken-rate target; repeatable, cycled (default 0.5)",
+    )
+    gen.add_argument(
+        "--transition-rate",
+        dest="transition_rates",
+        type=float,
+        action="append",
+        metavar="RATE",
+        help="per-branch transition-rate target; repeatable, cycled (default 0.5)",
+    )
+    gen.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    gen.add_argument("--alias", default="", help="workload label (default derived)")
+    gen.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the branch trace to this .rbt file (chunked v2)",
+    )
+    gen.add_argument(
+        "--compress", action="store_true", help="zlib-compress the written trace"
+    )
+    gen.add_argument(
+        "--asm", action="store_true", help="print the generated assembly and exit"
+    )
+    gen.add_argument(
+        "--spec",
+        dest="emit_spec",
+        action="store_true",
+        help="print the equivalent gen-kernel workload spec JSON and exit",
+    )
+    gen.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print the run report as JSON (sorted keys)",
     )
     return parser
 
@@ -631,6 +756,8 @@ def _run_workloads() -> int:
 
 
 def _run_trace_info(args: argparse.Namespace) -> int:
+    import json as json_module
+
     import numpy as np
 
     from .classify.classes import NUM_CLASSES, rate_classes
@@ -642,38 +769,42 @@ def _run_trace_info(args: argparse.Namespace) -> int:
             is_binary = fp.read(4) == MAGIC
     except OSError as exc:
         raise ConfigurationError(f"cannot read trace file {args.path!r}: {exc}") from None
+    # One flat JSON-compatible dict describes the file in both output
+    # modes; format-specific keys are None where they do not apply.
+    info: dict = {
+        "path": args.path,
+        "compressed": False,
+        "chunks": None,
+        "chunk_len": None,
+        "fingerprint": None,
+    }
     if is_binary:
         # Binary files are streamed chunk-at-a-time: `trace info` on a
         # multi-GB v2 file runs in O(chunk) memory.
         with TraceReader(args.path) as reader:
             stats = TraceStats.from_chunks(iter(reader))
-            name, records = reader.name, len(reader)
-            print(f"trace:            {name or '<unnamed>'} ({args.path})")
-            print(f"format:           rbt v{reader.version}"
-                  + (" (zlib chunks)" if reader.compressed else ""))
+            info["name"] = reader.name
+            info["records"] = len(reader)
+            info["format"] = f"rbt-v{reader.version}"
+            info["compressed"] = reader.compressed
             if reader.version >= 2:
-                print(f"chunks:           {reader.num_chunks:,} "
-                      f"(nominal {reader.chunk_len:,} records each)")
-                assert reader.fingerprint is not None
-                print(f"fingerprint:      {reader.fingerprint[:16]}…")
+                info["chunks"] = reader.num_chunks
+                info["chunk_len"] = reader.chunk_len
+                info["fingerprint"] = reader.fingerprint
     else:
         trace = load_trace(args.path)
         stats = TraceStats.from_trace(trace)
-        name, records = trace.name, len(trace)
-        print(f"trace:            {name or '<unnamed>'} ({args.path})")
-        print("format:           text")
+        info["name"] = trace.name
+        info["records"] = len(trace)
+        info["format"] = "text"
     total = stats.total_dynamic
-    print(f"records:          {records:,}")
-    print(f"static branches:  {len(stats):,}")
-    print(f"taken rate:       {(stats.taken.sum() / total if total else 0.0):.4%}")
+    info["static_branches"] = len(stats)
+    info["taken_rate"] = float(stats.taken.sum() / total) if total else 0.0
+    info["transition_rate"] = 0.0
+    histograms: dict[str, list[float]] = {}
     if len(stats):
         weights = stats.dynamic_weights()
-        transition = float((stats.transition_rates() * weights).sum())
-        print(f"transition rate:  {transition:.4%}  (dynamic-weighted per-branch)")
-        print()
-        print("class histogram (% of dynamic branches):")
-        header = "  class      " + "".join(f"{c:>7d}" for c in range(NUM_CLASSES))
-        print(header)
+        info["transition_rate"] = float((stats.transition_rates() * weights).sum())
         for label, rates in (
             ("taken", stats.taken_rates()),
             ("transition", stats.transition_rates()),
@@ -681,10 +812,136 @@ def _run_trace_info(args: argparse.Namespace) -> int:
             shares = np.bincount(
                 rate_classes(rates), weights=weights, minlength=NUM_CLASSES
             )
+            histograms[label] = [float(share) for share in shares]
+    info["class_histogram"] = histograms
+
+    if args.as_json:
+        print(json_module.dumps(info, sort_keys=True, indent=2))
+        return 0
+
+    print(f"trace:            {info['name'] or '<unnamed>'} ({args.path})")
+    if info["format"] == "text":
+        print("format:           text")
+    else:
+        version = info["format"].removeprefix("rbt-v")
+        print(f"format:           rbt v{version}"
+              + (" (zlib chunks)" if info["compressed"] else ""))
+        if info["chunks"] is not None:
+            print(f"chunks:           {info['chunks']:,} "
+                  f"(nominal {info['chunk_len']:,} records each)")
+            print(f"fingerprint:      {info['fingerprint'][:16]}…")
+    print(f"records:          {info['records']:,}")
+    print(f"static branches:  {info['static_branches']:,}")
+    print(f"taken rate:       {info['taken_rate']:.4%}")
+    if histograms:
+        print(f"transition rate:  {info['transition_rate']:.4%}  "
+              "(dynamic-weighted per-branch)")
+        print()
+        print("class histogram (% of dynamic branches):")
+        header = "  class      " + "".join(f"{c:>7d}" for c in range(NUM_CLASSES))
+        print(header)
+        for label in ("taken", "transition"):
             print(
                 f"  {label:10s} "
-                + "".join(f"{share * 100:7.2f}" for share in shares)
+                + "".join(f"{share * 100:7.2f}" for share in histograms[label])
             )
+    return 0
+
+
+def _run_ingest_perf(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .ingest.perf import ingest_perf
+    from .trace.io import DEFAULT_CHUNK_LEN
+
+    chunk_len = DEFAULT_CHUNK_LEN if args.chunk_len is None else args.chunk_len
+    if chunk_len < 1 or chunk_len % 8:
+        raise ConfigurationError(
+            f"--chunk-len must be a positive multiple of 8, got {chunk_len}"
+        )
+    report = ingest_perf(
+        args.input,
+        args.output,
+        event=args.event,
+        pid=args.pid,
+        cond_only=args.cond_only,
+        compress=args.compress,
+        chunk_len=chunk_len,
+        name=args.name,
+    )
+    if args.as_json:
+        payload = report.to_dict()
+        payload["output"] = args.output
+        print(json_module.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(f"ingested {args.input} -> {args.output}")
+    print(f"  {report.summary()}")
+    print(f"  source sha256: {report.sha256}")
+    return 0
+
+
+def _run_gen_kernel(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    spec = GenKernelSpec(
+        branches=args.branches,
+        iters=args.iters,
+        unroll=args.unroll,
+        depth=args.depth,
+        pattern=args.pattern,
+        align=args.align,
+        taken_rates=tuple(args.taken_rates or (0.5,)),
+        transition_rates=tuple(args.transition_rates or (0.5,)),
+        seed=args.seed,
+        alias=args.alias,
+    )
+    if args.emit_spec:
+        print(spec.to_json(indent=2, sort_keys=True))
+        return 0
+    kernel = spec._kernel()
+    if args.asm:
+        print(kernel.source, end="")
+        return 0
+
+    from .trace.stats import TraceStats
+    from .workloads.generator import run_generated
+
+    result = run_generated(kernel, name=spec.label)
+    assert result.trace is not None
+    trace = result.trace.with_name(spec.label)
+    stats = TraceStats.from_trace(trace)
+    report = {
+        "workload": spec.label,
+        "content_key": spec.content_key(),
+        "sites": kernel.sites,
+        "iterations": kernel.iterations,
+        "trips": list(kernel.trips),
+        "instructions": len(kernel.program),
+        "steps": result.steps,
+        "records": len(trace),
+        "static_branches": len(stats),
+        "branch_pcs": [hex(pc) for pc in kernel.branch_pcs],
+        "output": None,
+    }
+    if args.output:
+        from .trace.io import write_chunks
+
+        write_chunks(
+            [trace], args.output, name=spec.label, compress=args.compress
+        )
+        report["output"] = args.output
+    if args.as_json:
+        print(json_module.dumps(report, sort_keys=True, indent=2))
+        return 0
+    print(f"generated {spec.label} (key {report['content_key'][:16]}…)")
+    print(
+        f"  {report['sites']} branch site(s) x {report['iterations']} iteration(s), "
+        f"trips {report['trips']}, {report['instructions']} instruction(s)"
+    )
+    print(f"  ran {report['steps']:,} step(s); trace: {report['records']:,} record(s), "
+          f"{report['static_branches']} static branch(es)")
+    if report["output"]:
+        print(f"  trace written to {report['output']}")
     return 0
 
 
@@ -1016,6 +1273,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.trace_command == "convert":
                 return _run_trace_convert(args)
             return _run_trace_info(args)
+
+        if args.command == "ingest":
+            return _run_ingest_perf(args)
+
+        if args.command == "gen-kernel":
+            return _run_gen_kernel(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

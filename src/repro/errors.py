@@ -44,6 +44,14 @@ class ConfigurationError(ReproError):
     """An experiment or component received invalid configuration."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative spec document is invalid — most prominently, it
+    names a kind that is not in the registry.  Subclasses
+    :class:`ConfigurationError` so existing broad handlers keep
+    working; catch this one to treat bad spec *documents* (user input)
+    apart from bad in-process configuration."""
+
+
 class ClassificationError(ReproError):
     """Branch classification was asked for an undefined class or rate."""
 

@@ -1,0 +1,25 @@
+"""Real-hardware trace ingestion.
+
+Adapters that turn branch traces captured on real machines into the
+repo's native chunked RBT v2 format (:mod:`repro.trace.io`), so the
+streaming engines and the whole declarative stack can run on genuine
+program behaviour instead of synthetic populations.  The first (and so
+far only) adapter is :mod:`repro.ingest.perf` — ``perf script``
+LBR branch-stack output — surfaced as the
+:class:`~repro.workload_spec.PerfLbrSpec` workload kind and the
+``repro ingest perf`` CLI verb.  See ``docs/INGEST.md``.
+"""
+
+from .perf import (
+    IngestReport,
+    PerfParser,
+    ingest_perf,
+    parse_perf_trace,
+)
+
+__all__ = [
+    "IngestReport",
+    "PerfParser",
+    "ingest_perf",
+    "parse_perf_trace",
+]

@@ -51,7 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, ClassVar
 
-from .errors import ConfigurationError, TraceError
+from .errors import ConfigurationError, SpecError, TraceError
 from .trace.stream import Trace, concat as concat_traces
 
 __all__ = [
@@ -61,7 +61,9 @@ __all__ = [
     "PopulationSpec",
     "PopulationBranch",
     "KernelSpec",
+    "GenKernelSpec",
     "TraceFileSpec",
+    "PerfLbrSpec",
     "ConcatSpec",
     "FilterSpec",
     "SuiteSpec",
@@ -85,6 +87,7 @@ __all__ = [
     "NAMED_SUITES",
     "spec95_suite",
     "kernel_suite",
+    "adversarial_suite",
     "named_suite",
     "resolve_workload",
     "load_suite",
@@ -200,7 +203,10 @@ def _decode(value: Any) -> Any:
             return workload_spec_from_dict(value)
         if kind in _MODEL_REGISTRY:
             return model_spec_from_dict(value)
-        raise ConfigurationError(f"unknown workload/model kind {kind!r}")
+        raise SpecError(
+            f"unknown workload/model kind {kind!r}; registered workload kinds: "
+            f"{sorted(_REGISTRY)}, model kinds: {sorted(_MODEL_REGISTRY)}"
+        )
     if isinstance(value, (list, tuple)):
         return tuple(_decode(v) for v in value)
     return value
@@ -451,7 +457,7 @@ def model_spec_from_dict(data: Mapping[str, Any]) -> ModelSpec:
     try:
         cls = _MODEL_REGISTRY[kind]
     except KeyError:
-        raise ConfigurationError(
+        raise SpecError(
             f"unknown model spec kind {kind!r}; available: {sorted(_MODEL_REGISTRY)}"
         ) from None
     return cls.from_dict(data)
@@ -764,6 +770,89 @@ class KernelSpec(WorkloadSpec):
         return result.trace.with_name(self.label)
 
 
+def _coerce_rates(value: Any, what: str) -> tuple[float, ...]:
+    """A rate list field: scalars become one-element tuples, every
+    entry must be a probability."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        value = (value,)
+    if not isinstance(value, (tuple, list)) or not value:
+        raise ConfigurationError(f"{what} must be a number or a non-empty list")
+    return tuple(_coerce_probability(v, what) for v in value)
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class GenKernelSpec(WorkloadSpec):
+    """A parametrically *generated* mini-ISA kernel.
+
+    Declarative front end for
+    :func:`repro.workloads.generator.generate_kernel`: branch topology
+    (``branches`` × ``unroll`` sites, ``depth``-deep loop nest,
+    ``pattern``/``align`` physical layout) and per-branch
+    taken/transition-rate targets, deterministic in ``seed``.  The VM
+    executes the program and verifies its architectural output, so the
+    trace is earned the same way :class:`KernelSpec` traces are — but
+    every site's transition-rate class is known *by construction*,
+    which is what the ``adversarial`` suite leans on.
+    """
+
+    kind: ClassVar[str] = "gen-kernel"
+
+    branches: int = 4
+    iters: int = 256
+    unroll: int = 1
+    depth: int = 1
+    pattern: str = "seq"
+    align: int = 0
+    taken_rates: tuple[float, ...] = (0.5,)
+    transition_rates: tuple[float, ...] = (0.5,)
+    seed: int = 0
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        for name in ("branches", "iters", "unroll", "depth", "align", "seed"):
+            object.__setattr__(self, name, _coerce_int(getattr(self, name), name))
+        object.__setattr__(self, "taken_rates", _coerce_rates(self.taken_rates, "taken_rates"))
+        object.__setattr__(
+            self, "transition_rates", _coerce_rates(self.transition_rates, "transition_rates")
+        )
+        # Validate topology eagerly (a bad spec should fail at
+        # construction, not at materialize time); building the program
+        # text for a handful of sites is cheap.
+        self._kernel()
+
+    def _kernel(self):
+        from .workloads.generator import generate_kernel
+
+        return generate_kernel(
+            branches=self.branches,
+            iters=self.iters,
+            unroll=self.unroll,
+            depth=self.depth,
+            pattern=self.pattern,
+            align=self.align,
+            taken_rates=self.taken_rates,
+            transition_rates=self.transition_rates,
+            seed=self.seed,
+        )
+
+    @property
+    def label(self) -> str:
+        if self.alias:
+            return self.alias
+        return (
+            f"gen/b{self.branches}x{self.unroll}d{self.depth}"
+            f"-{self.pattern}-s{self.seed}"
+        )
+
+    def materialize(self) -> Trace:
+        from .workloads.generator import run_generated
+
+        result = run_generated(self._kernel(), name=self.label)
+        assert result.trace is not None
+        return result.trace.with_name(self.label)
+
+
 # -- on-disk trace files ------------------------------------------------------
 
 
@@ -845,6 +934,84 @@ class TraceFileSpec(WorkloadSpec):
             return None
         self._check_pin()
         return TraceReader(self.path)
+
+
+@_register
+@dataclass(frozen=True, slots=True)
+class PerfLbrSpec(WorkloadSpec):
+    """A real-hardware branch trace: ``perf script`` LBR output.
+
+    Materializing parses the text dump through
+    :mod:`repro.ingest.perf` and yields the per-PC taken/not-taken
+    stream.  The content key fingerprints the *source bytes* plus the
+    filter parameters (event/pid/cond_only) — same capture filtered
+    differently is a different workload.  ``sha256`` may pin the
+    expected source fingerprint (:meth:`of` does).
+
+    This spec parses in memory; for multi-GB captures convert once with
+    ``repro ingest perf`` and point a :class:`TraceFileSpec` at the
+    resulting ``.rbt``, which streams out-of-core.
+    """
+
+    kind: ClassVar[str] = "perf-lbr"
+
+    path: str = ""
+    sha256: str = ""
+    event: str = ""
+    pid: int | None = None
+    cond_only: bool = False
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ConfigurationError("perf-lbr spec needs a path")
+        object.__setattr__(self, "path", str(self.path))
+        if self.pid is not None:
+            pid = _coerce_int(self.pid, "pid")
+            if pid < 0:
+                raise ConfigurationError(f"pid must be >= 0, got {pid}")
+            object.__setattr__(self, "pid", pid)
+
+    @classmethod
+    def of(cls, path: str | Path, **kwargs: Any) -> "PerfLbrSpec":
+        """Spec for ``path`` with the current file content pinned."""
+        return cls(path=str(path), sha256=file_fingerprint(path), **kwargs)
+
+    @property
+    def label(self) -> str:
+        return self.alias or Path(self.path).stem
+
+    def _key_fields(self) -> dict[str, Any]:
+        # Source bytes + filters are the workload; the path is not.
+        return {
+            "sha256": self.sha256 or file_fingerprint(self.path),
+            "event": self.event,
+            "pid": self.pid,
+            "cond_only": self.cond_only,
+            "label": self.label,
+        }
+
+    def materialize(self) -> Trace:
+        from .ingest.perf import parse_perf_trace
+
+        trace, report = parse_perf_trace(
+            self.path,
+            event=self.event or None,
+            pid=self.pid,
+            cond_only=self.cond_only,
+            name=self.label,
+        )
+        if self.sha256 and report.sha256 != self.sha256:
+            raise TraceError(
+                f"perf trace {self.path} changed: fingerprint "
+                f"{report.sha256[:12]} does not match pinned {self.sha256[:12]}"
+            )
+        if not len(trace):
+            raise TraceError(
+                f"no branch records parsed from {self.path!r} "
+                f"({report.summary()}); is this really `perf script` output?"
+            )
+        return trace
 
 
 # -- composers ----------------------------------------------------------------
@@ -1033,7 +1200,7 @@ def workload_spec_class(kind: str) -> type[WorkloadSpec]:
     try:
         return _REGISTRY[kind]
     except KeyError:
-        raise ConfigurationError(
+        raise SpecError(
             f"unknown workload kind {kind!r}; available: {sorted(_REGISTRY)}"
         ) from None
 
@@ -1106,11 +1273,71 @@ def kernel_suite(scale: float = 1.0, *, seed: int = 0) -> SuiteSpec:
     return SuiteSpec(name="kernels", members=members)
 
 
+def adversarial_suite(scale: float = 1.0, *, seed: int = 0) -> SuiteSpec:
+    """Generated kernels that sit on the classifier's weak spots.
+
+    Members pair near-boundary transition-rate targets (the class
+    edges at 5% and 95%, and the hard 50% middle) with topology
+    stressors — an aliasing-heavy aligned layout, a physically
+    scrambled ``jumpy`` body, and a deep loop nest.  Because
+    :class:`GenKernelSpec` streams are exact by construction, each
+    member's intended class is known, making boundary behaviour
+    measurable instead of anecdotal.
+    """
+    if not scale > 0:
+        raise ConfigurationError("scale must be positive")
+    iters = max(64, int(512 * scale))
+
+    def gen(alias: str, **kwargs: Any) -> GenKernelSpec:
+        return GenKernelSpec(iters=iters, seed=seed, alias=alias, **kwargs)
+
+    members = (
+        # Transition rates a hair inside/outside the lowest class edge
+        # (class 0 is [0, 5%), class 1 starts at 5%).
+        gen("adv/edge-lo-in", branches=4, taken_rates=0.5, transition_rates=0.049),
+        gen("adv/edge-lo-out", branches=4, taken_rates=0.5, transition_rates=0.051),
+        # ... and the highest edge (class 10 starts at 95%).
+        gen("adv/edge-hi-in", branches=4, taken_rates=0.5, transition_rates=0.951),
+        gen("adv/edge-hi-out", branches=4, taken_rates=0.5, transition_rates=0.949),
+        # The 50% middle: maximally unpredictable for 2-bit counters.
+        gen("adv/mid", branches=4, taken_rates=0.5, transition_rates=0.5),
+        # Aliasing stress: every branch PC congruent mod 2**10, so all
+        # sites collide in predictor tables indexed by < 8 PC bits.
+        gen(
+            "adv/alias",
+            branches=8,
+            align=10,
+            taken_rates=0.6,
+            transition_rates=(0.3, 0.7),
+        ),
+        # Physically scrambled block layout + unrolled body.
+        gen(
+            "adv/jumpy",
+            branches=6,
+            unroll=2,
+            pattern="jumpy",
+            taken_rates=(0.3, 0.8),
+            transition_rates=(0.15, 0.55, 0.85),
+        ),
+        # Deep loop nest: biased back-edges wrap the measured sites.
+        gen(
+            "adv/deep",
+            branches=3,
+            unroll=2,
+            depth=3,
+            taken_rates=0.7,
+            transition_rates=0.35,
+        ),
+    )
+    return SuiteSpec(name="adversarial", members=members)
+
+
 #: Named suite constructors, each ``fn(scale) -> SuiteSpec``.
 NAMED_SUITES: dict[str, Callable[[float], SuiteSpec]] = {
     "spec95": lambda scale: spec95_suite("primary", scale),
     "spec95-all": lambda scale: spec95_suite("all", scale),
     "kernels": kernel_suite,
+    "adversarial": adversarial_suite,
 }
 
 

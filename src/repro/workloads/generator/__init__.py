@@ -1,0 +1,22 @@
+"""Parametric workload generation.
+
+:mod:`repro.workloads.generator.genkernel` manufactures mini-ISA
+programs with dial-a-topology branch behaviour — the counterpart to the
+hand-written kernels in :mod:`repro.workloads.programs` — surfaced as
+the :class:`~repro.workload_spec.GenKernelSpec` workload kind, the
+``repro gen-kernel`` CLI verb, and the named ``adversarial`` suite.
+"""
+
+from .genkernel import (
+    PATTERNS,
+    GeneratedKernel,
+    generate_kernel,
+    run_generated,
+)
+
+__all__ = [
+    "PATTERNS",
+    "GeneratedKernel",
+    "generate_kernel",
+    "run_generated",
+]

@@ -1,0 +1,345 @@
+"""Parametric VM-kernel generator (``repro gen-kernel``).
+
+Where :mod:`repro.workloads.programs.kernels` ships a fixed set of
+hand-written algorithms, this module *manufactures* mini-ISA programs
+with controllable branch topology, in the spirit of perf-tools'
+``gen-kernel.py``: you dial in the number of static branches, an unroll
+factor, loop-nest depth, the physical jump pattern, PC alignment, and
+per-branch taken/transition-rate targets, and get back a deterministic
+``vm`` program whose measured branch behaviour hits those targets.
+
+The trick that makes the targets exact rather than statistical-ish:
+each static branch site reads its outcome for the current iteration
+from a *pre-generated table* in VM data memory (one two-state Markov
+stream per site, :class:`~repro.workloads.synthetic.models.MarkovModel`
+seeded from ``seed``), and branches on the loaded bit.  The trace
+recorded at that PC is therefore *exactly* the generated stream — the
+transition-rate class of every site is known by construction, which is
+what makes the ``adversarial`` suite's near-boundary members meaningful.
+
+The program still computes something real: every site counts its taken
+executions in memory and the epilogue ``OUT``-dumps the counters, so
+:func:`run_generated` verifies architectural output against the table
+sums exactly like ``run_kernel`` verifies a sort.  Topology knobs:
+
+``branches`` × ``unroll``
+    static branch sites in the innermost body (``unroll`` replicas per
+    logical branch, each with its own independent stream at the same
+    rate targets).
+``depth``
+    loop-nest depth (1–3); outer levels add their own biased back-edge
+    branches around the body.
+``pattern``
+    ``"seq"`` lays sites out in execution order; ``"jumpy"`` scrambles
+    their physical placement (execution order unchanged, chained by
+    ``JMP``), so branch PCs are non-monotonic in time.
+``align``
+    0, or 2–12: pad (with never-executed filler) so every site's block
+    starts on a ``2**align``-byte PC boundary — all measured PCs become
+    congruent modulo ``2**align``, colliding in any predictor table
+    indexed by fewer than ``align - 2`` PC bits (aliasing stress).
+
+See ``docs/INGEST.md`` for the full parameter reference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...isa.assembler import PC_STRIDE, Program, assemble
+from ...vm.machine import RunResult, run_traced
+from ..synthetic.models import MarkovModel
+
+__all__ = [
+    "GeneratedKernel",
+    "PATTERNS",
+    "generate_kernel",
+    "run_generated",
+]
+
+#: Supported physical layout patterns.
+PATTERNS = ("seq", "jumpy")
+
+#: Branch-counter array base in data memory (one word per site).
+_CNT_BASE = 0
+
+#: Outcome tables start here; sites must fit below it.
+_TBL_BASE = 256
+
+#: Hard ceiling on emitted instructions (alignment padding included).
+_MAX_INSTRUCTIONS = 200_000
+
+_MAX_SITES = _TBL_BASE
+_MAX_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class GeneratedKernel:
+    """One generated program plus everything needed to run and verify it."""
+
+    source: str
+    program: Program
+    memory_image: dict[int, Sequence[int]]
+    #: Expected ``OUT`` stream: per-site taken counts, site order.
+    expected_output: list[int]
+    #: PC of each site's measured branch instruction, site order.
+    branch_pcs: list[int]
+    #: Per-site outcome tables (sites × iterations, uint8).
+    tables: np.ndarray
+    #: Innermost trip counts per nest level, outermost first.
+    trips: tuple[int, ...]
+    #: Echo of the generation parameters (JSON-friendly).
+    params: dict = field(default_factory=dict)
+
+    @property
+    def iterations(self) -> int:
+        """Dynamic executions of every measured site."""
+        return int(self.tables.shape[1])
+
+    @property
+    def sites(self) -> int:
+        """Static branch sites (``branches * unroll``)."""
+        return int(self.tables.shape[0])
+
+
+class _Emitter:
+    """Accumulates assembly text while tracking instruction slots.
+
+    Labels and comments are free; :meth:`pad_to` inserts never-executed
+    ``HALT`` filler so the *next* instruction lands on an aligned PC.
+    """
+
+    def __init__(self, base_address: int) -> None:
+        self.base = base_address
+        self.lines: list[str] = []
+        self.count = 0
+
+    def emit(self, text: str) -> int:
+        """Emit one instruction; returns its slot index."""
+        index = self.count
+        self.lines.append(f"    {text}")
+        self.count += 1
+        if self.count > _MAX_INSTRUCTIONS:
+            raise ConfigurationError(
+                f"generated program exceeds {_MAX_INSTRUCTIONS} instructions; "
+                "reduce branches/unroll/align"
+            )
+        return index
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def comment(self, text: str) -> None:
+        self.lines.append(f"    ; {text}")
+
+    def pad_to(self, align: int) -> None:
+        """Pad with unreachable filler until the next PC is a multiple
+        of ``2**align`` bytes."""
+        if align == 0:
+            return
+        boundary = 1 << align
+        while (self.base + self.count * PC_STRIDE) % boundary:
+            self.emit("HALT            ; filler (never executed)")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _as_rate_tuple(value, name: str) -> tuple[float, ...]:
+    if isinstance(value, (int, float)):
+        value = (float(value),)
+    rates = tuple(float(v) for v in value)
+    if not rates:
+        raise ConfigurationError(f"{name} must not be empty")
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"{name} entries must be in [0, 1], got {rate}")
+    return rates
+
+
+def _plan_trips(iters: int, depth: int) -> tuple[int, ...]:
+    """Factor ``iters`` dynamic executions into ``depth`` nested trip
+    counts (outermost first).  The innermost count is rounded up, so the
+    realized iteration total is ``>= iters`` (and equals the product)."""
+    if depth == 1:
+        return (iters,)
+    outer = max(2, round(iters ** (1.0 / depth)))
+    inner = -(-iters // outer ** (depth - 1))  # ceil
+    return (outer,) * (depth - 1) + (max(1, inner),)
+
+
+def generate_kernel(
+    *,
+    branches: int = 4,
+    iters: int = 256,
+    unroll: int = 1,
+    depth: int = 1,
+    pattern: str = "seq",
+    align: int = 0,
+    taken_rates: Sequence[float] | float = (0.5,),
+    transition_rates: Sequence[float] | float = (0.5,),
+    seed: int = 0,
+    base_address: int = 0x1000,
+) -> GeneratedKernel:
+    """Build one parametric kernel.  Deterministic in all arguments."""
+    if branches < 1:
+        raise ConfigurationError(f"branches must be >= 1, got {branches}")
+    if unroll < 1:
+        raise ConfigurationError(f"unroll must be >= 1, got {unroll}")
+    if iters < 1:
+        raise ConfigurationError(f"iters must be >= 1, got {iters}")
+    if not 1 <= depth <= _MAX_DEPTH:
+        raise ConfigurationError(f"depth must be in [1, {_MAX_DEPTH}], got {depth}")
+    if pattern not in PATTERNS:
+        raise ConfigurationError(
+            f"unknown pattern {pattern!r}; choose from {', '.join(PATTERNS)}"
+        )
+    if align != 0 and not 2 <= align <= 12:
+        raise ConfigurationError(f"align must be 0 or in [2, 12], got {align}")
+    if base_address % PC_STRIDE:
+        raise ConfigurationError(f"base_address must be a multiple of {PC_STRIDE}")
+    sites = branches * unroll
+    if sites > _MAX_SITES:
+        raise ConfigurationError(
+            f"branches * unroll must be <= {_MAX_SITES}, got {sites}"
+        )
+    t_rates = _as_rate_tuple(taken_rates, "taken_rates")
+    x_rates = _as_rate_tuple(transition_rates, "transition_rates")
+
+    trips = _plan_trips(iters, depth)
+    period = 1
+    for t in trips:
+        period *= t
+
+    # One independent Markov stream per site; replicas of the same
+    # logical branch share rate targets but not realizations.
+    rng = np.random.default_rng(seed)
+    tables = np.empty((sites, period), dtype=np.uint8)
+    for s in range(sites):
+        b = s % branches
+        model = MarkovModel.for_rates(t_rates[b % len(t_rates)], x_rates[b % len(x_rates)])
+        tables[s] = model.generate(period, rng)
+
+    # Physical placement: execution order is always site 0..sites-1;
+    # "jumpy" permutes where the blocks live in the address space.
+    if pattern == "jumpy" and sites > 1:
+        physical = [int(v) for v in rng.permutation(sites)]
+    else:
+        physical = list(range(sites))
+
+    emit = _Emitter(base_address)
+    emit.comment(
+        f"gen-kernel: branches={branches} unroll={unroll} depth={depth} "
+        f"pattern={pattern} align={align} seed={seed}"
+    )
+
+    # Prologue: loop limits (outermost level 1 in r11..), table index.
+    for level, trip in enumerate(trips, start=1):
+        emit.emit(f"LI   r{10 + level}, {trip}   ; level-{level} trip count")
+    emit.emit("LI   r3, 0          ; table index")
+    for level in range(1, depth + 1):
+        emit.emit(f"LI   r{7 + level}, 0")
+        if level < depth:
+            emit.label(f"loop{level}")
+            emit.emit(f"LI   r{7 + level + 1}, 0")
+    emit.label(f"loop{depth}")
+
+    # Body: enter the chain at site 0 wherever it physically lives.
+    emit.emit("JMP  blk_0")
+    branch_slots: dict[int, int] = {}
+    for s in physical:
+        emit.pad_to(align)
+        emit.label(f"blk_{s}")
+        emit.emit(f"LD   r4, r3, {_TBL_BASE + s * period}")
+        branch_slots[s] = emit.emit(f"BNE  r4, r0, take_{s}")
+        emit.emit(f"JMP  next_{s}")
+        emit.label(f"take_{s}")
+        emit.emit(f"LD   r5, r0, {_CNT_BASE + s}")
+        emit.emit("ADDI r5, r5, 1")
+        emit.emit(f"ST   r5, r0, {_CNT_BASE + s}")
+        emit.label(f"next_{s}")
+        target = f"blk_{s + 1}" if s + 1 < sites else "body_end"
+        emit.emit(f"JMP  {target}")
+    emit.label("body_end")
+
+    # Loop tails, innermost out.
+    emit.emit("ADDI r3, r3, 1")
+    for level in range(depth, 0, -1):
+        emit.emit(f"ADDI r{7 + level}, r{7 + level}, 1")
+        emit.emit(f"BLT  r{7 + level}, r{10 + level}, loop{level}")
+
+    # Epilogue: dump per-site taken counters.
+    emit.emit(f"LI   r1, {sites}")
+    emit.emit("LI   r6, 0")
+    emit.label("dump")
+    emit.emit("BGE  r6, r1, done")
+    emit.emit(f"LD   r7, r6, {_CNT_BASE}")
+    emit.emit("OUT  r7")
+    emit.emit("ADDI r6, r6, 1")
+    emit.emit("JMP  dump")
+    emit.label("done")
+    emit.emit("HALT")
+
+    source = emit.source()
+    program = assemble(source, base_address=base_address)
+    memory_image: dict[int, Sequence[int]] = {_CNT_BASE: [0] * sites}
+    for s in range(sites):
+        memory_image[_TBL_BASE + s * period] = tables[s].tolist()
+    return GeneratedKernel(
+        source=source,
+        program=program,
+        memory_image=memory_image,
+        expected_output=[int(tables[s].sum()) for s in range(sites)],
+        branch_pcs=[program.pc_of(branch_slots[s]) for s in range(sites)],
+        tables=tables,
+        trips=trips,
+        params={
+            "branches": branches,
+            "iters": iters,
+            "unroll": unroll,
+            "depth": depth,
+            "pattern": pattern,
+            "align": align,
+            "taken_rates": list(t_rates),
+            "transition_rates": list(x_rates),
+            "seed": seed,
+            "base_address": base_address,
+            "sites": sites,
+            "period": period,
+        },
+    )
+
+
+def run_generated(
+    kernel: GeneratedKernel,
+    *,
+    max_steps: int = 50_000_000,
+    name: str = "",
+    verify: bool = True,
+) -> RunResult:
+    """Execute a generated kernel, verify its output, return the run.
+
+    The architectural check (``OUT`` counters == table sums) anchors the
+    trace to program correctness exactly like ``run_kernel`` does for
+    the hand-written kernels.
+    """
+    sites = kernel.sites
+    period = kernel.iterations
+    words = _TBL_BASE + sites * period
+    memory_words = 1 << max(16, (words - 1).bit_length())
+    result = run_traced(
+        kernel.program,
+        memory_image=kernel.memory_image,
+        max_steps=max_steps,
+        memory_words=memory_words,
+        name=name or "vm/gen-kernel",
+    )
+    if verify and result.output != kernel.expected_output:
+        raise ConfigurationError(
+            "generated kernel produced wrong taken counts - VM or generator bug"
+        )
+    return result

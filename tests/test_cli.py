@@ -271,6 +271,34 @@ class TestWorkloadCommands:
         assert "kernels" in out
         assert "markov" in out
 
+    def test_workloads_covers_every_registered_kind(self, capsys):
+        # Registry completeness: a kind that registers without showing
+        # up in `repro workloads` (and a suite missing from the list)
+        # fails here, so new kinds can't be forgotten.
+        from repro.workload_spec import (
+            NAMED_SUITES,
+            model_spec_kinds,
+            workload_spec_kinds,
+        )
+
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for kind in workload_spec_kinds():
+            assert f"{kind}:" in out, kind
+        for kind in model_spec_kinds():
+            assert kind in out, kind
+        for suite in NAMED_SUITES:
+            assert suite in out, suite
+
+    def test_unknown_kind_lists_registered_kinds(self, capsys):
+        from repro.errors import SpecError
+        from repro.workload_spec import workload_spec_from_dict, workload_spec_kinds
+
+        with pytest.raises(SpecError) as excinfo:
+            workload_spec_from_dict({"kind": "made-up"})
+        for kind in workload_spec_kinds():
+            assert kind in str(excinfo.value)
+
     def test_simulate_workload_inline(self, capsys):
         assert main([
             "simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
@@ -358,6 +386,53 @@ class TestTraceInfo:
         assert "rbt v2 (zlib chunks)" in out
         assert "chunks:           4" in out
         assert "fingerprint:" in out
+
+    @pytest.mark.parametrize(
+        "save_kwargs,expected_format",
+        [
+            ({"version": 1}, "rbt-v1"),
+            ({"version": 2}, "rbt-v2"),
+            ({"version": 2, "compress": True, "chunk_len": 32}, "rbt-v2"),
+        ],
+    )
+    def test_trace_info_json(self, capsys, tmp_path, save_kwargs, expected_format):
+        import json
+
+        from repro.trace import Trace, save_trace
+
+        path = tmp_path / "t.rbt"
+        save_trace(
+            Trace([16, 16, 20, 16, 20] * 20, [1, 0, 1, 1, 1] * 20, name="demo"),
+            path,
+            **save_kwargs,
+        )
+        assert main(["trace", "info", str(path), "--json"]) == 0
+        out = capsys.readouterr().out
+        info = json.loads(out)
+        # Machine-readable contract: sorted keys, stable shape.
+        assert out.strip() == json.dumps(info, sort_keys=True, indent=2)
+        assert info["format"] == expected_format
+        assert info["name"] == "demo"
+        assert info["records"] == 100
+        assert info["static_branches"] == 2
+        assert info["compressed"] == bool(save_kwargs.get("compress"))
+        assert 0.0 <= info["taken_rate"] <= 1.0
+        assert set(info["class_histogram"]) == {"taken", "transition"}
+        if save_kwargs["version"] == 2:
+            assert info["chunks"] >= 1
+            assert len(info["fingerprint"]) == 64
+        else:
+            assert info["fingerprint"] is None
+
+    def test_trace_info_json_text_format(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.txt"
+        path.write_text("# trace demo\n0x10 1\n0x10 0\n0x14 1\n")
+        assert main(["trace", "info", str(path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["format"] == "text"
+        assert info["records"] == 3
 
 
 class TestTraceConvert:
@@ -482,3 +557,147 @@ class TestSpecCommands:
              "doom", "--no-cache"]
         ) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestIngestCommand:
+    FIXTURE = str(
+        __import__("pathlib").Path(__file__).resolve().parent
+        / "fixtures" / "perf" / "clean.txt"
+    )
+
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["ingest", "perf", "in.txt", "-o", "out.rbt", "--event", "branches",
+             "--pid", "42", "--cond-only", "--compress", "--chunk-len", "64",
+             "--json"]
+        )
+        assert args.command == "ingest"
+        assert args.ingest_command == "perf"
+        assert args.input == "in.txt"
+        assert args.output == "out.rbt"
+        assert args.event == "branches"
+        assert args.pid == 42
+        assert args.cond_only and args.compress and args.as_json
+        assert args.chunk_len == 64
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest"])  # subcommand required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "perf", "in.txt"])  # -o required
+
+    def test_ingest_then_info_then_simulate(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "clean.rbt"
+        assert main(
+            ["ingest", "perf", self.FIXTURE, "-o", str(out), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["records"] > 0
+        assert report["skipped_lines"] == 0
+        assert report["output"] == str(out)
+        assert len(report["sha256"]) == 64
+
+        assert main(["trace", "info", str(out), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["records"] == report["records"]
+        assert info["format"] == "rbt-v2"
+
+        assert main(
+            ["simulate", "--spec", '{"kind": "bimodal", "entries": 64}',
+             "--workload", f"file:{out}", "--no-cache"]
+        ) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ingest_human_report(self, capsys, tmp_path):
+        out = tmp_path / "clean.rbt"
+        assert main(["ingest", "perf", self.FIXTURE, "-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "ingested" in text
+        assert "source sha256" in text
+
+    def test_ingest_bad_chunk_len(self, capsys, tmp_path):
+        assert main(
+            ["ingest", "perf", self.FIXTURE, "-o", str(tmp_path / "x.rbt"),
+             "--chunk-len", "7"]
+        ) == 1
+        assert "multiple of 8" in capsys.readouterr().err
+
+    def test_ingest_garbage_only_fails(self, capsys, tmp_path):
+        src = tmp_path / "junk.txt"
+        src.write_text("not perf at all\n")
+        assert main(["ingest", "perf", str(src), "-o", str(tmp_path / "x.rbt")]) == 1
+        assert "no branch records" in capsys.readouterr().err
+
+
+class TestGenKernelCommand:
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["gen-kernel", "--branches", "6", "--iters", "128", "-n", "2",
+             "--depth", "2", "--pattern", "jumpy", "--align", "8",
+             "--taken-rate", "0.3", "--taken-rate", "0.7",
+             "--transition-rate", "0.049", "--seed", "9", "--alias", "adv/x",
+             "-o", "t.rbt", "--json"]
+        )
+        assert args.command == "gen-kernel"
+        assert args.branches == 6 and args.unroll == 2 and args.depth == 2
+        assert args.pattern == "jumpy" and args.align == 8
+        assert args.taken_rates == [0.3, 0.7]
+        assert args.transition_rates == [0.049]
+        assert args.output == "t.rbt" and args.as_json
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gen-kernel", "--pattern", "spaghetti"])
+
+    def test_run_report_json_and_trace_output(self, capsys, tmp_path):
+        import json
+
+        from repro.trace.io import TraceReader
+
+        out = tmp_path / "gen.rbt"
+        assert main(
+            ["gen-kernel", "--branches", "3", "--iters", "64",
+             "--transition-rate", "0.2", "-o", str(out), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sites"] == 3
+        assert report["iterations"] >= 64
+        assert report["records"] > 0
+        assert len(report["branch_pcs"]) == 3
+        assert report["output"] == str(out)
+        with TraceReader(out) as reader:
+            assert len(reader) == report["records"]
+
+    def test_asm_emission(self, capsys):
+        assert main(["gen-kernel", "--branches", "2", "--iters", "16", "--asm"]) == 0
+        asm = capsys.readouterr().out
+        assert "BNE" in asm and "HALT" in asm and "blk_0" in asm
+
+    def test_spec_emission_round_trips(self, capsys):
+        import json
+
+        from repro.workload_spec import GenKernelSpec, workload_spec_from_dict
+
+        assert main(
+            ["gen-kernel", "--branches", "2", "--iters", "16", "--seed", "4",
+             "--spec"]
+        ) == 0
+        spec = workload_spec_from_dict(json.loads(capsys.readouterr().out))
+        assert isinstance(spec, GenKernelSpec)
+        assert spec.branches == 2 and spec.iters == 16 and spec.seed == 4
+
+    def test_human_report(self, capsys):
+        assert main(["gen-kernel", "--branches", "2", "--iters", "32"]) == 0
+        text = capsys.readouterr().out
+        assert "generated gen/" in text
+        assert "branch site(s)" in text
+
+    def test_invalid_parameters_exit_with_error(self, capsys):
+        assert main(["gen-kernel", "--depth", "9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_adversarial_suite_simulates(self, capsys):
+        assert main(
+            ["simulate", "--spec", '{"kind": "bimodal", "entries": 256}',
+             "--suite", "adversarial", "--scale", "0.15", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adv/" in out

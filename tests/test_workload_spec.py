@@ -1,6 +1,7 @@
 """Tests for the declarative workload spec layer (repro/workload_spec.py)."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,10 +13,12 @@ from repro.workload_spec import (
     BiasModelSpec,
     ConcatSpec,
     FilterSpec,
+    GenKernelSpec,
     KernelSpec,
     LoopModelSpec,
     MarkovModelSpec,
     PatternModelSpec,
+    PerfLbrSpec,
     PhasedModelSpec,
     PopulationBranch,
     PopulationSpec,
@@ -56,6 +59,10 @@ def small_population(name="mix", seed=3, length=600) -> PopulationSpec:
     )
 
 
+#: Committed `perf script` capture fixtures (tests/fixtures/perf/).
+PERF_FIXTURES = Path(__file__).resolve().parent / "fixtures" / "perf"
+
+
 #: One representative spec per registered workload kind.  The
 #: determinism suite (test_workload_determinism.py) pins that this
 #: catalogue covers every kind, so a new kind without a probe fails.
@@ -68,7 +75,11 @@ def spec_catalogue(tmp_path):
         "spec95": Spec95InputSpec.of("gcc/expr.i", scale=0.01),
         "population": small_population(),
         "kernel": kernel,
+        "gen-kernel": GenKernelSpec(
+            branches=3, iters=80, unroll=2, pattern="jumpy", transition_rates=(0.2, 0.7)
+        ),
         "trace-file": TraceFileSpec.of(path),
+        "perf-lbr": PerfLbrSpec.of(str(PERF_FIXTURES / "clean.txt"), event="branches"),
         "concat": ConcatSpec(parts=(kernel, KernelSpec(name="rle_compress", size=64)), name="combo"),
         "filter": FilterSpec(source=kernel, op="window", args=(5, 40)),
         "suite": SuiteSpec(name="mini", members=(kernel, small_population())),
