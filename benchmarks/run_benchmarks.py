@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import re
 import subprocess
 import sys
@@ -45,6 +46,7 @@ SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 QUICK_SELECT = (
     "engine_throughput or sweep_throughput or kernels_run_all or materialize"
     " or chaos_overhead or serve_warm or ingest_throughput or adversarial_suite_sweep"
+    " or backend_throughput or parallel_sweep_scaling"
 )
 
 
@@ -133,6 +135,16 @@ def main(argv: list[str] | None = None) -> int:
         "scale": os.environ.get("REPRO_BENCH_SCALE"),
         "inputs": os.environ.get("REPRO_BENCH_INPUTS"),
         "select": args.select,
+        # Snapshots are only comparable on similar hosts; record what
+        # produced this one (BENCH_0008 onward).  The parallel-sweep
+        # scaling numbers in particular are meaningless without
+        # cpu_count next to them.
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
     }
     # Drop the raw per-round timing arrays (thousands of floats per
     # benchmark, megabytes per snapshot); the summary statistics

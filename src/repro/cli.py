@@ -17,6 +17,8 @@
     python -m repro simulate --spec S [opts]  # simulate a JSON spec
     python -m repro simulate --spec S --workload W   # …on one workload
     python -m repro simulate --spec S --workload file:big.rbt  # streams
+    python -m repro simulate --spec S --backend cext # compiled kernels
+    python -m repro backends                  # backend availability
     python -m repro trace info FILE           # inspect a saved trace
     python -m repro trace convert IN OUT --v2 --compress  # re-chunk/zlib
     python -m repro lint [PATHS]              # invariant static analysis
@@ -173,7 +175,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the session execution plan before the results",
     )
+    sim.add_argument(
+        "--backend",
+        choices=("auto", "python", "numba", "cext"),
+        default=None,
+        help=(
+            "compiled-kernel backend for reference-path families "
+            "(default: $REPRO_ENGINE_BACKEND or auto; see "
+            "docs/PERFORMANCE.md)"
+        ),
+    )
+    sim.add_argument(
+        "--workers",
+        default=None,
+        metavar="N",
+        help=(
+            "intra-trace workers for streamed sweep workloads: a count "
+            "or 'auto' (default: $REPRO_SWEEP_WORKERS or 1)"
+        ),
+    )
     _add_context_options(sim)
+
+    sub.add_parser(
+        "backends",
+        help=(
+            "report compiled-kernel backend availability and what "
+            "'auto' resolves to (see docs/PERFORMANCE.md)"
+        ),
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -1073,10 +1102,42 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _parse_workers(value: str | None) -> int | str | None:
+    """Parse ``--workers``: None passes through, 'auto' stays symbolic,
+    anything else must be a positive integer."""
+    if value is None or value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"--workers must be a positive integer or 'auto', got {value!r}"
+        ) from None
+
+
+def _run_backends() -> int:
+    import os
+
+    from .engine.backend import backend_availability, resolve_backend
+
+    availability = backend_availability()
+    for name, (usable, reason) in availability.items():
+        status = "available" if usable else "unavailable"
+        print(f"{name:8s} {status:12s} {reason}")
+    env = os.environ.get("REPRO_ENGINE_BACKEND")
+    resolved = resolve_backend("auto")
+    print(f"{'auto':8s} {'->':12s} {resolved}")
+    if env:
+        print(f"REPRO_ENGINE_BACKEND={env} (the default when --backend is omitted)")
+    return 0
+
+
 def _run_simulate(args: argparse.Namespace) -> int:
     spec = _load_spec(args.spec)
     context = _context_from(args)
-    session = context.session()
+    session = context.session(
+        backend=args.backend, workers=_parse_workers(args.workers)
+    )
     if args.workload is not None:
         workload = resolve_workload(args.workload, scale=args.scale)
         # A suite simulates per member (mirroring the per-benchmark
@@ -1256,6 +1317,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         if args.command == "workloads":
             return _run_workloads()
+
+        if args.command == "backends":
+            return _run_backends()
 
         if args.command == "simulate":
             return _run_simulate(args)

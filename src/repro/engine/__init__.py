@@ -59,6 +59,14 @@ from .batched import (
     simulate_sweep,
     supports_batched,
 )
+from .backend import (
+    BACKENDS,
+    backend_availability,
+    compiled_stream,
+    resolve_backend,
+    supports_compiled,
+)
+from .parallel import resolve_workers, supports_parallel_sweep
 from .reference import simulate_reference
 from .results import BranchResult, SimulationResult
 from .scan import counter_step_table, segmented_automaton_scan, segmented_saturating_scan
@@ -86,6 +94,13 @@ __all__ = [
     "supports_vectorized",
     "supports_batched",
     "supports_stream_vectorized",
+    "BACKENDS",
+    "backend_availability",
+    "compiled_stream",
+    "resolve_backend",
+    "resolve_workers",
+    "supports_compiled",
+    "supports_parallel_sweep",
     "BatchedSweepResult",
     "SimulationResult",
     "BranchResult",
@@ -100,6 +115,7 @@ def simulate(
     trace: Trace,
     *,
     engine: str = "auto",
+    backend: str | None = None,
 ) -> SimulationResult:
     """Simulate a predictor over a trace.
 
@@ -111,15 +127,24 @@ def simulate(
     trace:
         Branch stream in program order.
     engine:
-        ``"auto"`` (vectorized when supported), ``"vectorized"``
-        (error if unsupported), ``"batched"`` (two-level family only;
-        single-predictor entry to the multi-config engine), or
-        ``"reference"``.
+        ``"auto"`` (vectorized when supported, compiled per-record
+        kernels for the YAGS/bi-mode/filter/DHLF families, reference
+        otherwise), ``"vectorized"`` (error if unsupported),
+        ``"batched"`` (two-level family only; single-predictor entry to
+        the multi-config engine), or ``"reference"``.
+    backend:
+        Compiled-kernel implementation for the reference-path families
+        (``python``/``numba``/``cext``/``auto``; see
+        :mod:`repro.engine.backend` and docs/PERFORMANCE.md).  Default:
+        ``REPRO_ENGINE_BACKEND``, else auto-detect.
     """
     predictor = build_predictor(predictor)
     if engine == "auto":
         if supports_vectorized(predictor):
             return simulate_vectorized(predictor, trace)
+        compiled = _simulate_compiled(predictor, trace, backend)
+        if compiled is not None:
+            return compiled
         return simulate_reference(predictor, trace)
     if engine == "vectorized":
         return simulate_vectorized(predictor, trace)
@@ -130,4 +155,31 @@ def simulate(
     raise ConfigurationError(
         f"unknown engine {engine!r}; expected 'auto', 'vectorized', "
         "'batched' or 'reference'"
+    )
+
+
+def _simulate_compiled(
+    predictor: BranchPredictor, trace: Trace, backend: str | None
+) -> SimulationResult | None:
+    """Whole-trace simulation through a compiled per-record kernel, or
+    None when the family has none (caller falls back to reference)."""
+    import numpy as np
+
+    from .backend import compiled_stream
+
+    stream = compiled_stream(predictor, backend)
+    if stream is None:
+        return None
+    predictions = stream.feed(trace.pcs, trace.outcomes)
+    unique_pcs, codes = np.unique(trace.pcs, return_inverse=True)
+    executions = np.bincount(codes, minlength=len(unique_pcs)).astype(np.int64)
+    miss_counts = np.bincount(
+        codes[predictions != trace.outcomes], minlength=len(unique_pcs)
+    ).astype(np.int64)
+    return SimulationResult(
+        unique_pcs,
+        executions,
+        miss_counts,
+        predictor_name=predictor.name,
+        trace_name=trace.name,
     )

@@ -1,0 +1,462 @@
+"""Intra-trace parallel execution of the batched sweep.
+
+The streaming sweep (:mod:`repro.engine.streaming`) is strictly
+sequential: chunk *i*'s history windows and counter scans need the
+carried state left by chunk *i - 1*.  This module breaks that chain by
+running chunks *speculatively* — every expensive per-chunk computation
+is reformulated as an **initial-state-independent summary**, so a
+worker pool can crunch chunks concurrently while a cheap serial pass
+stitches the summaries together in trace order:
+
+* **histories** — a chunk's effect on a shift register is the pair
+  ``(shift, pushed-bits)`` of :func:`repro.engine.scan.history_effect`,
+  and the carried bits enter a chunk's windows as an OR at a known
+  depth.  Workers compute in-chunk windows, depths and per-slot
+  effects; the serial pass ORs each chunk's carried registers in and
+  advances them by composition — no replay.
+* **counters** — a chunk's effect on a PHT entry is an element of the
+  clamp-function monoid (:func:`repro.engine.scan.segmented_monoid_scan`
+  returns interned function ids, no initial state required).  Workers
+  sort and scan; the serial pass evaluates ``values[id, carried]`` and
+  advances each touched entry by its segment's total composition.
+
+The pipeline has four stages per chunk — summarize (parallel), stitch
+histories (serial, in order), index + monoid-scan (parallel), evaluate
++ accumulate (serial, in order) — driven by a thread pool: the kernels
+are numpy-bound and release the GIL, so threads scale without
+serializing the state arrays through pickling.  Because every exchange
+is exact algebra and the two serial stages run in trace order, results
+are **bit-identical** to the sequential stream for every worker count
+and chunk split (pinned by ``tests/test_engine_parallel.py``).
+
+Worker count: the ``workers=`` argument, else ``REPRO_SWEEP_WORKERS``,
+else 1 (sequential; the pool is bypassed entirely).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import NamedTuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .batched import DEFAULT_MAX_CHUNK_ELEMENTS, _spec_of
+from .results import SimulationResult
+from .scan import (
+    _MAX_TABLED_STATE,
+    apply_history_effect,
+    clamp_monoid,
+    history_effect,
+    segmented_monoid_scan,
+    stable_key_order,
+)
+from .vectorized import (
+    _global_window,
+    _pht_indices,
+    _slot_groups,
+    _windows_in_groups,
+)
+
+__all__ = [
+    "resolve_workers",
+    "simulate_batched_stream_parallel",
+    "supports_parallel_sweep",
+]
+
+
+def resolve_workers(workers: int | str | None = None) -> int:
+    """The worker count to use: explicit argument, else the
+    ``REPRO_SWEEP_WORKERS`` environment variable, else 1 (sequential).
+    ``"auto"`` means one worker per CPU."""
+    if workers is None:
+        env = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
+        workers = env if env else 1
+    if workers == "auto":
+        return os.cpu_count() or 1
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"workers must be a positive integer or 'auto', got {workers!r}"
+        ) from None
+    if count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {count}")
+    return count
+
+
+def supports_parallel_sweep(predictors) -> bool:
+    """True when every predictor's counters fit the tabled clamp monoid
+    (all the paper's configurations do; exotic wide counters fall back
+    to the sequential stream)."""
+    try:
+        specs = [_spec_of(p) for p in predictors]
+    except ConfigurationError:
+        return False
+    return all((1 << s.counter_bits) - 1 <= _MAX_TABLED_STATE for s in specs)
+
+
+# -- stage payloads ------------------------------------------------------------
+
+
+class _GeometrySummary(NamedTuple):
+    """Init-independent per-address-history work of one chunk (phase A)."""
+
+    order: np.ndarray  # stable sort of steps by BHT slot
+    sorted_slots: np.ndarray
+    in_chunk: np.ndarray  # windows from in-chunk predecessors only
+    depth_shift: np.ndarray  # min(in-group depth, bits), sorted order
+    last: np.ndarray  # mask of each group's final element
+    shifts: np.ndarray  # per-group effect: min(group length, bits)
+    tails: np.ndarray  # per-group effect: packed trailing outcomes
+
+
+class _ChunkSummary(NamedTuple):
+    """Everything phase A produced for one chunk."""
+
+    global_in_chunk: np.ndarray | None
+    global_effect: tuple[int, int]
+    geometries: dict[int, _GeometrySummary]  # keyed by BHT entry count
+
+
+class _GroupScan(NamedTuple):
+    """One stacked monoid scan over several same-width configs (phase B)."""
+
+    group: list[int]  # unique-config slots in this stack
+    stride: int
+    order: np.ndarray
+    sorted_keys: np.ndarray
+    before_ids: np.ndarray
+    after_ids: np.ndarray
+    last: np.ndarray
+    max_state: int
+
+
+class _ChunkScan(NamedTuple):
+    """Everything phase B produced for one chunk."""
+
+    indices: list[np.ndarray]  # per unique config, original step order
+    scans: list[_GroupScan]
+
+
+class _SweepAccumulator:
+    """Per-PC execution and miss counts, chunk order (same layout as
+    :class:`repro.engine.streaming._StreamAccumulator`)."""
+
+    def __init__(self, num_configs: int) -> None:
+        from .streaming import _StreamAccumulator
+
+        self._inner = _StreamAccumulator(num_configs)
+
+    def add(self, pcs, missed_per_config) -> None:
+        self._inner.add(pcs, missed_per_config)
+
+    def columns(self):
+        return self._inner.columns()
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+class _ParallelSweepDriver:
+    """Shared geometry tables + carried state of one parallel sweep."""
+
+    def __init__(self, predictors, max_chunk_elements: int) -> None:
+        if max_chunk_elements < 1:
+            raise ConfigurationError("max_chunk_elements must be positive")
+        self.max_chunk_elements = max_chunk_elements
+        specs = [_spec_of(p) for p in predictors]
+        for s in specs:
+            if (1 << s.counter_bits) - 1 > _MAX_TABLED_STATE:
+                raise ConfigurationError(
+                    f"parallel sweep needs counters of <= "
+                    f"{_MAX_TABLED_STATE + 1} states; "
+                    f"{s.counter_bits}-bit counters fall back to workers=1"
+                )
+
+        # Carried history state, shared per geometry at the longest
+        # requested length (shorter configs mask the same windows down).
+        self.global_bits = max(
+            (s.history_bits for s in specs if s.history_kind == "global"), default=0
+        )
+        self.global_value = 0
+        bht_bits: dict[int, int] = {}
+        for s in specs:
+            if s.history_kind == "per-address" and s.history_bits > 0:
+                bht_bits[s.bht_entries] = max(
+                    bht_bits.get(s.bht_entries, 0), s.history_bits
+                )
+        self.bht_bits = bht_bits
+        self.bht_tables = {
+            entries: np.zeros(entries, dtype=np.int64) for entries in bht_bits
+        }
+
+        # Unique configurations (identical geometries share one PHT).
+        self.slot_of_spec: list[int] = []
+        self.unique: list = []
+        self.tables: list[np.ndarray] = []
+        slot_by_key: dict[tuple, int] = {}
+        for s in specs:
+            key = s.dedupe_key()
+            slot = slot_by_key.get(key)
+            if slot is None:
+                slot = len(self.unique)
+                slot_by_key[key] = slot
+                self.unique.append(s)
+                initial = 1 << (s.counter_bits - 1)
+                self.tables.append(
+                    np.full(1 << s.pht_index_bits, initial, dtype=np.uint8)
+                )
+            self.slot_of_spec.append(slot)
+
+    # -- phase A: init-independent summaries (runs on workers) ---------------
+
+    def summarize(self, pcs: np.ndarray, outcomes: np.ndarray) -> _ChunkSummary:
+        out_i64 = outcomes.astype(np.int64)
+        global_in_chunk = (
+            _global_window(out_i64, self.global_bits) if self.global_bits else None
+        )
+        geometries: dict[int, _GeometrySummary] = {}
+        for entries, bits in self.bht_bits.items():
+            slots = pcs & (entries - 1)
+            order, new_group, group_start_pos = _slot_groups(
+                slots, entries.bit_length() - 1
+            )
+            sorted_out = out_i64[order]
+            in_chunk = _windows_in_groups(sorted_out, group_start_pos, bits)
+            depth = np.arange(len(pcs)) - group_start_pos
+            last = np.empty(len(pcs), dtype=bool)
+            last[-1] = True
+            last[:-1] = new_group[1:]
+            mask = (1 << bits) - 1
+            geometries[entries] = _GeometrySummary(
+                order=order,
+                sorted_slots=slots[order],
+                in_chunk=in_chunk,
+                depth_shift=np.minimum(depth, bits),
+                last=last,
+                shifts=np.minimum(depth[last] + 1, bits),
+                tails=((in_chunk[last] << 1) | sorted_out[last]) & mask,
+            )
+        return _ChunkSummary(
+            global_in_chunk=global_in_chunk,
+            global_effect=history_effect(outcomes, self.global_bits),
+            geometries=geometries,
+        )
+
+    # -- serial stitch: carried registers enter, and advance ------------------
+
+    def stitch_histories(
+        self, summary: _ChunkSummary, n: int
+    ) -> tuple[np.ndarray | None, dict[int, np.ndarray]]:
+        """Full history windows of one chunk, in trace order; advances
+        the carried registers past it.  Serial and chunk-ordered."""
+        global_hist = summary.global_in_chunk
+        if global_hist is not None:
+            bits, mask = self.global_bits, (1 << self.global_bits) - 1
+            k = min(bits, n)
+            if k and self.global_value:
+                shifts = np.arange(k)
+                global_hist = global_hist.copy()
+                global_hist[:k] |= (self.global_value & (mask >> shifts)) << shifts
+            self.global_value = apply_history_effect(
+                self.global_value, summary.global_effect, bits
+            )
+        bht_hist: dict[int, np.ndarray] = {}
+        for entries, geo in summary.geometries.items():
+            bits = self.bht_bits[entries]
+            mask = (1 << bits) - 1
+            table = self.bht_tables[entries]
+            carried = table[geo.sorted_slots]
+            combined = geo.in_chunk | (
+                (carried & (mask >> geo.depth_shift)) << geo.depth_shift
+            )
+            table[geo.sorted_slots[geo.last]] = (
+                (carried[geo.last] << geo.shifts) | geo.tails
+            ) & mask
+            hist = np.empty(n, dtype=np.int64)
+            hist[geo.order] = combined
+            bht_hist[entries] = hist
+        return global_hist, bht_hist
+
+    # -- phase B: indices + monoid scans (runs on workers) --------------------
+
+    def scan(
+        self,
+        pcs: np.ndarray,
+        outcomes: np.ndarray,
+        global_hist: np.ndarray | None,
+        bht_hist: dict[int, np.ndarray],
+    ) -> _ChunkScan:
+        n = len(pcs)
+        indices: list[np.ndarray] = []
+        for s in self.unique:
+            if s.history_bits == 0:
+                hist = np.zeros(n, dtype=np.int64)
+            elif s.history_kind == "global":
+                hist = global_hist & ((1 << s.history_bits) - 1)
+            else:
+                hist = bht_hist[s.bht_entries] & ((1 << s.history_bits) - 1)
+            indices.append(
+                _pht_indices(
+                    pcs,
+                    hist,
+                    index_scheme=s.index_scheme,
+                    history_bits=s.history_bits,
+                    pht_index_bits=s.pht_index_bits,
+                )
+            )
+
+        scans: list[_GroupScan] = []
+        by_counter_bits: dict[int, list[int]] = {}
+        for slot, s in enumerate(self.unique):
+            by_counter_bits.setdefault(s.counter_bits, []).append(slot)
+        per_chunk = max(1, self.max_chunk_elements // n)
+        for counter_bits, slots in by_counter_bits.items():
+            max_state = (1 << counter_bits) - 1
+            for start in range(0, len(slots), per_chunk):
+                group = slots[start : start + per_chunk]
+                count = len(group)
+                stride = 1 << max(self.unique[slot].pht_index_bits for slot in group)
+                keys = np.empty(count * n, dtype=np.int64)
+                for i, slot in enumerate(group):
+                    keys[i * n : (i + 1) * n] = indices[slot] + i * stride
+                inputs = np.tile(outcomes, count)
+
+                order = stable_key_order(keys, (count * stride - 1).bit_length())
+                sorted_keys = keys[order]
+                starts = np.empty(count * n, dtype=bool)
+                starts[0] = True
+                starts[1:] = sorted_keys[1:] != sorted_keys[:-1]
+                before_ids, after_ids = segmented_monoid_scan(
+                    inputs[order], starts, max_state
+                )
+                last = np.empty(count * n, dtype=bool)
+                last[-1] = True
+                last[:-1] = starts[1:]
+                scans.append(
+                    _GroupScan(
+                        group=group,
+                        stride=stride,
+                        order=order,
+                        sorted_keys=sorted_keys,
+                        before_ids=before_ids,
+                        after_ids=after_ids,
+                        last=last,
+                        max_state=max_state,
+                    )
+                )
+        return _ChunkScan(indices=indices, scans=scans)
+
+    # -- serial evaluation: carried counters enter, and advance ---------------
+
+    def evaluate(self, scan: _ChunkScan, n: int) -> list[np.ndarray]:
+        """Per-spec predictions of one chunk; advances every touched
+        PHT entry by its segment's total composition.  Serial and
+        chunk-ordered."""
+        unique_predictions: list[np.ndarray | None] = [None] * len(self.unique)
+        for gs in scan.scans:
+            monoid = clamp_monoid(gs.max_state)
+            config_of = gs.sorted_keys // gs.stride
+            entry = gs.sorted_keys & (gs.stride - 1)
+            init = np.empty(len(gs.sorted_keys), dtype=np.uint8)
+            for i, slot in enumerate(gs.group):
+                mask = config_of == i
+                init[mask] = self.tables[slot][entry[mask]]
+            state_before = monoid.values[gs.before_ids, init.astype(np.int64)]
+            # Advance each touched entry past the chunk in one shot.
+            last = gs.last
+            final = monoid.values[gs.after_ids[last], init[last].astype(np.int64)]
+            last_config = config_of[last]
+            last_entry = entry[last]
+            for i, slot in enumerate(gs.group):
+                mask = last_config == i
+                self.tables[slot][last_entry[mask]] = final[mask]
+
+            threshold = (gs.max_state + 1) >> 1
+            stacked = np.empty(len(gs.sorted_keys), dtype=np.uint8)
+            stacked[gs.order] = (state_before >= threshold).astype(np.uint8)
+            for i, slot in enumerate(gs.group):
+                unique_predictions[slot] = stacked[i * n : (i + 1) * n]
+        return [unique_predictions[slot] for slot in self.slot_of_spec]
+
+
+def simulate_batched_stream_parallel(
+    predictors,
+    chunks,
+    *,
+    workers: int,
+    max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
+    trace_name: str | None = None,
+) -> list[SimulationResult]:
+    """Parallel counterpart of
+    :func:`repro.engine.streaming.simulate_batched_stream`.
+
+    Runs the four-stage speculative pipeline over the chunk iterator
+    with ``workers`` threads.  Bit-identical to the sequential stream
+    for any worker count; callers normally reach this through
+    ``simulate_batched_stream(..., workers=N)``.
+    """
+    from .streaming import _as_columns
+
+    predictors = list(predictors)
+    driver = _ParallelSweepDriver(predictors, max_chunk_elements)
+    accumulator = _SweepAccumulator(len(predictors))
+    name = trace_name
+
+    def finish(pcs, outcomes, scan):
+        predictions = driver.evaluate(scan, len(pcs))
+        accumulator.add(pcs, [p != outcomes for p in predictions])
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        summaries: deque = deque()  # (future A, pcs, outcomes)
+        scans: deque = deque()  # (future B, pcs, outcomes)
+        lookahead = 2 * workers + 2
+        chunk_iter = iter(chunks)
+        exhausted = False
+        while not exhausted or summaries or scans:
+            while not exhausted and len(summaries) + len(scans) < lookahead:
+                try:
+                    chunk = next(chunk_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pcs, outcomes, chunk_name = _as_columns(chunk)
+                if name is None and chunk_name:
+                    name = chunk_name
+                if len(pcs) == 0:
+                    continue
+                summaries.append(
+                    (pool.submit(driver.summarize, pcs, outcomes), pcs, outcomes)
+                )
+            if summaries:
+                future, pcs, outcomes = summaries.popleft()
+                global_hist, bht_hist = driver.stitch_histories(
+                    future.result(), len(pcs)
+                )
+                scans.append(
+                    (
+                        pool.submit(driver.scan, pcs, outcomes, global_hist, bht_hist),
+                        pcs,
+                        outcomes,
+                    )
+                )
+            # Drain completed scans in order; block only when nothing
+            # upstream is left to overlap with.
+            while scans and (scans[0][0].done() or not summaries):
+                future, pcs, outcomes = scans.popleft()
+                finish(pcs, outcomes, future.result())
+
+    pcs, executions, misses = accumulator.columns()
+    return [
+        SimulationResult(
+            pcs,
+            executions,
+            miss_counts,
+            predictor_name=predictor.name,
+            trace_name=name or "",
+        )
+        for predictor, miss_counts in zip(predictors, misses)
+    ]

@@ -461,14 +461,17 @@ def supports_stream_vectorized(predictor) -> bool:
     return False
 
 
-def stream_simulator(predictor, *, engine: str = "auto"):
+def stream_simulator(predictor, *, engine: str = "auto", backend: str | None = None):
     """A chunk-at-a-time simulator for ``predictor``.
 
     The returned object's ``feed(pcs, outcomes)`` yields the per-step
     predictions for one chunk, carrying all predictor state to the
     next call.  ``engine`` mirrors :func:`repro.engine.simulate`:
-    ``"auto"`` picks the vectorized kernels when supported and the
-    stateful reference predictor otherwise.
+    ``"auto"`` picks the vectorized kernels when supported, a compiled
+    per-record kernel (:mod:`repro.engine.backend`) when the family has
+    one, and the stateful reference predictor otherwise.  ``backend``
+    selects the compiled-kernel implementation (default:
+    ``REPRO_ENGINE_BACKEND``, else auto-detect).
     """
     if engine == "reference":
         return _ReferenceStream(predictor)
@@ -480,6 +483,11 @@ def stream_simulator(predictor, *, engine: str = "auto"):
                 f"streaming {engine} engine cannot simulate "
                 f"{type(predictor).__name__}; use engine='reference' or 'auto'"
             )
+        from .backend import compiled_stream  # lazy: backend imports predictors
+
+        compiled = compiled_stream(predictor, backend)
+        if compiled is not None:
+            return compiled
         return _ReferenceStream(predictor)
     if isinstance(predictor, BimodalPredictor):
         return _TwoLevelStream(
@@ -573,6 +581,7 @@ def simulate_stream(
     chunks: Iterable,
     *,
     engine: str = "auto",
+    backend: str | None = None,
     trace_name: str | None = None,
 ) -> SimulationResult:
     """Simulate one predictor over a chunk iterator.
@@ -583,11 +592,13 @@ def simulate_stream(
     :class:`~repro.spec.PredictorSpec`; chunks are
     :class:`~repro.trace.stream.Trace` objects (e.g. a
     :class:`~repro.trace.io.TraceReader`) or ``(pcs, outcomes)`` pairs.
+    ``backend`` picks the compiled-kernel implementation for the
+    reference-path families (see :mod:`repro.engine.backend`).
     """
     from ..spec import build_predictor  # lazy: spec imports engine
 
     predictor = build_predictor(predictor)
-    simulator = stream_simulator(predictor, engine=engine)
+    simulator = stream_simulator(predictor, engine=engine, backend=backend)
     accumulator = _StreamAccumulator(1)
     name = trace_name
     for chunk in chunks:
@@ -768,13 +779,32 @@ def simulate_batched_stream(
     *,
     max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
     trace_name: str | None = None,
+    workers: int | str | None = None,
 ) -> list[SimulationResult]:
     """Streaming counterpart of :func:`repro.engine.simulate_batched`.
 
     Bit-identical results with peak memory O(chunk × configs-per-pass)
-    instead of O(trace).
+    instead of O(trace).  ``workers`` (default: ``REPRO_SWEEP_WORKERS``,
+    else 1) enables the speculative intra-trace pipeline of
+    :mod:`repro.engine.parallel`; results are bit-identical for every
+    worker count.
     """
+    from .parallel import (
+        resolve_workers,
+        simulate_batched_stream_parallel,
+        supports_parallel_sweep,
+    )
+
     predictors = list(predictors)
+    worker_count = resolve_workers(workers)
+    if worker_count > 1 and supports_parallel_sweep(predictors):
+        return simulate_batched_stream_parallel(
+            predictors,
+            chunks,
+            workers=worker_count,
+            max_chunk_elements=max_chunk_elements,
+            trace_name=trace_name,
+        )
     driver = BatchedStream(predictors, max_chunk_elements=max_chunk_elements)
     accumulator = _StreamAccumulator(len(predictors))
     name = trace_name
@@ -808,13 +838,15 @@ def simulate_sweep_stream(
     history_lengths=None,
     max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
     trace_name: str | None = None,
+    workers: int | str | None = None,
 ):
     """Streaming counterpart of :func:`repro.engine.batched.simulate_sweep`.
 
     The paper's full PAs/GAs sweep over a trace too big to hold in
     memory: one pass over the chunk iterator, every configuration's
     history windows and counter scans shared, results bit-identical to
-    the in-memory sweep.
+    the in-memory sweep.  ``workers`` > 1 runs chunks speculatively on
+    a thread pool (see :mod:`repro.engine.parallel`), still bit-exact.
     """
     from ..predictors.paper_configs import HISTORY_LENGTHS, paper_predictor
     from .batched import BatchedSweepResult
@@ -828,6 +860,7 @@ def simulate_sweep_stream(
         chunks,
         max_chunk_elements=max_chunk_elements,
         trace_name=trace_name,
+        workers=workers,
     )
 
     miss_counts: dict[tuple[str, int], np.ndarray] = {}

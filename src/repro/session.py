@@ -55,6 +55,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
 from .engine import simulate, simulate_batched
+from .engine.backend import BACKENDS
 from .engine.batched import DEFAULT_MAX_CHUNK_ELEMENTS
 from .engine.results import SimulationResult
 from .engine.streaming import simulate_batched_stream, simulate_stream
@@ -275,6 +276,17 @@ class Session:
         ``"vectorized"`` and ``"reference"`` force that engine.
     max_chunk_elements:
         Memory bound forwarded to the batched engine.
+    backend:
+        Compiled-kernel backend for reference-path families
+        (``auto``/``python``/``numba``/``cext``; see
+        :mod:`repro.engine.backend`).  ``None`` defers to
+        ``REPRO_ENGINE_BACKEND``.  Backends are bit-identical, so the
+        session memo is unaffected by this choice.
+    workers:
+        Worker count for intra-trace parallel sweeps over streamed
+        workloads (``"auto"`` = cpu count; see
+        :mod:`repro.engine.parallel`).  ``None`` defers to
+        ``REPRO_SWEEP_WORKERS`` (default serial).
 
     Lifecycle: :meth:`submit` any number of jobs, optionally inspect
     :meth:`plan`, then :meth:`run` — which returns a
@@ -287,13 +299,19 @@ class Session:
         *,
         engine: str = "auto",
         max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
+        backend: str | None = None,
+        workers: int | str | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ConfigurationError(f"engine {engine!r} not in {ENGINES}")
         if max_chunk_elements < 1:
             raise ConfigurationError("max_chunk_elements must be positive")
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigurationError(f"backend {backend!r} not in {BACKENDS}")
         self.engine = engine
         self.max_chunk_elements = max_chunk_elements
+        self.backend = backend
+        self.workers = workers
         self._pending: list[SimulationJob] = []
         self._submitted = 0
         # Workloads are grouped by *content*: workload specs key on
@@ -461,6 +479,7 @@ class Session:
                         streamed.chunks(),
                         max_chunk_elements=self.max_chunk_elements,
                         trace_name=streamed.name,
+                        workers=self.workers,
                     )
                     for entry, result in zip(fresh, results):
                         self._memo[(slot, entry.spec, batch.engine)] = result
@@ -471,6 +490,7 @@ class Session:
                             streamed.chunks(),
                             engine=batch.engine,
                             trace_name=streamed.name,
+                            backend=self.backend,
                         )
             elif batch.engine == "batched":
                 # One multi-configuration pass covers every entry.
@@ -484,7 +504,10 @@ class Session:
             else:
                 for entry in fresh:
                     self._memo[(slot, entry.spec, batch.engine)] = simulate(
-                        entry.spec.build(), batch.trace, engine=batch.engine
+                        entry.spec.build(),
+                        batch.trace,
+                        engine=batch.engine,
+                        backend=self.backend,
                     )
 
         jobs = self._pending

@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Docs-consistency checker: links, anchors, env vars, CLI commands.
+
+Documentation drifts silently: a renamed file breaks a relative link, a
+section retitle breaks an anchor, an env var gets renamed in source but
+not in prose, a CLI example keeps a flag that no longer exists.  This
+script machine-checks the cheap-to-verify layer of ``docs/*.md`` (plus
+``benchmarks/README.md`` and the repo-root markdown) so CI catches
+drift at the PR that introduces it:
+
+1. **Relative links resolve** — every ``[text](target)`` whose target
+   is not an absolute URL must point at an existing file or directory.
+2. **Anchors exist** — ``file.md#section`` (and in-page ``#section``)
+   targets must match a heading in the target file, using GitHub's
+   heading-slug rules.
+3. **`REPRO_*` variables exist** — every environment variable the
+   docs mention must appear in the source tree (``src/repro``,
+   ``benchmarks``, ``tools``, ``examples``), so renames cannot leave
+   stale knobs documented.
+4. **CLI invocations parse** — every ``repro <subcommand> --flag``
+   line in the docs is validated against the real argparse parser:
+   the subcommand must exist and every ``--flag`` on the line must be
+   accepted by it.
+
+Usage::
+
+    python tools/check_docs.py            # check, exit 1 on findings
+    python tools/check_docs.py --list     # also print checked files
+
+Runs in the CI ``lint`` job next to ruff; see docs/README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown scanned for all four checks.
+DOC_GLOBS = ("docs/*.md", "benchmarks/README.md", "*.md")
+
+#: Trees searched when verifying that a documented REPRO_* variable
+#: (or repro CLI surface) actually exists.
+SOURCE_DIRS = ("src/repro", "benchmarks", "tools", "examples")
+
+#: Repo-root markdown that is allowed to mention historical/planned
+#: names freely (the issue tracker and change log describe work, not
+#: the current interface).
+EXEMPT_FILES = {"ISSUE.md", "CHANGES.md", "PAPERS.md", "SNIPPETS.md"}
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ENV_PATTERN = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*\b")
+# A doc line that *invokes* the CLI: optionally "python -m", then
+# "repro", then its arguments.  Prompt characters and inline-code
+# backticks are stripped before matching.
+CLI_PATTERN = re.compile(r"(?:python -m )?\brepro\s+([a-z][a-z0-9 ._=<>\[\]|-]*)")
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(
+            path
+            for path in sorted(REPO_ROOT.glob(pattern))
+            if path.name not in EXEMPT_FILES
+        )
+    return files
+
+
+def heading_slugs(text: str) -> set[str]:
+    """GitHub-style slugs of every markdown heading in ``text``."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = re.match(r"^#{1,6}\s+(.*)$", line)
+        if not match:
+            continue
+        title = re.sub(r"[*_`]", "", match.group(1).strip())
+        # GitHub's algorithm keeps one hyphen per removed-punctuation
+        # space: "Pipeline & artifacts" -> "pipeline--artifacts".
+        slug = re.sub(r"[^\w\s-]", "", title.lower()).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def check_links(path: Path, text: str, findings: list[str]) -> None:
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in LINK_PATTERN.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            raw, _, anchor = target.partition("#")
+            resolved = (path.parent / raw).resolve() if raw else path
+            if raw and not resolved.exists():
+                findings.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: broken link "
+                    f"target {target!r} ({resolved.relative_to(REPO_ROOT)} "
+                    "does not exist)"
+                )
+                continue
+            if anchor and (not raw or resolved.suffix == ".md"):
+                slugs = heading_slugs(
+                    text if not raw else resolved.read_text(encoding="utf-8")
+                )
+                if anchor not in slugs:
+                    findings.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: broken "
+                        f"anchor {target!r} (no heading slug {anchor!r})"
+                    )
+
+
+def known_env_vars() -> set[str]:
+    names: set[str] = set()
+    for directory in SOURCE_DIRS:
+        for source in (REPO_ROOT / directory).rglob("*.py"):
+            names.update(ENV_PATTERN.findall(source.read_text(encoding="utf-8")))
+    return names
+
+
+def check_env_vars(path: Path, text: str, known: set[str], findings: list[str]) -> None:
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for name in ENV_PATTERN.findall(line):
+            # "REPRO_SERVE_*"-style prefix mentions match any real
+            # variable sharing the prefix.
+            if name.endswith("_"):
+                known_here = any(var.startswith(name) for var in known)
+            else:
+                known_here = name in known
+            if not known_here:
+                findings.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: environment "
+                    f"variable {name} is not referenced anywhere in "
+                    f"{', '.join(SOURCE_DIRS)}"
+                )
+
+
+def cli_surface():
+    """``{subcommand: {flags}}`` (plus nested subcommands flattened as
+    ``"trace info"``) from the real argparse parser."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_parser
+
+    surface: dict[str, set[str]] = {}
+    top = build_parser()
+    for action in top._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        for name, sub in action.choices.items():
+            sub_flags = {"--help"}
+            for sub_action in sub._actions:
+                sub_flags.update(
+                    s for s in sub_action.option_strings if s.startswith("--")
+                )
+                if isinstance(sub_action, argparse._SubParsersAction):
+                    for nested_name, nested in sub_action.choices.items():
+                        surface[f"{name} {nested_name}"] = {"--help"} | {
+                            s
+                            for a in nested._actions
+                            for s in a.option_strings
+                            if s.startswith("--")
+                        }
+            surface[name] = sub_flags
+    return surface
+
+
+def check_cli_lines(path: Path, text: str, surface, findings: list[str]) -> None:
+    for lineno, raw_line in enumerate(text.splitlines(), 1):
+        line = raw_line.replace("`", " ")
+        for match in CLI_PATTERN.finditer(line):
+            tokens = match.group(1).split()
+            if not tokens:
+                continue
+            command = tokens[0]
+            if command not in surface and " ".join(tokens[:2]) not in surface:
+                # "repro lint finds…" style prose: only flag lines that
+                # look like commands (contain a -- flag or a known-ish
+                # shape); unknown first words in pure prose are skipped.
+                if any(t.startswith("--") for t in tokens[1:]):
+                    findings.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                        f"'repro {command}' is not a CLI subcommand"
+                    )
+                continue
+            key = (
+                " ".join(tokens[:2])
+                if " ".join(tokens[:2]) in surface
+                else command
+            )
+            allowed = surface[key]
+            for token in tokens[1:]:
+                if token.startswith("--"):
+                    flag = token.split("=", 1)[0].rstrip(".,:;")
+                    if flag not in allowed:
+                        findings.append(
+                            f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                            f"'repro {key}' does not accept {flag}"
+                        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true", help="print the files being checked"
+    )
+    args = parser.parse_args(argv)
+
+    files = doc_files()
+    known = known_env_vars()
+    surface = cli_surface()
+    findings: list[str] = []
+    for path in files:
+        if args.list:
+            print(f"checking {path.relative_to(REPO_ROOT)}")
+        text = path.read_text(encoding="utf-8")
+        check_links(path, text, findings)
+        check_env_vars(path, text, known, findings)
+        check_cli_lines(path, text, surface, findings)
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"check_docs: {len(findings)} finding(s) across {len(files)} file(s)"
+        if findings
+        else f"check_docs: clean ({len(files)} file(s))"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
